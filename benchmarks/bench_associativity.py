@@ -1,0 +1,79 @@
+"""Ablation: the difficulty of reducing associativity (paper Section 4).
+
+The paper's opening argument: with bucket size B = 1 and one hash, a fill
+of (1−δ)P distinct pages suffers Ω(P) paging failures (a 1/e fraction of
+slots stay empty). Failures then decay as B grows, and multiple hash
+choices (Greedy, Iceberg) need far smaller B for zero failures.
+
+The table reports paging failures during a fill to 90% occupancy for each
+(strategy, B) point; the B=1 row reproduces the ~(1/e − δ)·P failure mass.
+"""
+
+import math
+
+from repro.bench import format_table
+from repro.core import GreedyAllocator, IcebergAllocator, OneChoiceAllocator
+
+P = 1 << 14
+OCCUPANCY = 0.9
+B_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+
+
+def fill_failures(allocator, m: int) -> int:
+    for v in range(m):
+        allocator.allocate(v)
+    return allocator.failures
+
+
+def run_associativity():
+    m = int(P * OCCUPANCY)
+    rows = []
+    for B in B_SWEEP:
+        n = P // B
+        configs = {
+            "one-choice": OneChoiceAllocator(P, n, seed=B),
+            "greedy[2]": GreedyAllocator(P, n, d=2, seed=B),
+            "iceberg[2]": IcebergAllocator(P, n, lam=m / n, seed=B),
+        }
+        for name, alloc in configs.items():
+            failures = fill_failures(alloc, m)
+            rows.append(
+                {
+                    "strategy": name,
+                    "B": B,
+                    "associativity": alloc.associativity,
+                    "failures": failures,
+                    "fail_frac": round(failures / m, 4),
+                }
+            )
+    return rows
+
+
+def test_associativity(benchmark, save_result):
+    rows = benchmark.pedantic(run_associativity, rounds=1, iterations=1)
+    save_result("associativity", format_table(rows))
+    by_key = {(r["strategy"], r["B"]): r for r in rows}
+
+    # B=1, one choice: the 1/e argument — a constant fraction fails.
+    base = by_key[("one-choice", 1)]["fail_frac"]
+    assert base > 0.15, "B=1 must fail on a constant fraction (≈1/e − δ)"
+    # failures decay steeply with B for one choice
+    oc = [by_key[("one-choice", B)]["failures"] for B in B_SWEEP]
+    assert oc[-1] < oc[0] / 20
+    # Multiple choices kill failures at small B. Greedy[2] balances most
+    # aggressively and reaches exactly zero; Iceberg at 90% occupancy sits
+    # *below* its own sizing rule (B must exceed (1+slack)·λ + log log n,
+    # but here B = 1.11·λ), so it only drives the failure mass down to the
+    # n/poly range — which is the regime Theorem 4's slack absorbs.
+    first_zero = {
+        name: next((B for B in B_SWEEP if by_key[(name, B)]["failures"] == 0), None)
+        for name in ("one-choice", "greedy[2]", "iceberg[2]")
+    }
+    assert first_zero["greedy[2]"] is not None
+    assert by_key[("iceberg[2]", B_SWEEP[-1])]["fail_frac"] <= 1e-3
+    # per-strategy decay with B
+    for name in ("one-choice", "greedy[2]", "iceberg[2]"):
+        series = [by_key[(name, B)]["failures"] for B in B_SWEEP]
+        assert series[-1] < series[0]
+    benchmark.extra_info["one_choice_B1_fail_frac"] = base
+    benchmark.extra_info["first_zero_B"] = {k: v for k, v in first_zero.items()}

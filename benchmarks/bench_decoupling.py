@@ -1,0 +1,80 @@
+"""Decoupling-scheme validation: Theorems 1 and 3 at concrete sizes.
+
+For a sweep of physical-memory sizes ``P`` (and ``w = 64``), instantiate
+the Theorem 1 (one-choice) and Theorem 3 (Iceberg) schemes, report their
+achieved parameters — bucket size ``B``, huge-page size ``h_max``,
+resource augmentation ``δ`` — and stress each allocator with FIFO churn at
+the full ``(1−δ)P`` occupancy, counting paging failures (the theorems say: at any fixed time, none w.h.p. —
+over a long run that allows only a vanishing failure fraction, the
+``n/poly(P)`` budget of Theorem 4).
+
+The h_max columns exhibit eq. (2): Iceberg's Θ(w/logloglog P) beats
+one-choice's Θ(w/loglog P), and both are far above the classical
+w/log P (full physical addresses).
+"""
+
+import math
+
+from repro.bench import format_table
+from repro.core import build_allocator, theorem1_parameters, theorem3_parameters
+
+P_SWEEP = (1 << 14, 1 << 18, 1 << 22)
+W = 64
+CHURN_FACTOR = 3
+
+
+def churn(allocator, m: int) -> tuple[int, int]:
+    """FIFO churn at occupancy m; returns (failures, insertions)."""
+    for v in range(m):
+        allocator.allocate(v)
+    oldest, fresh = 0, m
+    for _ in range(CHURN_FACTOR * m):
+        if allocator.frame_of(oldest) is not None:
+            allocator.free(oldest)
+        oldest += 1
+        allocator.allocate(fresh)
+        fresh += 1
+    return allocator.failures, m + CHURN_FACTOR * m
+
+
+def run_decoupling():
+    rows = []
+    for P in P_SWEEP:
+        classical_hmax = max(1, W // math.ceil(math.log2(P)))
+        for params_fn in (theorem1_parameters, theorem3_parameters):
+            p = params_fn(P, W)
+            # churn is expensive at large P; cap the stressed occupancy
+            stress_frames = min(p.frames_used, 1 << 18)
+            stress = params_fn(stress_frames, W)
+            alloc = build_allocator(stress, seed=P)
+            failures, insertions = churn(alloc, stress.max_pages)
+            rows.append(
+                {
+                    "scheme": p.scheme,
+                    "P": P,
+                    "B": p.bucket_size,
+                    "hmax": p.hmax,
+                    "hmax_classical": classical_hmax,
+                    "delta": round(p.delta, 4),
+                    "failures": failures,
+                    "fail_frac": round(failures / insertions, 7),
+                }
+            )
+    return rows
+
+
+def test_decoupling(benchmark, save_result):
+    rows = benchmark.pedantic(run_decoupling, rounds=1, iterations=1)
+    save_result("decoupling", format_table(rows))
+    for r in rows:
+        # "w.h.p. no failures at any fixed time" permits a vanishing failure
+        # fraction over a long run — the n/poly(P) budget of Theorem 4.
+        assert r["fail_frac"] <= 1e-3, f"{r['scheme']} P={r['P']}: failure mass"
+        assert r["hmax"] > r["hmax_classical"], "decoupling must beat full addresses"
+        assert 0 <= r["delta"] < 1
+    ice = [r for r in rows if r["scheme"] == "iceberg"]
+    one = [r for r in rows if r["scheme"] == "one-choice"]
+    for i, o in zip(ice, one):
+        assert i["hmax"] >= o["hmax"], "eq. (2): iceberg h_max >= one-choice h_max"
+        assert i["B"] < o["B"], "iceberg buckets must be smaller"
+    benchmark.extra_info["iceberg_hmax_at_4M_frames"] = ice[-1]["hmax"]

@@ -1,0 +1,45 @@
+"""Figure 1a: bimodal uniform workload — IOs and TLB misses vs huge-page size.
+
+Paper setup: 64 GB VA, 1 GB hot region (uniform, 99.99% of accesses), cold
+accesses uniform over the VA, 16 GB RAM, 1536-entry LRU TLB, LRU RAM,
+h ∈ {1, …, 1024}, 100 M warmup + 100 M measured accesses.
+
+Scaled setup (ratios preserved, sizes ÷64, trace ÷250): 2²⁰-page VA
+(4 GB-equivalent geometry), hot = VA/64, RAM = VA/4, 1536-entry TLB,
+same h sweep, 300 k warmup + 300 k measured.
+
+Expected shape: IOs grow by ~3 orders of magnitude with h while TLB misses
+fall by ~4 orders — no h is good for both.
+"""
+
+from repro.bench import figure1_experiment, figure1_workload, format_figure1
+
+SCALE_PAGES = 1 << 20
+TLB_ENTRIES = 1536
+N_ACCESSES = 600_000
+
+
+def run_fig1a(seed=0):
+    workload, ram_pages = figure1_workload("a", SCALE_PAGES)
+    return figure1_experiment(
+        workload,
+        ram_pages=ram_pages,
+        tlb_entries=TLB_ENTRIES,
+        n_accesses=N_ACCESSES,
+        warmup_fraction=0.5,
+        seed=seed,
+    )
+
+
+def test_fig1a(benchmark, save_result):
+    records = benchmark.pedantic(run_fig1a, rounds=1, iterations=1)
+    table = format_figure1(records, title="Figure 1a — bimodal uniform")
+    save_result("fig1a", table)
+    first, last = records[0], records[-1]
+    benchmark.extra_info["io_blowup"] = round(last.ios / max(1, first.ios), 1)
+    benchmark.extra_info["miss_reduction"] = round(
+        first.tlb_misses / max(1, last.tlb_misses), 1
+    )
+    # the paper's qualitative claims
+    assert last.ios > 100 * first.ios, "IO blow-up with huge pages missing"
+    assert last.tlb_misses * 100 < first.tlb_misses, "TLB win with huge pages missing"

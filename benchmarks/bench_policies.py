@@ -1,0 +1,39 @@
+"""Ablation: replacement-policy choice inside the decoupled framework.
+
+Theorem 4 takes *arbitrary* policies X and Y; Lemma 1 reduces each half to
+classical paging. This bench compares the online policy zoo (and offline
+OPT as the floor) as the Y half on a skewed trace, reporting fault counts
+and each policy's ratio to OPT — the practical content of the reduction.
+"""
+
+from repro.bench import format_table
+from repro.core import optimal_faults, paging_faults
+from repro.paging import POLICIES, make_policy
+from repro.workloads import ZipfWorkload
+
+CAPACITY = 1 << 10
+N = 60_000
+
+
+def run_policies():
+    trace = ZipfWorkload(1 << 13, s=0.8).generate(N, seed=0).tolist()
+    opt = optimal_faults(trace, CAPACITY)
+    rows = [{"policy": "opt (offline)", "faults": opt, "vs_opt": 1.0}]
+    for name in sorted(POLICIES):
+        kwargs = {"seed": 0} if name == "random" else {}
+        faults = paging_faults(trace, CAPACITY, make_policy(name, **kwargs))
+        rows.append({"policy": name, "faults": faults, "vs_opt": round(faults / opt, 3)})
+    return rows
+
+
+def test_policies(benchmark, save_result):
+    rows = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    save_result("policies", format_table(rows))
+    opt = rows[0]["faults"]
+    by_name = {r["policy"]: r["faults"] for r in rows}
+    for r in rows[1:]:
+        assert r["faults"] >= opt, "no online policy may beat OPT"
+    # sanity: LRU within a small constant of OPT on a zipf trace, MRU awful
+    assert by_name["lru"] < 3 * opt
+    assert by_name["mru"] > by_name["lru"]
+    benchmark.extra_info["lru_vs_opt"] = round(by_name["lru"] / opt, 3)

@@ -1,0 +1,62 @@
+"""Ablation: how workload shape moves the huge-page tradeoff.
+
+The Figure 1 panels are three points in workload space; this bench sweeps
+the two axes that control the tradeoff — spatial locality (bimodal hot
+fraction p_hot) and popularity skew (zipf s) — and reports, for each
+workload, the huge-page size minimizing total cost at a fixed ε and the
+cost ratio between the best and worst h. The pattern: the *best* h swings
+wildly with workload shape (the reason no static h works), while the
+decoupled algorithm needs no such choice.
+"""
+
+from repro.bench import format_table
+from repro.core import ATCostModel
+from repro.sim import sweep_huge_page_sizes
+from repro.workloads import BimodalWorkload, ZipfWorkload
+
+P = 1 << 14
+TLB = 96
+N = 60_000
+SIZES = (1, 4, 16, 64, 256)
+EPS = 0.02
+
+
+def run_sensitivity():
+    model = ATCostModel(epsilon=EPS)
+    workloads = {}
+    for p_hot in (0.9, 0.99, 0.9999):
+        workloads[f"bimodal p={p_hot}"] = BimodalWorkload(
+            1 << 16, hot_pages=1 << 10, p_hot=p_hot
+        )
+    for s in (0.7, 1.0, 1.3):
+        workloads[f"zipf s={s}"] = ZipfWorkload(1 << 16, s=s)
+    rows = []
+    for name, wl in workloads.items():
+        trace = wl.generate(N, seed=0)
+        records = sweep_huge_page_sizes(
+            trace, tlb_entries=TLB, ram_pages=P, sizes=SIZES, warmup=N // 3
+        )
+        costs = {r.params["h"]: model.cost(r.ledger) for r in records}
+        best_h = min(costs, key=costs.get)
+        worst_h = max(costs, key=costs.get)
+        rows.append(
+            {
+                "workload": name,
+                "best_h": best_h,
+                "best_cost": round(costs[best_h], 1),
+                "worst_h": worst_h,
+                "worst/best": round(costs[worst_h] / max(costs[best_h], 1e-9), 1),
+            }
+        )
+    return rows
+
+
+def test_sensitivity(benchmark, save_result):
+    rows = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    save_result("sensitivity", format_table(rows))
+    best_hs = {r["best_h"] for r in rows}
+    # the optimal h is workload-dependent — no single static choice
+    assert len(best_hs) >= 2, "expected the best h to vary across workloads"
+    # and picking wrong is expensive
+    assert max(r["worst/best"] for r in rows) > 5
+    benchmark.extra_info["distinct_best_h"] = sorted(best_hs)

@@ -1,0 +1,107 @@
+"""Throughput microbenchmarks of the hot paths.
+
+Unlike the experiment benches (one pedantic round each), these use
+pytest-benchmark's statistics properly: many rounds of the per-access
+operations that dominate every simulation, so regressions in the O(1)
+structures (ordered-dict LRU, iceberg placement, codec bit-twiddling)
+surface as timing changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DecouplingScheme, IcebergAllocator, TLBValueCodec
+from repro.core.simulation import DecoupledSystem
+from repro.mmu import BasePageMM, PhysicalHugePageMM
+from repro.paging import LRUPolicy, PageCache
+from repro.tlb import TLB
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def zipf_trace():
+    rng = np.random.default_rng(0)
+    return (rng.zipf(1.2, N) % 4096).tolist()
+
+
+def test_pagecache_lru_access(benchmark, zipf_trace):
+    def run():
+        cache = PageCache(512, LRUPolicy())
+        access = cache.access
+        for p in zipf_trace:
+            access(p)
+        return cache.misses
+
+    misses = benchmark(run)
+    benchmark.extra_info["accesses_per_round"] = N
+    assert misses > 0
+
+
+def test_tlb_lookup_fill(benchmark, zipf_trace):
+    def run():
+        tlb = TLB(256)
+        for p in zipf_trace:
+            if tlb.lookup(p) is None:
+                tlb.fill(p, p)
+        return tlb.misses
+
+    misses = benchmark(run)
+    benchmark.extra_info["accesses_per_round"] = N
+    assert misses > 0
+
+
+def test_base_page_mm_access(benchmark, zipf_trace):
+    def run():
+        mm = BasePageMM(256, 2048)
+        mm.run(zipf_trace)
+        return mm.ledger.ios
+
+    ios = benchmark(run)
+    benchmark.extra_info["accesses_per_round"] = N
+    assert ios > 0
+
+
+def test_physical_huge_mm_access(benchmark, zipf_trace):
+    def run():
+        mm = PhysicalHugePageMM(256, 2048, huge_page_size=16)
+        mm.run(zipf_trace)
+        return mm.ledger.ios
+
+    ios = benchmark(run)
+    benchmark.extra_info["accesses_per_round"] = N
+    assert ios > 0
+
+
+def test_decoupled_system_access(benchmark, zipf_trace):
+    def run():
+        allocator = IcebergAllocator(2048, 256, lam=6.0, seed=0)
+        codec = TLBValueCodec.for_allocator(64, allocator)
+        z = DecoupledSystem(
+            256, 1536, LRUPolicy(), LRUPolicy(), DecouplingScheme(allocator, codec)
+        )
+        z.run(zipf_trace)
+        return z.ledger.ios
+
+    ios = benchmark(run)
+    benchmark.extra_info["accesses_per_round"] = N
+    assert ios > 0
+
+
+def test_iceberg_allocation_churn(benchmark):
+    def run():
+        alloc = IcebergAllocator(4096, 128, lam=12.0, seed=0)  # B=32, 73% full
+        m = 3000
+        for v in range(m):
+            alloc.allocate(v)
+        oldest, fresh = 0, m
+        for _ in range(m):
+            if alloc.frame_of(oldest) is not None:
+                alloc.free(oldest)
+            oldest += 1
+            alloc.allocate(fresh)
+            fresh += 1
+        return alloc.failures
+
+    failures = benchmark(run)
+    assert failures == 0

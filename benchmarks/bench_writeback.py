@@ -1,0 +1,52 @@
+"""Ablation: write-back amplification — huge pages' fourth cost.
+
+The paper enumerates three IO costs of physical huge pages; a fourth
+appears once stores exist: evicting a dirty huge page writes back all
+``h`` pages. This bench sweeps ``h`` on a write-heavy workload and reports
+read IOs, write-back IOs, and total device traffic — write amplification
+compounds the paper's fault amplification.
+"""
+
+from repro.bench import format_table
+from repro.mmu import WritebackHugePageMM
+from repro.sim import simulate
+from repro.workloads import ZipfWorkload
+
+P = 1 << 12
+N = 60_000
+SIZES = (1, 8, 64, 256)
+WRITE_FRACTION = 0.3
+
+
+def run_writeback():
+    wl = ZipfWorkload(1 << 15, s=0.9)
+    trace = wl.generate(N, seed=0)
+    rows = []
+    for h in SIZES:
+        mm = WritebackHugePageMM(
+            256, P, huge_page_size=h, write_fraction=WRITE_FRACTION, seed=1
+        )
+        simulate(mm, trace, warmup=N // 3)
+        rows.append(
+            {
+                "h": h,
+                "read_ios": mm.ledger.ios,
+                "writeback_ios": mm.ledger.extra["writeback_ios"],
+                "total_ios": mm.total_ios,
+                "wb_share": round(
+                    mm.ledger.extra["writeback_ios"] / max(1, mm.total_ios), 3
+                ),
+            }
+        )
+    return rows
+
+
+def test_writeback(benchmark, save_result):
+    rows = benchmark.pedantic(run_writeback, rounds=1, iterations=1)
+    save_result("writeback", format_table(rows))
+    wb = [r["writeback_ios"] for r in rows]
+    total = [r["total_ios"] for r in rows]
+    assert wb == sorted(wb), "write-back traffic must grow with h"
+    assert total == sorted(total)
+    assert wb[-1] > 50 * max(1, wb[0])
+    benchmark.extra_info["wb_amplification"] = round(wb[-1] / max(1, wb[0]), 1)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark writes its result table to ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md is regenerable, and records
+headline numbers in ``benchmark.extra_info`` for the pytest-benchmark
+report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Callable ``save(name, text)`` writing a result artifact."""
+
+    def save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return save

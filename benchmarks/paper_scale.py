@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Run the Figure 1 experiments at larger-than-default (up to paper) scale.
+
+The pytest benches keep runtimes in seconds; this script removes the lid.
+It runs a chosen panel at a chosen scale, prints the table, and persists
+machine-readable results (repro.bench.store) for cross-version diffing.
+
+Examples
+--------
+Default bench scale, persisted::
+
+    python benchmarks/paper_scale.py --panel a
+
+4x the bench scale (a few minutes)::
+
+    python benchmarks/paper_scale.py --panel a --scale-shift 2 --accesses 2400000
+
+Compare against a previous run::
+
+    python benchmarks/paper_scale.py --panel a --diff results/fig1a_scaled.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.bench import (
+    diff_records,
+    figure1_experiment,
+    figure1_workload,
+    format_figure1,
+    format_table,
+    load_records,
+    save_records,
+)
+
+BASE_SCALE = {"a": 20, "b": 18, "c": 18}  # log2 pages / kronecker scale
+BASE_ACCESSES = {"a": 600_000, "b": 400_000, "c": 400_000}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--panel", choices="abc", default="a")
+    parser.add_argument("--scale-shift", type=int, default=0,
+                        help="add this to the panel's base log2 scale")
+    parser.add_argument("--accesses", type=int, default=None)
+    parser.add_argument("--tlb", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="result JSON (default results/fig1<panel>_scaled.json)")
+    parser.add_argument("--diff", type=Path, default=None,
+                        help="previous result JSON to compare against")
+    args = parser.parse_args(argv)
+
+    panel = args.panel
+    log2_scale = BASE_SCALE[panel] + args.scale_shift
+    scale = log2_scale if panel == "c" else (1 << log2_scale)
+    accesses = args.accesses or BASE_ACCESSES[panel] * (1 << max(0, args.scale_shift))
+    tlb = args.tlb or (64 if panel == "c" else 1536)
+
+    print(f"panel {panel}: scale={scale}, accesses={accesses}, tlb={tlb}")
+    t0 = time.time()
+    workload, ram_pages = figure1_workload(panel, scale, seed=args.seed)
+    records = figure1_experiment(
+        workload,
+        ram_pages=ram_pages,
+        tlb_entries=tlb,
+        n_accesses=accesses,
+        touched_ram_fraction=0.99 if panel == "c" else None,
+        seed=args.seed,
+    )
+    elapsed = time.time() - t0
+    print(format_figure1(records, title=f"Figure 1{panel} at scale {scale}"))
+    print(f"\nelapsed: {elapsed:.1f} s")
+
+    out = args.out or Path(__file__).parent / "results" / f"fig1{panel}_scaled.json"
+    out.parent.mkdir(exist_ok=True)
+    save_records(
+        out,
+        records,
+        params={
+            "panel": panel, "scale": scale, "accesses": accesses,
+            "tlb": tlb, "seed": args.seed, "elapsed_s": round(elapsed, 1),
+        },
+    )
+    print(f"saved {out}")
+
+    if args.diff:
+        diffs = diff_records(load_records(args.diff), load_records(out), rel_tol=0.02)
+        print("\ndiff vs", args.diff)
+        print(format_table(diffs) if diffs else "(no differences beyond 2%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Dynamic balls-and-bins strategies head to head (paper Section 4).
+
+Runs OneChoice, Greedy[2], and Iceberg[2] against the same FIFO-churn
+adversary and reports peak loads next to the theory curves of eq. (5),
+eq. (6), and Theorem 2. The number that matters for decoupling is the
+overhead above the average load λ: it must vanish relative to λ for the
+resource augmentation δ to be o(1) — watch Iceberg's column shrink as λ
+grows while OneChoice keeps its √(λ log n) gap.
+
+Run:  python examples/ballsbins_demo.py
+"""
+
+from repro.ballsbins import (
+    BallsAndBinsGame,
+    GreedyStrategy,
+    IcebergStrategy,
+    OneChoiceStrategy,
+    fifo_churn,
+    greedy_max_load_bound,
+    iceberg_max_load_bound,
+    one_choice_max_load_bound,
+    run_game,
+)
+
+N_BINS = 1 << 10
+
+print(f"{N_BINS} bins, FIFO churn at full occupancy, 4x turnover\n")
+print(f"{'strategy':<12} {'lam':>5} {'peak':>6} {'theory':>8} {'(peak-lam)/lam':>15}")
+
+for lam in (4, 16, 64, 256):
+    m = N_BINS * lam
+    rows = [
+        ("one-choice", OneChoiceStrategy(), one_choice_max_load_bound(N_BINS, lam)),
+        ("greedy[2]", GreedyStrategy(2), greedy_max_load_bound(N_BINS, lam)),
+        ("iceberg[2]", IcebergStrategy(lam=lam), iceberg_max_load_bound(N_BINS, lam)),
+    ]
+    for name, strategy, bound in rows:
+        game = BallsAndBinsGame(N_BINS, strategy, seed=lam)
+        run_game(game, fifo_churn(m, 4 * m))
+        overhead = (game.peak_load - lam) / lam
+        print(f"{name:<12} {lam:>5} {game.peak_load:>6} {bound:>8.1f} {overhead:>15.3f}")
+    print()
+
+print(
+    "Iceberg[2]'s overhead is (1+o(1)) + (log log n)/lam — vanishing in lam.\n"
+    "That is what lets Theorem 3 use buckets of size ~log log P and encode a\n"
+    "page's location in Theta(log log log P) bits."
+)

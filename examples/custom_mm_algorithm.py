@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Build your own memory-management algorithm on the library's substrates.
+
+The paper's framework is open-ended: a memory-management algorithm is just
+something that controls T, A, φ and f. This example implements a new one —
+a *working-set-sized sampler* that measures the trace's working set online
+and toggles between base pages and decoupled huge-page coverage per phase —
+then races it against the built-ins on a phase-changing workload.
+
+It exercises the public extension surface:
+  * subclass `MemoryManagementAlgorithm` (ledger conventions come free);
+  * reuse `PageCache`/`TLB` substrates and the decoupling scheme;
+  * plug straight into `simulate()` and the bench harness.
+
+Run:  python examples/custom_mm_algorithm.py
+"""
+
+from repro import ATCostModel, BasePageMM, DecoupledMM, simulate
+from repro.mmu.base import MemoryManagementAlgorithm
+from repro.workloads import MarkovPhaseWorkload, SequentialWorkload, ZipfWorkload
+
+
+class AdaptiveMM(MemoryManagementAlgorithm):
+    """Switches between a base-page MM and a decoupled MM by watching the
+    recent working set: scans (working set ~ window) route to base pages
+    (huge coverage is useless on one-touch data), dense reuse routes to the
+    decoupled side.
+
+    Both sub-machines observe every access so their cache state stays warm;
+    only the *active* one's costs are charged — modelling a policy that
+    chooses how to map each region while the hardware paths stay coherent.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, tlb_entries, ram_pages, window=512, seed=0):
+        super().__init__()
+        self.base = BasePageMM(tlb_entries, ram_pages)
+        self.decoupled = DecoupledMM(tlb_entries, ram_pages, seed=seed)
+        self.window = window
+        self._recent = []
+        self._distinct_ratio = 0.0
+
+    def access(self, vpn: int) -> None:
+        self._recent.append(vpn)
+        if len(self._recent) >= self.window:
+            self._distinct_ratio = len(set(self._recent)) / len(self._recent)
+            self._recent.clear()
+        scanning = self._distinct_ratio > 0.9
+        active, passive = (
+            (self.base, self.decoupled) if scanning else (self.decoupled, self.base)
+        )
+        before = active.ledger.as_dict()
+        active.access(vpn)
+        passive.access(vpn)  # keep state warm, discard its costs
+        after = active.ledger.as_dict()
+        self.ledger.accesses += 1
+        self.ledger.ios += after["ios"] - before["ios"]
+        self.ledger.tlb_misses += after["tlb_misses"] - before["tlb_misses"]
+        self.ledger.tlb_hits += after["tlb_hits"] - before["tlb_hits"]
+
+
+def main() -> None:
+    hot = ZipfWorkload(1 << 14, s=1.2, perm_seed=0)
+    scan = SequentialWorkload(1 << 16)
+    workload = MarkovPhaseWorkload([hot, scan], mean_dwell=3000)
+    trace = workload.generate(60_000, seed=0)
+    ram = 1 << 14
+
+    model = ATCostModel(epsilon=0.05)
+    print(f"{'algorithm':<14} {'IOs':>8} {'TLB misses':>11} {'C(eps=0.05)':>12}")
+    for mm in (
+        BasePageMM(256, ram),
+        DecoupledMM(256, ram, seed=0),
+        AdaptiveMM(256, ram),
+    ):
+        ledger = simulate(mm, trace, warmup=20_000)
+        print(f"{mm.name:<14} {ledger.ios:>8} {ledger.tlb_misses:>11} "
+              f"{model.cost(ledger):>12.1f}")
+
+    print(
+        "\nthe adaptive policy lands between its two ingredients — its scan\n"
+        "detector trades away some decoupled coverage. The point is the\n"
+        "surface: ~40 lines made a new MM algorithm a first-class citizen of\n"
+        "simulate(), the cost model, and every bench in this repo. Sharpen\n"
+        "the detector (try the analysis package's working-set profile) and\n"
+        "see if you can beat pure decoupling."
+    )
+
+
+if __name__ == "__main__":
+    main()

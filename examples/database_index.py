@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Why databases and huge pages have a complicated relationship.
+
+The paper's references [1–4] are Couchbase/MongoDB/Oracle/Percona docs
+recommending THP off. This example replays zipf point lookups against a
+B-tree index under memory pressure and prices every configuration in the
+address-translation cost model — including the work THP does off the books
+(migrations, promotion failures) that the vendors' advice is really about.
+
+Run:  python examples/database_index.py
+"""
+
+from repro import ATCostModel, BasePageMM, DecoupledMM, PhysicalHugePageMM, simulate
+from repro.mmu import THPStyleMM
+from repro.workloads import BTreeLookupWorkload
+
+# a 200k-key index, fanout 64 -> 3 levels; RAM holds ~2/3 of the index
+index = BTreeLookupWorkload(200_000, fanout=64, zipf_s=0.8)
+print(f"index: {index.n_keys} keys, depth {index.depth}, "
+      f"{index.va_pages} pages ({index.level_nodes} nodes per level)")
+
+trace = index.generate(120_000, seed=0)
+ram = 1 << 11
+tlb = 64
+
+model = ATCostModel(epsilon=0.02)
+rows = {}
+print(f"\n{'configuration':<24} {'IOs':>8} {'TLB misses':>11} {'C(eps=0.02)':>12}")
+for label, mm in {
+    "base pages": BasePageMM(tlb, ram),
+    "physical huge (h=64)": PhysicalHugePageMM(tlb, ram, huge_page_size=64),
+    "THP (util 0.75)": THPStyleMM(tlb, ram, huge_page_size=64, promote_utilization=0.75),
+    "decoupled": DecoupledMM(tlb, ram, seed=0),
+}.items():
+    ledger = simulate(mm, trace, warmup=40_000)
+    rows[label] = (mm, ledger)
+    print(f"{label:<24} {ledger.ios:>8} {ledger.tlb_misses:>11} "
+          f"{model.cost(ledger):>12.1f}")
+
+thp_ledger = rows["THP (util 0.75)"][1]
+print(
+    f"\nTHP's off-the-books work during the measured window: "
+    f"{thp_ledger.extra['promotions']} promotions, "
+    f"{thp_ledger.extra['migrations']} page migrations, "
+    f"{thp_ledger.extra['promotion_failures']} fragmentation failures, "
+    f"{thp_ledger.extra['demotions']} wholesale demotions."
+)
+
+print("""
+reading the table:
+ * static physical huge pages are the catastrophe (~80x the IOs): every
+   leaf probe drags in a 64-page neighbourhood under pressure — the
+   behaviour the vendor docs are defending against;
+ * THP does well on a pure index workload (the hot top promotes, leaves
+   stay base pages) — but its wins ride on migrations and on finding
+   contiguous runs, the machinery that stalls real databases and whose
+   failures the fragmentation counter above records;
+ * decoupling posts the lowest TLB-miss count with zero migrations and no
+   contiguity anywhere — its extra IOs at this toy scale are the (1-delta)
+   RAM reservation, which Theorem 3 drives to zero as P grows.
+""")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""TLBs beyond the CPU: GPUs, RDMA NICs, and virtual machines.
+
+The paper's introduction argues its results apply to *every* TLB in a
+modern system: GPU address translation (concurrent kernels from distrusting
+tenants), RDMA NICs (memory translation/protection tables), and nested
+guest/host translation. This example models each device point with the
+library's substrates and prices an identical workload on all of them.
+
+Run:  python examples/device_tlbs.py
+"""
+
+from repro.core.hardware import estimate_runtime_ns
+from repro.mmu import BasePageMM, DecoupledMM, NestedTranslationMM
+from repro.sim import simulate
+from repro.workloads import InterleavedWorkload, ZipfWorkload
+
+RAM = 1 << 14
+N = 80_000
+
+# Three tenants sharing the device — a GPU running unrelated kernels, or
+# an RDMA NIC serving several initiators.
+workload = InterleavedWorkload(
+    [ZipfWorkload(1 << 12, s=1.1, perm_seed=i) for i in range(3)], quantum=8
+)
+trace = workload.generate(N, seed=0)
+
+DEVICE_TLBS = {
+    "CPU core (1536-entry L2 TLB)": 1536,
+    "GPU uTLB (64 entries)": 64,
+    "RDMA NIC MTT cache (256)": 256,
+}
+
+print(f"{'device':<32} {'mapping':<12} {'TLB misses':>11} {'IOs':>7}")
+for device, entries in DEVICE_TLBS.items():
+    for label, mm in {
+        "base": BasePageMM(entries, RAM),
+        "decoupled": DecoupledMM(entries, RAM, seed=0),
+    }.items():
+        ledger = simulate(mm, trace, warmup=N // 3)
+        print(f"{device:<32} {label:<12} {ledger.tlb_misses:>11} {ledger.ios:>7}")
+
+print(
+    "\nreading the table: decoupling multiplies each device's reach by\n"
+    "h_max — the cliff appears where entries x h_max first covers the\n"
+    "tenants' hot set (here at the CPU's 1536 entries). For the tiny\n"
+    "GPU/NIC TLBs even x8 reach is not enough for three tenants: those\n"
+    "devices need the larger h_max that a wider w buys (the paper's S8\n"
+    "hardware suggestion).\n"
+)
+
+# --- the virtualized CPU: nested walks multiply every miss -------------------
+flat = NestedTranslationMM(256, 1 << 30, RAM)  # effectively un-virtualized
+nested = NestedTranslationMM(256, 128, RAM)  # real nested TLB pressure
+for mm in (flat, nested):
+    simulate(mm, trace, warmup=N // 3)
+print(f"nested-translation multiplier with a 128-entry nested TLB: "
+      f"{nested.effective_epsilon_multiplier:.2f}x the native walk "
+      f"(worst case 6x for 4+4 levels)")
+
+# --- and in seconds ----------------------------------------------------------
+from repro.core.hardware import OPTANE
+
+base = BasePageMM(1536, RAM)
+dec = DecoupledMM(1536, RAM, seed=0)
+t_base = estimate_runtime_ns(simulate(base, trace, warmup=N // 3), OPTANE)
+t_dec = estimate_runtime_ns(simulate(dec, trace, warmup=N // 3), OPTANE)
+print(f"\nestimated translation+paging time on Optane-class storage "
+      f"(ε ≈ {OPTANE.epsilon:.2f}): {t_base/1e6:.2f} ms base vs "
+      f"{t_dec/1e6:.2f} ms decoupled ({t_base/t_dec:.2f}x) — the faster the "
+      f"storage,\nthe more of the bill is translation, the more decoupling "
+      f"returns.")

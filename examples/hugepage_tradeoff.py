@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The IO/TLB-miss tradeoff of physical huge pages (paper Figure 1).
+
+Sweeps the huge-page size h over {1, 2, ..., 1024} on a scaled Figure 1a
+bimodal workload and prints the same two series the paper plots, as tables
+and ASCII log-scale charts. Increasing h slashes TLB misses but multiplies
+IOs — there is no good h.
+
+Run:  python examples/hugepage_tradeoff.py [--panel a|b|c]
+"""
+
+import argparse
+
+from repro.bench import figure1_experiment, figure1_workload, format_figure1
+
+PANEL_SCALE = {"a": 1 << 18, "b": 1 << 16, "c": 14}
+PANEL_TITLE = {
+    "a": "Figure 1a — bimodal uniform (hot 1/64 of VA, RAM = VA/4)",
+    "b": "Figure 1b — Pareto random walk (RAM = VA/2)",
+    "c": "Figure 1c — graph500 BFS (cache ≈ touched footprint)",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--panel", choices="abc", default="a")
+    parser.add_argument("--accesses", type=int, default=120_000)
+    parser.add_argument("--tlb", type=int, default=512)
+    args = parser.parse_args()
+
+    workload, ram_pages = figure1_workload(args.panel, PANEL_SCALE[args.panel])
+    records = figure1_experiment(
+        workload,
+        ram_pages=ram_pages,
+        tlb_entries=args.tlb,
+        n_accesses=args.accesses,
+        touched_ram_fraction=0.99 if args.panel == "c" else None,
+        seed=0,
+    )
+    print(format_figure1(records, title=PANEL_TITLE[args.panel]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Miss-ratio curves: what every TLB size and RAM size would cost, at once.
+
+The trace-driven simulator answers one (ℓ, P) point per run; the Mattson
+stack-distance engine (`repro.sim.figure1_curves`) answers *all* of them
+from a single pass per huge-page size — exact for LRU. This example maps
+the full design space of the Figure 1a workload: TLB misses vs TLB entries
+and IOs vs RAM size, per huge-page size.
+
+Run:  python examples/miss_ratio_curves.py
+"""
+
+from repro.bench.report import ascii_log_chart
+from repro.sim import figure1_curves
+from repro.workloads import BimodalWorkload
+
+wl = BimodalWorkload.paper_scaled(1 << 16)
+trace = wl.generate(80_000, seed=0)
+warmup = 40_000
+sizes = [1, 8, 64]
+curves = figure1_curves(trace, sizes, warmup=warmup)
+
+tlb_grid = [64, 256, 1024, 4096]
+print("TLB misses vs TLB entries (rows: huge-page size h):")
+header = "".join(f"{c:>10}" for c in tlb_grid)
+print(f"  {'h':>5}{header}")
+for curve in curves:
+    cells = "".join(f"{curve.tlb_misses(c):>10}" for c in tlb_grid)
+    print(f"  {curve.h:>5}{cells}")
+
+ram_grid = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
+print("\nIOs vs RAM pages (rows: huge-page size h):")
+header = "".join(f"{c:>10}" for c in ram_grid)
+print(f"  {'h':>5}{header}")
+for curve in curves:
+    cells = "".join(f"{curve.ios(c):>10}" for c in ram_grid)
+    print(f"  {curve.h:>5}{cells}")
+
+print("\nreading the table: going down a column (bigger h) trades the left")
+print("table's misses for the right table's IOs — Figure 1 is the diagonal")
+print("of this design space at the paper's (1536, VA/4) operating point.\n")
+
+c1 = curves[0]
+chart = ascii_log_chart(
+    tlb_grid, [max(1, c1.tlb_misses(c)) for c in tlb_grid], label="h=1 TLB misses"
+)
+print(chart)

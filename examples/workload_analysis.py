@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Workload characterization: stack distances, working sets, policy ratios.
+
+Before picking RAM sizes, TLB reach, or an h_max, characterize the trace:
+
+* the **LRU miss curve** (Mattson stack distances — every cache size from
+  one pass) answers "what would RAM size X cost in IOs";
+* the same curve over the *huge-page trace* r(p) answers "what TLB reach
+  buys at coverage h" (Lemma 1 reduces TLB-miss minimization to paging on
+  r(p));
+* the **working-set profile** locates the knee the paper's intro blames
+  for TLB pain (working sets outgrew TLB coverage);
+* empirical **competitive ratios** sanity-check the online policies that
+  serve as Theorem 4's X and Y.
+
+Run:  python examples/workload_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    competitive_ratio,
+    lru_miss_curve,
+    sleator_tarjan_bound,
+    working_set_profile,
+)
+from repro.core import huge_page_trace
+from repro.workloads import BimodalWorkload
+
+wl = BimodalWorkload.paper_scaled(1 << 16)
+trace = wl.generate(60_000, seed=0)
+
+# --- IO side: the LRU miss curve over base pages -----------------------------
+capacities = [2**k for k in range(6, 15)]
+curve = lru_miss_curve(trace, capacities)
+print("LRU miss curve (base pages) — one Mattson pass, all sizes:")
+for c in capacities:
+    print(f"  RAM {c:>6} pages: {curve[c]:>7} faults")
+
+# --- TLB side: the same curve over the huge-page trace -----------------------
+print("\nTLB-reach curve at a 256-entry TLB (Lemma 1: paging on r(p)):")
+for h in (1, 4, 16, 64):
+    hp = huge_page_trace(trace, h)
+    misses = lru_miss_curve(hp, [256])[256]
+    print(f"  coverage h={h:>3}: {misses:>7} TLB misses")
+
+# --- the working-set knee -----------------------------------------------------
+profile = working_set_profile(trace, [64, 256, 1024, 4096, 16384])
+print("\nworking-set profile |W(tau)| (Denning):")
+for tau, size in profile.items():
+    print(f"  tau={tau:>6}: {size:>8.1f} pages")
+print("the knee sits near the hot-region size — coverage beyond it is wasted")
+
+# --- policies vs OPT -----------------------------------------------------------
+print("\nonline policies vs offline OPT (cache = 1024):")
+trace_list = trace.tolist()
+for name in ("lru", "fifo", "arc"):
+    res = competitive_ratio(trace_list, name, 1024)
+    print(f"  {name:>5}: {res.policy_faults:>6} faults, ratio {res.ratio:.3f}")
+aug = competitive_ratio(trace_list, "lru", 2048, opt_capacity=1024)
+print(f"  lru with 2x frames vs OPT: ratio {aug.ratio:.3f} "
+      f"(Sleator-Tarjan bound {sleator_tarjan_bound(2048, 1024):.3f})")

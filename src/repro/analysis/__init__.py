@@ -1,0 +1,27 @@
+"""Workload and policy analysis: stack distances, working sets,
+competitive ratios.
+
+These tools answer the sizing questions the paper's cost model raises —
+what a different RAM size or TLB coverage would have cost — without
+re-running the simulator per configuration.
+"""
+
+from .competitive import CompetitiveResult, competitive_ratio, sleator_tarjan_bound
+from .stackdist import COLD, lru_miss_curve, stack_distances
+from .traceinfo import describe_trace, huge_page_density, sequentiality
+from .workingset import average_working_set, working_set_profile, working_set_sizes
+
+__all__ = [
+    "stack_distances",
+    "lru_miss_curve",
+    "COLD",
+    "working_set_sizes",
+    "average_working_set",
+    "working_set_profile",
+    "competitive_ratio",
+    "CompetitiveResult",
+    "sleator_tarjan_bound",
+    "describe_trace",
+    "sequentiality",
+    "huge_page_density",
+]

@@ -1,0 +1,74 @@
+"""Empirical competitive analysis of paging policies.
+
+The paper's guarantees are competitive-style: Theorem 4's ``Z`` is
+(1+o(1))-competitive with the *pair* (X, Y) it simulates, and Lemma 1
+hands each half to classical paging, whose competitive theory (Sleator &
+Tarjan) is the bedrock. These helpers measure the empirical ratios and
+check the classical bounds on concrete traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..paging import ReplacementPolicy, make_policy
+from ..core.separation import optimal_faults, paging_faults
+
+__all__ = ["CompetitiveResult", "competitive_ratio", "sleator_tarjan_bound"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompetitiveResult:
+    """Fault counts and ratio of one (policy, OPT) comparison."""
+
+    policy: str
+    policy_capacity: int
+    opt_capacity: int
+    policy_faults: int
+    opt_faults: int
+
+    @property
+    def ratio(self) -> float:
+        """Empirical competitive ratio (∞ if OPT never faults but policy does)."""
+        if self.opt_faults == 0:
+            return float("inf") if self.policy_faults else 1.0
+        return self.policy_faults / self.opt_faults
+
+
+def competitive_ratio(
+    trace,
+    policy: ReplacementPolicy | str,
+    capacity: int,
+    *,
+    opt_capacity: int | None = None,
+    **policy_kwargs,
+) -> CompetitiveResult:
+    """Measure a policy's fault count against offline OPT on *trace*.
+
+    ``opt_capacity`` defaults to *capacity*; set it smaller for the
+    resource-augmented comparison (the policy gets ``k`` frames, OPT gets
+    ``h ≤ k`` — Sleator–Tarjan's setting, and the shape of the paper's
+    ``(1−δ)P`` augmentation).
+    """
+    trace = [int(p) for p in trace]
+    if isinstance(policy, str):
+        name = policy
+        policy = make_policy(policy, **policy_kwargs)
+    else:
+        name = policy.name
+    h = opt_capacity if opt_capacity is not None else capacity
+    return CompetitiveResult(
+        policy=name,
+        policy_capacity=capacity,
+        opt_capacity=h,
+        policy_faults=paging_faults(trace, capacity, policy),
+        opt_faults=optimal_faults(trace, h),
+    )
+
+
+def sleator_tarjan_bound(k: int, h: int) -> float:
+    """The classical bound ``k / (k − h + 1)`` for LRU/FIFO with ``k``
+    frames against OPT with ``h ≤ k`` frames."""
+    if not (1 <= h <= k):
+        raise ValueError(f"need 1 <= h <= k, got h={h}, k={k}")
+    return k / (k - h + 1)

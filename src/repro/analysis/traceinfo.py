@@ -1,0 +1,71 @@
+"""Trace characterization: the numbers to look at before any experiment.
+
+``describe_trace`` condenses a virtual-page trace into the handful of
+statistics that predict how every mechanism in this library will behave on
+it: footprint and reuse (paging pressure), sequentiality and huge-page
+density (TLB-coverage friendliness), and popularity skew (hot-set
+concentration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check_positive_int
+
+__all__ = ["describe_trace", "sequentiality", "huge_page_density"]
+
+
+def sequentiality(trace) -> float:
+    """Fraction of accesses whose page is the successor of the previous
+    access's page — 1.0 for a pure scan, ~0 for random traffic."""
+    trace = np.asarray(trace, dtype=np.int64)
+    if len(trace) < 2:
+        return 0.0
+    return float((np.diff(trace) == 1).mean())
+
+
+def huge_page_density(trace, h: int) -> float:
+    """Mean fraction of each *touched* huge page that the trace touches.
+
+    1.0 means every touched huge page is fully used (coverage is free);
+    ``1/h`` means one page per huge page (coverage pays h× for nothing).
+    """
+    check_positive_int(h, "h")
+    trace = np.asarray(trace, dtype=np.int64)
+    if len(trace) == 0:
+        return 0.0
+    touched_pages = len(np.unique(trace))
+    touched_huge = len(np.unique(trace // h))
+    return touched_pages / (touched_huge * h)
+
+
+def describe_trace(trace, *, huge_page_size: int = 64, top_fraction: float = 0.01) -> dict:
+    """Summary statistics of a trace (all plain floats/ints, report-ready).
+
+    Keys: ``length``, ``footprint`` (distinct pages), ``reuse_ratio``
+    (accesses per distinct page), ``sequentiality``, ``huge_page_density``
+    (at *huge_page_size*), ``top_share`` (fraction of accesses going to
+    the hottest *top_fraction* of touched pages — popularity skew), and
+    ``address_span`` (max − min page + 1).
+    """
+    trace = np.asarray(trace, dtype=np.int64)
+    n = len(trace)
+    if n == 0:
+        return {
+            "length": 0, "footprint": 0, "reuse_ratio": 0.0, "sequentiality": 0.0,
+            "huge_page_density": 0.0, "top_share": 0.0, "address_span": 0,
+        }
+    pages, counts = np.unique(trace, return_counts=True)
+    footprint = len(pages)
+    top_k = max(1, int(footprint * top_fraction))
+    top_share = float(np.sort(counts)[-top_k:].sum() / n)
+    return {
+        "length": int(n),
+        "footprint": int(footprint),
+        "reuse_ratio": float(n / footprint),
+        "sequentiality": sequentiality(trace),
+        "huge_page_density": huge_page_density(trace, huge_page_size),
+        "top_share": top_share,
+        "address_span": int(trace.max() - trace.min() + 1),
+    }

@@ -1,0 +1,55 @@
+"""Denning working-set statistics (paper citation [18]).
+
+The working set ``W(t, τ)`` is the set of distinct pages referenced in the
+window ``(t−τ, t]``. Its size over time characterizes a workload's memory
+demand independently of any replacement policy — the quantity the paper's
+introduction appeals to when it says TLBs are "too small to cache the
+working sets of modern parallel programs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check_positive_int
+
+__all__ = ["working_set_sizes", "average_working_set", "working_set_profile"]
+
+
+def working_set_sizes(trace, tau: int) -> np.ndarray:
+    """``|W(t, τ)|`` for every ``t`` in ``[0, n)`` (windows clipped at 0).
+
+    One O(n) sliding-window pass using per-page reference counts.
+    """
+    check_positive_int(tau, "tau")
+    trace = [int(p) for p in trace]
+    n = len(trace)
+    sizes = np.empty(n, dtype=np.int64)
+    counts: dict[int, int] = {}
+    distinct = 0
+    for t, page in enumerate(trace):
+        c = counts.get(page, 0)
+        if c == 0:
+            distinct += 1
+        counts[page] = c + 1
+        if t >= tau:
+            old = trace[t - tau]
+            c = counts[old] - 1
+            counts[old] = c
+            if c == 0:
+                distinct -= 1
+        sizes[t] = distinct
+    return sizes
+
+
+def average_working_set(trace, tau: int) -> float:
+    """Mean ``|W(t, τ)|`` over the steady part of the trace (t ≥ τ)."""
+    sizes = working_set_sizes(trace, tau)
+    steady = sizes[tau:] if len(sizes) > tau else sizes
+    return float(steady.mean()) if len(steady) else 0.0
+
+
+def working_set_profile(trace, taus) -> dict[int, float]:
+    """Average working-set size for each window length in *taus* — the
+    classic knee-finding curve for sizing caches (RAM or TLB coverage)."""
+    return {int(tau): average_working_set(trace, int(tau)) for tau in taus}

@@ -1,0 +1,118 @@
+"""Oblivious adversaries for the dynamic balls-and-bins game.
+
+Theorem 2 holds against any adversary that fixes its insert/delete sequence
+without seeing the strategy's random bits; these generators produce the
+request patterns our benchmarks and tests replay. Each yields ``(op, ball)``
+pairs where ``op`` is ``"i"`` (insert) or ``"d"`` (delete).
+
+In the RAM-allocation reading, an insertion is the RAM-replacement policy
+caching a page and a deletion is an eviction; churn patterns therefore mimic
+the steady state of LRU/FIFO under memory pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .._util import as_rng, check_positive_int
+
+__all__ = [
+    "fill",
+    "fifo_churn",
+    "random_churn",
+    "cyclic_reinsertion",
+    "batch_turnover",
+]
+
+Op = tuple[str, int]
+
+
+def fill(m: int, start: int = 0) -> Iterator[Op]:
+    """Insert ``m`` distinct balls and stop — the static load test."""
+    check_positive_int(m, "m")
+    for ball in range(start, start + m):
+        yield ("i", ball)
+
+
+def fifo_churn(m: int, ops: int, start: int = 0) -> Iterator[Op]:
+    """Fill to ``m`` live balls, then alternate delete-oldest / insert-new.
+
+    Models a FIFO RAM-replacement policy at full occupancy: every live ball
+    is eventually replaced, so loads fully turn over while |live| stays m.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(ops, "ops")
+    yield from fill(m, start)
+    oldest = start
+    fresh = start + m
+    for _ in range(ops):
+        yield ("d", oldest)
+        oldest += 1
+        yield ("i", fresh)
+        fresh += 1
+
+
+def random_churn(m: int, ops: int, seed=None, start: int = 0) -> Iterator[Op]:
+    """Fill to ``m``, then repeatedly delete a uniformly random live ball and
+    insert a fresh one.
+
+    Models RANDOM replacement; the randomness is the adversary's own and is
+    independent of the strategy's hashes, so the adversary stays oblivious.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(ops, "ops")
+    rng = as_rng(seed)
+    live = list(range(start, start + m))
+    yield from fill(m, start)
+    fresh = start + m
+    for _ in range(ops):
+        i = int(rng.integers(len(live)))
+        victim = live[i]
+        live[i] = live[-1]
+        live.pop()
+        yield ("d", victim)
+        yield ("i", fresh)
+        live.append(fresh)
+        fresh += 1
+
+
+def cyclic_reinsertion(m: int, rounds: int, start: int = 0) -> Iterator[Op]:
+    """Fill to ``m``; each round deletes and immediately re-inserts every
+    ball, in order.
+
+    Re-insertions re-hash to the *same* candidate bins, making this the
+    sequence that stresses stability: a strategy whose placements depend on
+    transient loads (Greedy, Iceberg spill) may migrate balls between their
+    candidates over rounds, but the load bounds must continue to hold.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(rounds, "rounds")
+    yield from fill(m, start)
+    for _ in range(rounds):
+        for ball in range(start, start + m):
+            yield ("d", ball)
+            yield ("i", ball)
+
+
+def batch_turnover(m: int, batches: int, batch_size: int, start: int = 0) -> Iterator[Op]:
+    """Fill to ``m``; each batch deletes the ``batch_size`` oldest live balls
+    then inserts ``batch_size`` fresh ones.
+
+    Models a paging workload with phase changes — a block of the working set
+    is swapped out at once (e.g. a scan evicting a contiguous LRU segment).
+    """
+    check_positive_int(m, "m")
+    check_positive_int(batches, "batches")
+    batch_size = check_positive_int(batch_size, "batch_size")
+    if batch_size > m:
+        raise ValueError(f"batch_size {batch_size} exceeds live-set size {m}")
+    yield from fill(m, start)
+    oldest = start
+    fresh = start + m
+    for _ in range(batches):
+        for _ in range(batch_size):
+            yield ("d", oldest)
+            oldest += 1
+        for _ in range(batch_size):
+            yield ("i", fresh)
+            fresh += 1

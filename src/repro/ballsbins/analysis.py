@@ -1,0 +1,121 @@
+"""Measurement harness and theory curves for balls-and-bins experiments.
+
+``run_game`` replays an adversary through a game and samples the load
+profile; the ``*_max_load_bound`` functions evaluate the closed forms the
+paper quotes — eq. (5) for OneChoice (Raab & Steger), eq. (6) for Greedy[2]
+(Vöcking), and Theorem 2 for Iceberg[2] — so tests and benches can compare
+measured maxima against theory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .game import BallsAndBinsGame
+
+__all__ = [
+    "GameResult",
+    "run_game",
+    "one_choice_max_load_bound",
+    "greedy_max_load_bound",
+    "iceberg_max_load_bound",
+]
+
+
+@dataclass
+class GameResult:
+    """Summary of one adversary replay."""
+
+    n_bins: int
+    operations: int = 0
+    insertions: int = 0
+    deletions: int = 0
+    failures: int = 0
+    peak_load: int = 0
+    final_load: int = 0
+    final_balls: int = 0
+    #: (operation index, current max load) samples.
+    load_samples: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def peak_overhead(self) -> float:
+        """Peak max load divided by the final average load λ (∞ if λ=0)."""
+        lam = self.final_balls / self.n_bins
+        return self.peak_load / lam if lam > 0 else math.inf
+
+
+def run_game(
+    game: BallsAndBinsGame,
+    ops: Iterable[tuple[str, int]],
+    *,
+    sample_every: int = 0,
+) -> GameResult:
+    """Feed the adversary sequence *ops* into *game* and summarize.
+
+    Insertion failures (capacitated games) are recorded, not raised; the
+    failed ball simply never becomes live, as with paging failures.
+    """
+    result = GameResult(n_bins=game.n_bins)
+    count = 0
+    for op, ball in ops:
+        if op == "i":
+            game.insert(ball)
+        elif op == "d":
+            game.delete(ball)
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        count += 1
+        if sample_every and count % sample_every == 0:
+            result.load_samples.append((count, game.max_load))
+    result.operations = count
+    result.insertions = game.insertions
+    result.deletions = game.deletions
+    result.failures = game.failures
+    result.peak_load = game.peak_load
+    result.final_load = game.max_load
+    result.final_balls = len(game)
+    return result
+
+
+def one_choice_max_load_bound(n: int, lam: float) -> float:
+    """Eq. (5): the Raab–Steger max-load for one random choice per ball.
+
+    Piecewise in the relationship between λ and log n; constants are the
+    leading-order ones (the paper writes O(·) — we return the expression
+    with unit constants, suitable as a *shape* reference, not a hard bound).
+    """
+    if n < 2:
+        return lam
+    log_n = math.log(n)
+    if lam <= 0:
+        return 0.0
+    if lam < log_n:
+        # (1+o(1)) log n / log(log n / λ); guard the denominator near λ ≈ log n
+        denom = math.log(max(math.e, log_n / lam))
+        return log_n / denom
+    if lam <= 4 * log_n:
+        return 2.0 * lam  # Θ(λ) regime
+    return lam + math.sqrt(2.0 * lam * log_n)  # λ + O(√(λ log n))
+
+
+def greedy_max_load_bound(n: int, lam: float, d: int = 2) -> float:
+    """Eq. (6) generalized: Vöcking-style ``O(λ) + log log n / log d + O(1)``.
+
+    The additive gap above λ is Θ(λ) in the dynamic setting — the reason
+    Greedy alone cannot achieve δ = o(1) resource augmentation.
+    """
+    if n < 4 or d < 2:
+        return one_choice_max_load_bound(n, lam)
+    return 2.0 * lam + math.log(math.log(n)) / math.log(d) + 1.0
+
+
+def iceberg_max_load_bound(n: int, lam: float, *, slack: float = 0.2) -> float:
+    """Theorem 2: ``(1+o(1))λ + log log n + O(1)`` for Iceberg[2].
+
+    *slack* stands in for the (1+o(1)) factor at finite n — by default the
+    same 20% front-capacity slack our :class:`IcebergStrategy` uses.
+    """
+    loglog = math.log(math.log(n)) if n > math.e else 0.0
+    return (1.0 + slack) * lam + loglog + 2.0

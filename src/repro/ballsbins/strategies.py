@@ -1,0 +1,245 @@
+"""Placement strategies for the dynamic balls-and-bins game.
+
+The paper's Section 4 analyses three families:
+
+* **OneChoice** (``k=1``): a single hash; max load ``λ + O(√(λ log n))``
+  for ``λ = ω(log n)`` (Raab & Steger, eq. 5) — used in the warmup
+  Theorem 1.
+* **Greedy[d]** (``k=d``): place in the least loaded of ``d`` hashed bins;
+  dynamic max load ``O(λ) + log log n + O(1)`` (Vöcking, eq. 6). The
+  ``Ω(λ)`` gap above average is why Greedy alone cannot give ``δ = o(1)``.
+* **Iceberg[d]** (``k=d+1``): try the *front* bin ``h₁(x)`` while its front
+  load is below ``(1+ε)λ``; overflow balls spill to Greedy[d] on
+  ``h₂,…,h_{d+1}`` over *back* loads only (footnote 4: the two layers
+  ignore each other's balls). Theorem 2: max load
+  ``(1+o(1))λ + log log n + O(1)`` dynamically — the key to Theorem 3.
+
+Strategies are *stable* (no relocation) and *online* by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._util import check_positive_int
+from ..hashing import HashFamily
+
+__all__ = [
+    "PlacementStrategy",
+    "OneChoiceStrategy",
+    "GreedyStrategy",
+    "GreedyLeftStrategy",
+    "IcebergStrategy",
+]
+
+
+class PlacementStrategy(ABC):
+    """Stateful placement rule bound to a bin count and a seed."""
+
+    #: number of hash functions the strategy evaluates per ball.
+    choices: int = 1
+    #: short registry name.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._family: HashFamily | None = None
+        self._capacity: int | None = None
+
+    def bind(self, n_bins: int, bin_capacity: int | None, seed) -> None:
+        """Attach the strategy to a game: draws hash functions, sizes state."""
+        check_positive_int(n_bins, "n_bins")
+        self._family = HashFamily(self.choices, n_bins, seed)
+        self._capacity = bin_capacity
+
+    @property
+    def family(self) -> HashFamily:
+        if self._family is None:
+            raise RuntimeError("strategy not bound to a game yet")
+        return self._family
+
+    def candidates(self, ball) -> tuple[int, ...]:
+        """The hashed candidate bins for *ball* (used by TLB encodings)."""
+        return self.family(ball)
+
+    @abstractmethod
+    def place(self, ball, loads: np.ndarray) -> int | None:
+        """Pick a bin for *ball* given current bin *loads*; None on failure."""
+
+    def unplace(self, ball, bin_index: int) -> None:
+        """Bookkeeping hook when *ball* is deleted from *bin_index*."""
+
+    def choice_index(self, ball, bin_index: int) -> int:
+        """Which hash (0-based) maps *ball* to *bin_index*.
+
+        The TLB encoder stores this index so the decoder can recompute the
+        bucket. Raises ValueError if the bin is not among the candidates.
+        """
+        for i, b in enumerate(self.family(ball)):
+            if b == bin_index:
+                return i
+        raise ValueError(f"bin {bin_index} is not a candidate for ball {ball!r}")
+
+
+class OneChoiceStrategy(PlacementStrategy):
+    """``k = 1``: the ball goes to its single hashed bin, full or not."""
+
+    choices = 1
+    name = "one-choice"
+
+    def place(self, ball, loads: np.ndarray) -> int | None:
+        b = self.family[0](ball)
+        if self._capacity is not None and loads[b] >= self._capacity:
+            return None
+        return b
+
+
+class GreedyStrategy(PlacementStrategy):
+    """Greedy[d]: least loaded of ``d`` hashed bins, first choice on ties."""
+
+    name = "greedy"
+
+    def __init__(self, d: int = 2) -> None:
+        super().__init__()
+        self.d = check_positive_int(d, "d")
+        self.choices = self.d
+
+    def place(self, ball, loads: np.ndarray) -> int | None:
+        best = None
+        best_load = None
+        for h in self.family.functions:
+            b = h(ball)
+            load = loads[b]
+            if self._capacity is not None and load >= self._capacity:
+                continue
+            if best_load is None or load < best_load:
+                best, best_load = b, load
+        return best
+
+
+class GreedyLeftStrategy(PlacementStrategy):
+    """Vöcking's Always-Go-Left: d choices in d equal groups, ties go left.
+
+    The asymmetric tie-breaking improves the constant in the
+    ``log log n / d`` term; included as an ablation point next to plain
+    Greedy[d].
+    """
+
+    name = "greedy-left"
+
+    def __init__(self, d: int = 2) -> None:
+        super().__init__()
+        self.d = check_positive_int(d, "d")
+        self.choices = self.d
+
+    def bind(self, n_bins: int, bin_capacity: int | None, seed) -> None:
+        if n_bins < self.d:
+            raise ValueError(f"need at least d={self.d} bins, got {n_bins}")
+        super().bind(n_bins, bin_capacity, seed)
+        self._group = n_bins // self.d
+
+    def candidates(self, ball) -> tuple[int, ...]:
+        group = self._group
+        out = []
+        for i, h in enumerate(self.family.functions):
+            lo = i * group
+            hi = (i + 1) * group if i < self.d - 1 else self.family.range
+            out.append(lo + h(ball) % (hi - lo))
+        return tuple(out)
+
+    def place(self, ball, loads: np.ndarray) -> int | None:
+        best = None
+        best_load = None
+        for b in self.candidates(ball):
+            load = loads[b]
+            if self._capacity is not None and load >= self._capacity:
+                continue
+            if best_load is None or load < best_load:  # strict: ties stay left
+                best, best_load = b, load
+        return best
+
+    def choice_index(self, ball, bin_index: int) -> int:
+        for i, b in enumerate(self.candidates(ball)):
+            if b == bin_index:
+                return i
+        raise ValueError(f"bin {bin_index} is not a candidate for ball {ball!r}")
+
+
+class IcebergStrategy(PlacementStrategy):
+    """Iceberg[d] (paper's Theorem 2, with ``d = 2`` by default).
+
+    A ball first tries its *front* bin ``h₁(x)``: it is accepted while the
+    bin's front load is below ``front_capacity = ⌈(1+front_slack)·λ⌉``
+    (requires the expected average load ``lam`` up front — in the
+    RAM-allocation application λ = m/n is fixed by the scheme parameters).
+    Rejected balls are placed by Greedy[d] on ``h₂,…,h_{d+1}`` comparing
+    *back* loads only, so the two layers ignore each other exactly as in
+    footnote 4 of the paper.
+    """
+
+    name = "iceberg"
+
+    def __init__(self, lam: float, d: int = 2, front_slack: float = 0.2) -> None:
+        super().__init__()
+        self.d = check_positive_int(d, "d")
+        self.choices = self.d + 1
+        if lam <= 0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        if front_slack < 0:
+            raise ValueError(f"front_slack must be >= 0, got {front_slack}")
+        self.lam = float(lam)
+        self.front_slack = float(front_slack)
+        self.front_capacity = max(1, math.ceil((1.0 + front_slack) * lam))
+
+    def bind(self, n_bins: int, bin_capacity: int | None, seed) -> None:
+        super().bind(n_bins, bin_capacity, seed)
+        self._front = np.zeros(n_bins, dtype=np.int64)
+        self._back = np.zeros(n_bins, dtype=np.int64)
+        self._layer: dict = {}  # ball -> True if front
+
+    def place(self, ball, loads: np.ndarray) -> int | None:
+        front_bin = self.family[0](ball)
+        if self._front[front_bin] < self.front_capacity and (
+            self._capacity is None or loads[front_bin] < self._capacity
+        ):
+            self._front[front_bin] += 1
+            self._layer[ball] = True
+            return front_bin
+        # spill layer: Greedy[d] over back loads
+        best = None
+        best_load = None
+        for i in range(1, self.d + 1):
+            b = self.family[i](ball)
+            if self._capacity is not None and loads[b] >= self._capacity:
+                continue
+            load = self._back[b]
+            if best_load is None or load < best_load:
+                best, best_load = b, load
+        if best is None:
+            return None
+        self._back[best] += 1
+        self._layer[ball] = False
+        return best
+
+    def unplace(self, ball, bin_index: int) -> None:
+        is_front = self._layer.pop(ball)
+        if is_front:
+            self._front[bin_index] -= 1
+        else:
+            self._back[bin_index] -= 1
+
+    @property
+    def front_loads(self) -> np.ndarray:
+        """Per-bin load contributed by front-layer balls (read-only view)."""
+        view = self._front.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def back_loads(self) -> np.ndarray:
+        """Per-bin load contributed by spill-layer balls (read-only view)."""
+        view = self._back.view()
+        view.flags.writeable = False
+        return view

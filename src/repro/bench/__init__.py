@@ -1,0 +1,27 @@
+"""Benchmark harness and reporting utilities."""
+
+from .harness import (
+    compare_algorithms,
+    epsilon_sweep,
+    figure1_experiment,
+    figure1_workload,
+    hybrid_sweep,
+    simulation_theorem_experiment,
+)
+from .report import ascii_log_chart, format_figure1, format_table
+from .store import diff_records, load_records, save_records
+
+__all__ = [
+    "figure1_experiment",
+    "figure1_workload",
+    "compare_algorithms",
+    "epsilon_sweep",
+    "simulation_theorem_experiment",
+    "hybrid_sweep",
+    "format_table",
+    "format_figure1",
+    "ascii_log_chart",
+    "save_records",
+    "load_records",
+    "diff_records",
+]

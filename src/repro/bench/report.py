@@ -1,0 +1,91 @@
+"""Plain-text reporting: aligned tables and log-scale ASCII charts.
+
+The benchmark scripts print the same rows/series the paper plots; the ASCII
+chart gives the log-log *shape* of Figure 1 directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..sim import RunRecord
+
+__all__ = ["format_table", "format_figure1", "ascii_log_chart"]
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(r[i].rjust(widths[i]) for i in range(len(columns))) for r in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_figure1(records: Sequence[RunRecord], title: str = "") -> str:
+    """The Figure 1 table: huge-page size, IOs, TLB misses (+ ratios to
+    the h=1 row, making the orders-of-magnitude statement explicit)."""
+    base_ios = next((r.ios for r in records if r.params.get("h") == 1), None)
+    base_misses = next((r.tlb_misses for r in records if r.params.get("h") == 1), None)
+    rows = []
+    for r in records:
+        row = {
+            "h": r.params.get("h"),
+            "IOs": r.ios,
+            "TLB misses": r.tlb_misses,
+        }
+        if base_ios:
+            row["IO xh1"] = round(r.ios / base_ios, 3) if base_ios else ""
+        if base_misses:
+            row["miss xh1"] = round(r.tlb_misses / base_misses, 4) if base_misses else ""
+        rows.append(row)
+    table = format_table(rows)
+    chart_ios = ascii_log_chart(
+        [r.params["h"] for r in records], [r.ios for r in records], label="IOs"
+    )
+    chart_miss = ascii_log_chart(
+        [r.params["h"] for r in records],
+        [r.tlb_misses for r in records],
+        label="TLB misses",
+    )
+    parts = [title, table, chart_ios, chart_miss] if title else [table, chart_ios, chart_miss]
+    return "\n\n".join(parts)
+
+
+def ascii_log_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    label: str = "y",
+    width: int = 48,
+) -> str:
+    """A horizontal log-scale bar chart (one row per x)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    logs = [math.log10(y) if y > 0 else 0.0 for y in ys]
+    lo = min(logs, default=0.0)
+    hi = max(logs, default=1.0)
+    span = (hi - lo) or 1.0
+    lines = [f"{label} (log scale, {10**lo:.2g} .. {10**hi:.2g})"]
+    for x, y, ly in zip(xs, ys, logs):
+        bar = "#" * max(1, round((ly - lo) / span * width)) if y > 0 else ""
+        lines.append(f"  h={x:>5}  |{bar:<{width}}| {y:.3g}")
+    return "\n".join(lines)

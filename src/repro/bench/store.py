@@ -1,0 +1,79 @@
+"""Persisting and diffing experiment results.
+
+Benchmarks write human tables to ``benchmarks/results/``; this module adds
+machine-readable persistence so runs can be compared across code versions
+(the regression-tracking habit the HPC guides recommend): a result file is
+JSON with the package version, the experiment parameters, and one flat row
+per measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..sim import RunRecord
+
+__all__ = ["save_records", "load_records", "diff_records"]
+
+_FORMAT_VERSION = 1
+
+
+def save_records(path, records: Sequence[RunRecord], params: dict | None = None) -> Path:
+    """Write *records* (+ experiment *params*) as JSON."""
+    from .. import __version__
+
+    path = Path(path)
+    payload = {
+        "format": _FORMAT_VERSION,
+        "repro_version": __version__,
+        "params": params or {},
+        "rows": [r.as_row() for r in records],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_records(path) -> dict:
+    """Read a result file; returns the payload dict (``rows`` is a list of
+    flat dicts, not RunRecords — ledgers are not reconstructed)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {payload.get('format')!r} in {path}"
+        )
+    return payload
+
+
+def diff_records(old: dict, new: dict, *, key: str = "h", rel_tol: float = 0.0) -> list[dict]:
+    """Compare two payloads row-by-row (matched on *key*).
+
+    Returns one dict per differing metric:
+    ``{"key", "metric", "old", "new", "rel_change"}``. *rel_tol* suppresses
+    changes whose relative magnitude is below it (measurement noise).
+    """
+    old_rows = {row.get(key): row for row in old["rows"]}
+    new_rows = {row.get(key): row for row in new["rows"]}
+    diffs: list[dict] = []
+    for k in sorted(set(old_rows) | set(new_rows), key=lambda v: (v is None, v)):
+        a, b = old_rows.get(k), new_rows.get(k)
+        if a is None or b is None:
+            diffs.append(
+                {"key": k, "metric": "<row>", "old": a is not None, "new": b is not None,
+                 "rel_change": None}
+            )
+            continue
+        for metric in sorted(set(a) | set(b)):
+            va, vb = a.get(metric), b.get(metric)
+            if va == vb:
+                continue
+            rel = None
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)) and va:
+                rel = (vb - va) / abs(va)
+                if abs(rel) < rel_tol:
+                    continue
+            diffs.append(
+                {"key": k, "metric": metric, "old": va, "new": vb, "rel_change": rel}
+            )
+    return diffs

@@ -1,0 +1,245 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>``:
+
+* ``fig1``      — the Figure 1 sweep (panel a, b, or c);
+* ``eq3``       — the Theorem 4 / eq. (3) comparison;
+* ``maxload``   — balls-and-bins strategies vs theory;
+* ``policies``  — the replacement-policy zoo vs offline OPT;
+* ``params``    — Theorem 1/3 scheme parameters for a given (P, w);
+* ``epsilon``   — hardware-derived ε for the bundled device profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .bench import (
+    epsilon_sweep,
+    figure1_experiment,
+    figure1_workload,
+    format_figure1,
+    format_table,
+    simulation_theorem_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Paging and the Address-Translation Problem' (SPAA 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="Figure 1 huge-page-size sweep")
+    p.add_argument("--panel", choices="abc", default="a")
+    p.add_argument("--scale", type=int, default=None,
+                   help="VA pages (a/b) or Kronecker scale (c)")
+    p.add_argument("--accesses", type=int, default=120_000)
+    p.add_argument("--tlb", type=int, default=512)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("eq3", help="Theorem 4 / eq. (3) comparison")
+    p.add_argument("--workload", choices=["bimodal", "zipf"], default="bimodal")
+    p.add_argument("--frames", type=int, default=1 << 16)
+    p.add_argument("--tlb", type=int, default=256)
+    p.add_argument("--accesses", type=int, default=120_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("maxload", help="balls-and-bins max loads vs theory")
+    p.add_argument("--bins", type=int, default=1 << 10)
+    p.add_argument("--lambdas", type=int, nargs="+", default=[8, 32, 128])
+
+    p = sub.add_parser("policies", help="policy zoo vs offline OPT")
+    p.add_argument("--capacity", type=int, default=1 << 10)
+    p.add_argument("--accesses", type=int, default=50_000)
+    p.add_argument("--zipf", type=float, default=0.8)
+
+    p = sub.add_parser("params", help="Theorem 1/3 scheme parameters")
+    p.add_argument("--frames", type=int, default=1 << 22)
+    p.add_argument("--w", type=int, default=64)
+
+    sub.add_parser("epsilon", help="hardware-derived epsilon table")
+
+    p = sub.add_parser("describe", help="characterize a workload's trace")
+    p.add_argument("--workload",
+                   choices=["bimodal", "zipf", "uniform", "sequential",
+                            "random-walk", "btree"],
+                   default="bimodal")
+    p.add_argument("--pages", type=int, default=1 << 16)
+    p.add_argument("--accesses", type=int, default=50_000)
+    p.add_argument("--h", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = _HANDLERS[args.command]
+    handler(args)
+    return 0
+
+
+# --------------------------------------------------------------- handlers
+
+
+def _cmd_fig1(args) -> None:
+    scale = args.scale if args.scale is not None else ({"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel])
+    workload, ram_pages = figure1_workload(args.panel, scale, seed=args.seed)
+    records = figure1_experiment(
+        workload,
+        ram_pages=ram_pages,
+        tlb_entries=args.tlb,
+        n_accesses=args.accesses,
+        touched_ram_fraction=0.99 if args.panel == "c" else None,
+        seed=args.seed,
+    )
+    print(format_figure1(records, title=f"Figure 1{args.panel}"))
+
+
+def _cmd_eq3(args) -> None:
+    from .workloads import BimodalWorkload, ZipfWorkload
+
+    wl = (
+        BimodalWorkload.paper_scaled(args.frames * 4)
+        if args.workload == "bimodal"
+        else ZipfWorkload(args.frames * 4, s=0.9)
+    )
+    out = simulation_theorem_experiment(
+        wl,
+        ram_pages=args.frames,
+        tlb_entries=args.tlb,
+        n_accesses=args.accesses,
+        seed=args.seed,
+    )
+    print(f"h_max = {out['hmax']}; references: C_TLB(X) misses = "
+          f"{out['x_tlb_misses']}, C_IO(Y) ios = {out['y_ios']}\n")
+    print(format_table([r.as_row() for r in out["records"]],
+                       ["algorithm", "ios", "tlb_misses", "paging_failures"]))
+    print()
+    print(format_table(epsilon_sweep(out["records"])))
+
+
+def _cmd_maxload(args) -> None:
+    from .ballsbins import (
+        BallsAndBinsGame,
+        GreedyStrategy,
+        IcebergStrategy,
+        OneChoiceStrategy,
+        fifo_churn,
+        greedy_max_load_bound,
+        iceberg_max_load_bound,
+        one_choice_max_load_bound,
+        run_game,
+    )
+
+    rows = []
+    for lam in args.lambdas:
+        m = args.bins * lam
+        for name, strategy, bound in (
+            ("one-choice", OneChoiceStrategy(), one_choice_max_load_bound(args.bins, lam)),
+            ("greedy[2]", GreedyStrategy(2), greedy_max_load_bound(args.bins, lam)),
+            ("iceberg[2]", IcebergStrategy(lam=lam), iceberg_max_load_bound(args.bins, lam)),
+        ):
+            game = BallsAndBinsGame(args.bins, strategy, seed=lam)
+            run_game(game, fifo_churn(m, 2 * m))
+            rows.append({"strategy": name, "lam": lam, "peak": game.peak_load,
+                         "theory": round(bound, 1)})
+    print(format_table(rows))
+
+
+def _cmd_policies(args) -> None:
+    from .core import optimal_faults, paging_faults
+    from .paging import POLICIES, make_policy
+    from .workloads import ZipfWorkload
+
+    trace = ZipfWorkload(args.capacity * 8, s=args.zipf).generate(
+        args.accesses, seed=0
+    ).tolist()
+    opt = optimal_faults(trace, args.capacity)
+    rows = [{"policy": "opt (offline)", "faults": opt, "vs_opt": 1.0}]
+    for name in sorted(POLICIES):
+        kwargs = {"seed": 0} if name == "random" else {}
+        faults = paging_faults(trace, args.capacity, make_policy(name, **kwargs))
+        rows.append({"policy": name, "faults": faults,
+                     "vs_opt": round(faults / opt, 3)})
+    print(format_table(rows))
+
+
+def _cmd_params(args) -> None:
+    from .core import theorem1_parameters, theorem3_parameters
+    from .core.bounds import greedy_parameters
+
+    rows = []
+    for fn in (theorem1_parameters, greedy_parameters, theorem3_parameters):
+        p = fn(args.frames, args.w)
+        rows.append({
+            "scheme": p.scheme, "B": p.bucket_size, "assoc": p.associativity,
+            "field_bits": p.field_bits, "hmax": p.hmax,
+            "delta": round(p.delta, 4), "max_pages": p.max_pages,
+        })
+    print(f"P = {args.frames} frames, w = {args.w} bits\n")
+    print(format_table(rows))
+
+
+def _cmd_epsilon(args) -> None:
+    from .core.hardware import HDD, NVME_SSD, OPTANE, SATA_SSD
+
+    rows = []
+    for profile in (HDD, SATA_SSD, NVME_SSD, OPTANE):
+        virt = profile.virtualized()
+        rows.append({
+            "device": profile.name,
+            "io_ns": profile.io_latency_ns,
+            "walk_ns": round(profile.walk_latency_ns, 1),
+            "epsilon": round(profile.epsilon, 6),
+            "epsilon_virtualized": round(virt.epsilon, 6),
+        })
+    print(format_table(rows))
+    print("\nfaster storage => larger epsilon => translation dominates "
+          "(the paper's motivating trend); virtualization multiplies it.")
+
+
+def _cmd_describe(args) -> None:
+    from .analysis import describe_trace
+    from .workloads import (
+        BimodalWorkload,
+        BTreeLookupWorkload,
+        RandomWalkWorkload,
+        SequentialWorkload,
+        UniformWorkload,
+        ZipfWorkload,
+    )
+
+    factories = {
+        "bimodal": lambda: BimodalWorkload.paper_scaled(args.pages),
+        "zipf": lambda: ZipfWorkload(args.pages, s=1.0),
+        "uniform": lambda: UniformWorkload(args.pages),
+        "sequential": lambda: SequentialWorkload(args.pages),
+        "random-walk": lambda: RandomWalkWorkload(args.pages, graph_seed=args.seed),
+        "btree": lambda: BTreeLookupWorkload(args.pages, fanout=64, zipf_s=0.9),
+    }
+    wl = factories[args.workload]()
+    trace = wl.generate(args.accesses, seed=args.seed)
+    info = describe_trace(trace, huge_page_size=args.h)
+    print(f"{args.workload} ({args.accesses} accesses over {wl.va_pages} pages):")
+    print(format_table([info]))
+    print(
+        f"\nhuge_page_density at h={args.h}: 1.0 = coverage is free, "
+        f"{1/args.h:.3f} = pure amplification;\n"
+        "top_share = access mass on the hottest 1% of touched pages."
+    )
+
+
+_HANDLERS = {
+    "fig1": _cmd_fig1,
+    "describe": _cmd_describe,
+    "eq3": _cmd_eq3,
+    "maxload": _cmd_maxload,
+    "policies": _cmd_policies,
+    "params": _cmd_params,
+    "epsilon": _cmd_epsilon,
+}

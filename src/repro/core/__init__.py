@@ -1,0 +1,68 @@
+"""Core of the reproduction: the paper's primary contribution.
+
+* :mod:`~repro.core.model` — the address-translation cost model;
+* :mod:`~repro.core.allocation` — stable online low-associativity
+  RAM-allocation schemes (Theorems 1 and 3);
+* :mod:`~repro.core.encoding` — compact ``w``-bit TLB value codecs;
+* :mod:`~repro.core.decoupling` — the huge-page decoupling scheme
+  (``φ``, ``ψ``, ``f``, failure set);
+* :mod:`~repro.core.simulation` — Theorem 4's combined algorithm ``Z``;
+* :mod:`~repro.core.separation` — Lemma 1's reductions to classical paging;
+* :mod:`~repro.core.bounds` — concrete theorem parameters and theory curves.
+"""
+
+from .allocation import (
+    BucketedAllocator,
+    FullyAssociativeAllocator,
+    GreedyAllocator,
+    IcebergAllocator,
+    OneChoiceAllocator,
+    RAMAllocationScheme,
+)
+from .bounds import (
+    SchemeParameters,
+    build_allocator,
+    greedy_parameters,
+    hmax_upper_bound,
+    theorem1_parameters,
+    theorem3_parameters,
+)
+from .decoupling import NOT_PRESENT, DecouplingScheme
+from .encoding import TLBValueCodec, field_bits_for, hmax_for
+from .model import ATCostModel, CostLedger
+from .separation import (
+    huge_page_trace,
+    optimal_faults,
+    optimal_ios,
+    optimal_tlb_misses,
+    paging_faults,
+)
+from .simulation import DecoupledSystem
+
+__all__ = [
+    "ATCostModel",
+    "CostLedger",
+    "RAMAllocationScheme",
+    "FullyAssociativeAllocator",
+    "BucketedAllocator",
+    "OneChoiceAllocator",
+    "GreedyAllocator",
+    "IcebergAllocator",
+    "TLBValueCodec",
+    "field_bits_for",
+    "hmax_for",
+    "DecouplingScheme",
+    "NOT_PRESENT",
+    "DecoupledSystem",
+    "SchemeParameters",
+    "hmax_upper_bound",
+    "theorem1_parameters",
+    "theorem3_parameters",
+    "greedy_parameters",
+    "build_allocator",
+    "huge_page_trace",
+    "paging_faults",
+    "optimal_faults",
+    "optimal_tlb_misses",
+    "optimal_ios",
+]

@@ -1,0 +1,221 @@
+"""The huge-page decoupling scheme (paper Section 3).
+
+A decoupling scheme glues together three parts:
+
+* a **RAM-allocation scheme** choosing ``φ(v)`` (here: any
+  :class:`~repro.core.allocation.RAMAllocationScheme`);
+* a **TLB-encoding scheme** maintaining the ``w``-bit value ``ψ(u)`` of
+  every virtual huge page ``u`` (here: a
+  :class:`~repro.core.encoding.TLBValueCodec` plus a hash map from huge
+  pages to their current value — the constant-time bookkeeping of
+  Theorem 1's proof);
+* a **TLB-decoding function** ``f(v, ψ(u))`` returning ``φ(v)`` when
+  ``v ∈ A`` and −1 otherwise — eq. (4).
+
+The scheme is *driven* by two oblivious input policies: the
+RAM-replacement policy (which pages are in the active set ``A``) and the
+TLB-replacement policy (which huge pages are in ``T``). Those policies call
+the ``ram_insert`` / ``ram_evict`` / ``tlb_insert`` / ``tlb_evict`` hooks;
+the scheme never second-guesses them.
+
+Pages the allocator cannot place join the failure set ``F`` (they are in
+``A`` from the replacement policy's point of view but hold no frame); a
+failure lasts until the replacement policy evicts the page, exactly as the
+paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .allocation import RAMAllocationScheme
+from .encoding import TLBValueCodec
+
+__all__ = ["DecouplingScheme", "NOT_PRESENT"]
+
+#: Sentinel returned by the decoding function for pages not in RAM.
+NOT_PRESENT = -1
+
+
+class DecouplingScheme:
+    """Maintains ``φ``, ``ψ``, and the failure set ``F`` under policy events.
+
+    Parameters
+    ----------
+    allocator:
+        The RAM-allocation scheme (owns ``φ``).
+    codec:
+        The value codec; ``codec.hmax`` fixes the huge-page size.
+    on_value_update:
+        Optional callback ``(hpn, value)`` fired whenever ``ψ(u)`` changes
+        for a huge page currently in ``T`` — the hook a hardware TLB uses
+        to refresh its resident entry (a free operation in the cost model).
+    """
+
+    def __init__(
+        self,
+        allocator: RAMAllocationScheme,
+        codec: TLBValueCodec,
+        on_value_update: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if codec.max_code < allocator.associativity - 1:
+            raise ValueError(
+                f"codec fields ({codec.field_bits} bits, max code {codec.max_code}) "
+                f"cannot address associativity {allocator.associativity}"
+            )
+        self.allocator = allocator
+        self.codec = codec
+        self.hmax = codec.hmax
+        self.on_value_update = on_value_update
+        # ψ(u) for every huge page with at least one present page; absent
+        # entries implicitly hold codec.empty. This map is what makes the
+        # scheme constant-time: a TLB insert just reads one dict entry.
+        self._psi: dict[int, int] = {}
+        self._tlb_resident: set[int] = set()  # T
+        self._failed: set[int] = set()  # F
+        self._active: set[int] = set()  # A (placed pages ∪ F)
+
+    # ----------------------------------------------------------- RAM events
+
+    def ram_insert(self, vpn: int) -> int | None:
+        """RAM-replacement policy added *vpn* to ``A``; place it.
+
+        Returns the frame, or None on a paging failure (the page joins
+        ``F`` and stays in ``A`` unplaced).
+        """
+        if vpn in self._active:
+            raise ValueError(f"vpn {vpn} is already active")
+        self._active.add(vpn)
+        frame = self.allocator.allocate(vpn)
+        if frame is None:
+            self._failed.add(vpn)
+            return None
+        self._set_psi_field(vpn, self.allocator.encode(vpn))
+        return frame
+
+    def ram_evict(self, vpn: int) -> None:
+        """RAM-replacement policy removed *vpn* from ``A``."""
+        self._active.remove(vpn)  # raises KeyError if not active
+        if vpn in self._failed:
+            self._failed.remove(vpn)  # the failure ends with the eviction
+            return
+        self.allocator.free(vpn)
+        self._clear_psi_field(vpn)
+
+    # ----------------------------------------------------------- TLB events
+
+    def tlb_insert(self, hpn: int) -> int:
+        """TLB-replacement policy added huge page *hpn* to ``T``; return ψ."""
+        if hpn in self._tlb_resident:
+            raise ValueError(f"huge page {hpn} is already in the TLB")
+        self._tlb_resident.add(hpn)
+        return self._psi.get(hpn, self.codec.empty)
+
+    def tlb_evict(self, hpn: int) -> None:
+        """TLB-replacement policy removed huge page *hpn* from ``T``."""
+        self._tlb_resident.remove(hpn)  # raises KeyError if absent
+
+    # ------------------------------------------------------------- decoding
+
+    def psi(self, hpn: int) -> int:
+        """Current encoded value ``ψ(u)`` for huge page *hpn*."""
+        return self._psi.get(hpn, self.codec.empty)
+
+    def f(self, vpn: int, value: int) -> int:
+        """The TLB-decoding function of eq. (4).
+
+        Pure given the scheme's hash seeds: recomputes the candidate bucket
+        from *vpn* and the stored choice/slot code. Returns the frame or
+        :data:`NOT_PRESENT`.
+        """
+        code = self.codec.field(value, vpn % self.hmax)
+        if code is None:
+            return NOT_PRESENT
+        return self.allocator.decode(vpn, code)
+
+    def decode(self, vpn: int) -> int:
+        """Translate *vpn* through the TLB: ``f(v, ψ(r(v)))``.
+
+        Raises LookupError if *vpn*'s huge page is not in ``T`` (a real TLB
+        would simply miss; callers model that separately).
+        """
+        hpn = vpn // self.hmax
+        if hpn not in self._tlb_resident:
+            raise LookupError(f"huge page {hpn} is not in the TLB")
+        return self.f(vpn, self.psi(hpn))
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def active_set(self) -> frozenset[int]:
+        """The active set ``A`` (placed pages plus failures)."""
+        return frozenset(self._active)
+
+    @property
+    def tlb_set(self) -> frozenset[int]:
+        """The TLB set ``T``."""
+        return frozenset(self._tlb_resident)
+
+    @property
+    def failure_set(self) -> frozenset[int]:
+        """The failure set ``F ⊆ A``."""
+        return frozenset(self._failed)
+
+    def is_failed(self, vpn: int) -> bool:
+        return vpn in self._failed
+
+    def frame_of(self, vpn: int) -> int | None:
+        """``φ(v)`` — the frame of *vpn*, or None (not active, or failed)."""
+        return self.allocator.frame_of(vpn)
+
+    # ------------------------------------------------------------ internals
+
+    def _set_psi_field(self, vpn: int, code: int) -> None:
+        hpn, idx = divmod(vpn, self.hmax)
+        value = self.codec.set_field(self._psi.get(hpn, 0), idx, code)
+        self._psi[hpn] = value
+        if self.on_value_update is not None and hpn in self._tlb_resident:
+            self.on_value_update(hpn, value)
+
+    def _clear_psi_field(self, vpn: int) -> None:
+        hpn, idx = divmod(vpn, self.hmax)
+        value = self.codec.clear_field(self._psi.get(hpn, 0), idx)
+        if value:
+            self._psi[hpn] = value
+        else:
+            self._psi.pop(hpn, None)
+        if self.on_value_update is not None and hpn in self._tlb_resident:
+            self.on_value_update(hpn, value)
+
+    # ------------------------------------------------------------ validation
+
+    def check_invariants(self) -> None:
+        """Assert the Section 3 requirements hold (test/debug helper).
+
+        * ``F ⊆ A``;
+        * ``φ`` is injective over placed pages;
+        * eq. (4): for every active page whose huge page we probe,
+          ``f(v, ψ(r(v)))`` equals ``φ(v)`` (or −1 for failed pages), and
+          non-active covered pages decode to −1.
+        """
+        assert self._failed <= self._active, "F must be a subset of A"
+        frames: dict[int, int] = {}
+        for vpn in self._active:
+            if vpn in self._failed:
+                assert self.allocator.frame_of(vpn) is None
+                continue
+            frame = self.allocator.frame_of(vpn)
+            assert frame is not None, f"active page {vpn} has no frame"
+            assert frame not in frames, (
+                f"φ not injective: frame {frame} held by {frames[frame]} and {vpn}"
+            )
+            frames[frame] = vpn
+            decoded = self.f(vpn, self.psi(vpn // self.hmax))
+            assert decoded == frame, f"f({vpn}) = {decoded} != φ = {frame}"
+        # every present ψ field must correspond to an active, placed page
+        for hpn, value in self._psi.items():
+            for idx, _code in self.codec.present_fields(value):
+                vpn = hpn * self.hmax + idx
+                assert vpn in self._active and vpn not in self._failed, (
+                    f"ψ field set for non-present page {vpn}"
+                )

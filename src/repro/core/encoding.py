@@ -1,0 +1,148 @@
+"""Compact TLB-value encodings for huge-page decoupling (paper Section 4).
+
+A decoupled TLB value is an array of ``h_max`` fields packed into ``w``
+bits. Field ``i`` describes the ``i``-th base page of the huge page: the
+value ``0`` means *not in RAM* (the paper's −1), and any other value is
+``1 +`` the page's location code from the RAM-allocation scheme (which of
+its ``k`` hashed buckets, and which slot). A field therefore needs
+``⌈log₂(associativity + 1)⌉`` bits, and::
+
+    h_max = ⌊ w / ⌈log₂(associativity + 1)⌉ ⌋
+
+which instantiates to ``Θ(w / log log P)`` for the one-choice scheme and
+``Θ(w / log log log P)`` for the Iceberg scheme — the paper's eq. (2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .._util import ceil_log2, check_positive_int
+
+__all__ = ["TLBValueCodec", "field_bits_for", "hmax_for"]
+
+
+def field_bits_for(associativity: int) -> int:
+    """Bits per field: location codes ``[0, assoc)`` plus the absent marker."""
+    check_positive_int(associativity, "associativity")
+    return ceil_log2(associativity + 1)
+
+
+def hmax_for(w: int, associativity: int) -> int:
+    """Largest huge-page size a ``w``-bit value supports at *associativity*.
+
+    Returns 0 when even a single field does not fit (the scheme is
+    infeasible at this ``w``).
+    """
+    check_positive_int(w, "w")
+    return w // field_bits_for(associativity)
+
+
+class TLBValueCodec:
+    """Packs/unpacks per-page location fields into a ``w``-bit TLB value.
+
+    Values are plain Python ints, so the codec is allocation-free on the
+    hot path; ``0`` (all fields absent) is the natural empty value.
+
+    Parameters
+    ----------
+    w:
+        TLB value width in bits.
+    hmax:
+        Number of fields (the huge-page size in base pages).
+    field_bits:
+        Bits per field. ``hmax * field_bits`` must be ≤ ``w``.
+    """
+
+    __slots__ = ("w", "hmax", "field_bits", "_field_mask")
+
+    def __init__(self, w: int, hmax: int, field_bits: int) -> None:
+        self.w = check_positive_int(w, "w")
+        self.hmax = check_positive_int(hmax, "hmax")
+        self.field_bits = check_positive_int(field_bits, "field_bits")
+        if hmax * field_bits > w:
+            raise ValueError(
+                f"hmax ({hmax}) × field_bits ({field_bits}) = {hmax * field_bits} "
+                f"exceeds the TLB value width w = {w}"
+            )
+        self._field_mask = (1 << field_bits) - 1
+
+    @classmethod
+    def for_allocator(cls, w: int, allocator, hmax: int | None = None) -> "TLBValueCodec":
+        """Build a codec sized for *allocator*'s associativity.
+
+        With *hmax* omitted, uses the maximum feasible
+        :func:`hmax_for(w, associativity) <hmax_for>`.
+        """
+        bits = field_bits_for(allocator.associativity)
+        if hmax is None:
+            hmax = w // bits
+            if hmax == 0:
+                raise ValueError(
+                    f"a single {bits}-bit field does not fit in w = {w} bits"
+                )
+        return cls(w, hmax, bits)
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def empty(self) -> int:
+        """The value with every field absent."""
+        return 0
+
+    @property
+    def max_code(self) -> int:
+        """Largest location code a field can hold (codes are 0-based)."""
+        return self._field_mask - 1
+
+    def encode(self, codes: Sequence[int | None]) -> int:
+        """Pack *codes* (one per page; None = absent) into a value."""
+        if len(codes) != self.hmax:
+            raise ValueError(f"expected {self.hmax} fields, got {len(codes)}")
+        value = 0
+        for i, code in enumerate(codes):
+            if code is not None:
+                value = self.set_field(value, i, code)
+        return value
+
+    def decode(self, value: int) -> list[int | None]:
+        """Unpack a value into its ``hmax`` codes (None = absent)."""
+        return [self.field(value, i) for i in range(self.hmax)]
+
+    def field(self, value: int, i: int) -> int | None:
+        """Code of field *i* in *value*, or None if the page is absent."""
+        self._check_index(i)
+        raw = (value >> (i * self.field_bits)) & self._field_mask
+        return raw - 1 if raw else None
+
+    def set_field(self, value: int, i: int, code: int) -> int:
+        """Return *value* with field *i* set to location *code*."""
+        self._check_index(i)
+        if not (0 <= code <= self.max_code):
+            raise ValueError(
+                f"code {code} does not fit in a {self.field_bits}-bit field "
+                f"(max {self.max_code})"
+            )
+        shift = i * self.field_bits
+        return (value & ~(self._field_mask << shift)) | ((code + 1) << shift)
+
+    def clear_field(self, value: int, i: int) -> int:
+        """Return *value* with field *i* marked absent."""
+        self._check_index(i)
+        return value & ~(self._field_mask << (i * self.field_bits))
+
+    def present_fields(self, value: int) -> Iterable[tuple[int, int]]:
+        """Yield ``(index, code)`` for every present field in *value*."""
+        mask = self._field_mask
+        bits = self.field_bits
+        for i in range(self.hmax):
+            raw = (value >> (i * bits)) & mask
+            if raw:
+                yield i, raw - 1
+
+    def _check_index(self, i: int) -> None:
+        if not (0 <= i < self.hmax):
+            raise IndexError(f"field index {i} out of range [0, {self.hmax})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TLBValueCodec w={self.w} hmax={self.hmax} field_bits={self.field_bits}>"

@@ -1,0 +1,122 @@
+"""The address-translation cost model (paper Section 5).
+
+Servicing a virtual-page request incurs:
+
+* cost **1** per IO — adding a page to the RAM active set ``A``;
+* cost **ε ∈ (0, 1)** per TLB miss — adding a huge-page entry to ``T``;
+* cost **ε** per *decoding miss* — a covered, RAM-resident page whose TLB
+  value decodes to −1 (used to price paging failures in Theorem 4);
+* cost **0** per TLB hit, per eviction, and per update of a resident TLB
+  value ``ψ(u)``.
+
+For an algorithm ``Z`` and request sequence ``σ``::
+
+    C(Z, σ) = C_TLB(Z, σ) + C_IO(Z, σ) + C_D(Z, σ)
+
+:class:`CostLedger` accumulates the event counts; :class:`ATCostModel`
+prices them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ATCostModel", "CostLedger"]
+
+
+@dataclass(frozen=True, slots=True)
+class ATCostModel:
+    """Prices for the three chargeable events.
+
+    ``epsilon`` is the TLB-miss (and decoding-miss) cost relative to an IO;
+    the paper requires ε ∈ (0, 1) — a TLB miss (a page-table walk, ~100s of
+    cycles) is cheaper than an IO (a storage fetch) but not free.
+    """
+
+    epsilon: float = 0.01
+    io_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.epsilon < 1.0):
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.io_cost <= 0:
+            raise ValueError(f"io_cost must be positive, got {self.io_cost}")
+
+    def cost(self, ledger: "CostLedger") -> float:
+        """Total cost ``C`` of the events recorded in *ledger*."""
+        return self.tlb_cost(ledger) + self.io_cost_of(ledger) + self.decoding_cost(ledger)
+
+    def tlb_cost(self, ledger: "CostLedger") -> float:
+        """``C_TLB``: ε per TLB miss (decoding misses excluded, per paper)."""
+        return self.epsilon * ledger.tlb_misses
+
+    def io_cost_of(self, ledger: "CostLedger") -> float:
+        """``C_IO``: 1 (``io_cost``) per page brought into RAM."""
+        return self.io_cost * ledger.ios
+
+    def decoding_cost(self, ledger: "CostLedger") -> float:
+        """``C_D``: ε per decoding miss."""
+        return self.epsilon * ledger.decoding_misses
+
+
+@dataclass(slots=True)
+class CostLedger:
+    """Raw event counts for one run of a memory-management algorithm.
+
+    ``ios`` counts *pages moved into RAM* — so a physical huge page of size
+    ``h`` fetched on a fault adds ``h``, exactly the page-fault
+    amplification of Section 1. ``accesses`` and the hit counters are
+    informational (cost 0) but let reports show hit rates.
+    """
+
+    accesses: int = 0
+    ios: int = 0
+    tlb_misses: int = 0
+    tlb_hits: int = 0
+    decoding_misses: int = 0
+    paging_failures: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Return a new ledger summing *self* and *other* (extra dicts merged,
+        with numeric values added)."""
+        merged_extra = dict(self.extra)
+        for k, v in other.extra.items():
+            merged_extra[k] = merged_extra.get(k, 0) + v if isinstance(v, (int, float)) else v
+        return CostLedger(
+            accesses=self.accesses + other.accesses,
+            ios=self.ios + other.ios,
+            tlb_misses=self.tlb_misses + other.tlb_misses,
+            tlb_hits=self.tlb_hits + other.tlb_hits,
+            decoding_misses=self.decoding_misses + other.decoding_misses,
+            paging_failures=self.paging_failures + other.paging_failures,
+            extra=merged_extra,
+        )
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """TLB misses per translated access (0.0 before any access)."""
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_misses / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (the warm-up/measure boundary of Section 6)."""
+        self.accesses = 0
+        self.ios = 0
+        self.tlb_misses = 0
+        self.tlb_hits = 0
+        self.decoding_misses = 0
+        self.paging_failures = 0
+        self.extra = {}
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (for reports and npz serialization)."""
+        return {
+            "accesses": self.accesses,
+            "ios": self.ios,
+            "tlb_misses": self.tlb_misses,
+            "tlb_hits": self.tlb_hits,
+            "decoding_misses": self.decoding_misses,
+            "paging_failures": self.paging_failures,
+            **self.extra,
+        }

@@ -1,0 +1,62 @@
+"""Lemma 1: the two halves of the address-translation problem are classical
+paging problems.
+
+* Minimizing ``C_TLB(X, σ)`` ≡ paging on the huge-page request sequence
+  ``r(p₁), r(p₂), …`` with cache size ``ℓ``;
+* minimizing ``C_IO(Y, σ)`` ≡ paging on ``p₁, p₂, …`` with cache size
+  ``(1−δ)P``.
+
+These reductions let us (a) pick any well-understood paging algorithm for
+each half, and (b) compute the *offline-optimal* value of each half with
+Belady's OPT — the yardstick of the eq. (3) benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check_positive_int
+from ..paging import BeladyOPT, PageCache, ReplacementPolicy
+
+__all__ = [
+    "huge_page_trace",
+    "paging_faults",
+    "optimal_faults",
+    "optimal_tlb_misses",
+    "optimal_ios",
+]
+
+
+def huge_page_trace(trace, hmax: int) -> np.ndarray:
+    """Map a base-page trace to the huge-page trace ``r(p_i)/h_max``."""
+    check_positive_int(hmax, "hmax")
+    return np.asarray(trace, dtype=np.int64) // hmax
+
+
+def paging_faults(trace, capacity: int, policy: ReplacementPolicy) -> int:
+    """Fault count of *policy* on *trace* with a cache of *capacity*."""
+    cache = PageCache(capacity, policy)
+    access = cache.access
+    faults = 0
+    for p in trace:
+        if not access(int(p)):
+            faults += 1
+    return faults
+
+
+def optimal_faults(trace, capacity: int) -> int:
+    """Offline-optimal (Belady) fault count — the paging problem's OPT."""
+    trace = [int(p) for p in trace]
+    return paging_faults(trace, capacity, BeladyOPT(trace))
+
+
+def optimal_tlb_misses(trace, tlb_entries: int, hmax: int) -> int:
+    """Lemma 1, first half: min-possible TLB misses for huge pages of size
+    *hmax* and a TLB of *tlb_entries* — OPT on the ``r(p_i)`` sequence."""
+    return optimal_faults(huge_page_trace(trace, hmax), tlb_entries)
+
+
+def optimal_ios(trace, capacity: int) -> int:
+    """Lemma 1, second half: min-possible IOs with *capacity* frames —
+    OPT on the base-page sequence."""
+    return optimal_faults(trace, capacity)

@@ -1,0 +1,6 @@
+"""Iceberg hashing: the stable dynamic dictionary of the paper's companion
+work [34], built on the Iceberg[d] balls-and-bins rule of Section 4."""
+
+from .table import IcebergHashTable
+
+__all__ = ["IcebergHashTable"]

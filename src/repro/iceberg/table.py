@@ -1,0 +1,214 @@
+"""Iceberg hash table — the companion data structure behind Theorem 2.
+
+The paper's reference [34] ("Dynamic balls-and-bins and iceberg hashing")
+turns the Iceberg[d] placement rule into a *stable* dynamic dictionary:
+once a key is placed in a slot it never moves until deleted, yet space
+stays tight and operations stay O(1). The structure has three levels,
+mirroring the published IcebergHT design:
+
+* **level 1 (front yard)** — large bins addressed by one hash; holds the
+  (1+o(1))·λ bulk of the keys;
+* **level 2 (back yard)** — small bins, two hashed choices, greedy by
+  load; holds the ``log log n``-scale spill;
+* **level 3 (overflow)** — a tiny chained area for the poly-small tail
+  (the paging-failure analogue; a correct table must store the key
+  *somewhere*).
+
+Stability is what the decoupling application needs: a page's slot is its
+physical address, and ``φ`` must not move pages. The table also reports
+per-level occupancies so tests can check the iceberg shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .._util import check_positive_int
+from ..hashing import HashFamily
+
+__all__ = ["IcebergHashTable"]
+
+_EMPTY = object()  # slot sentinel (distinct from any user key)
+
+
+class _Bin:
+    """A fixed-size open slot array; slots are stable once assigned."""
+
+    __slots__ = ("keys", "values", "used")
+
+    def __init__(self, size: int) -> None:
+        self.keys = [_EMPTY] * size
+        self.values = [None] * size
+        self.used = 0
+
+    def find(self, key) -> int:
+        keys = self.keys
+        for i in range(len(keys)):
+            if keys[i] is not _EMPTY and keys[i] == key:
+                return i
+        return -1
+
+    def insert(self, key, value) -> int:
+        keys = self.keys
+        for i in range(len(keys)):
+            if keys[i] is _EMPTY:
+                keys[i] = key
+                self.values[i] = value
+                self.used += 1
+                return i
+        return -1
+
+    def remove_at(self, i: int) -> None:
+        self.keys[i] = _EMPTY
+        self.values[i] = None
+        self.used -= 1
+
+
+class IcebergHashTable:
+    """A stable, three-level hashed dictionary.
+
+    Parameters
+    ----------
+    capacity:
+        Design capacity (keys). The front yard is provisioned at
+        ``capacity / front_bin`` bins and the back yard at
+        ``~capacity / (8 · back_bin)`` bins — the published 1 : ⅛ split.
+    front_bin / back_bin:
+        Bin sizes (64 and 8 in IcebergHT).
+    seed:
+        Hash seed (three independent functions, as in Iceberg[2]).
+
+    Notes
+    -----
+    Exceeding *capacity* is allowed — excess lands in level 3 and degrades
+    to dict behaviour, exactly like paging failures degrade to extra IOs.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        front_bin: int = 64,
+        back_bin: int = 8,
+        seed=None,
+    ) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        self.front_bin = check_positive_int(front_bin, "front_bin")
+        self.back_bin = check_positive_int(back_bin, "back_bin")
+        n_front = max(1, -(-capacity // front_bin))
+        n_back = max(1, -(-capacity // (8 * back_bin)))
+        self._front = [_Bin(front_bin) for _ in range(n_front)]
+        self._back = [_Bin(back_bin) for _ in range(n_back)]
+        self._h_front = HashFamily(1, n_front, seed=seed)
+        self._h_back = HashFamily(2, n_back, seed=None if seed is None else seed + 1)
+        self._overflow: dict = {}
+        self._level_of: dict = {}  # key -> (level, bin index, slot) | (3,)
+        self.stats_inserts = 0
+        self.stats_spills = 0
+
+    # ------------------------------------------------------------------ api
+
+    def insert(self, key, value) -> None:
+        """Insert or overwrite ``key → value`` (stable slot on overwrite)."""
+        where = self._level_of.get(key)
+        if where is not None:
+            self._write(where, key, value)
+            return
+        self.stats_inserts += 1
+        fb = self._h_front[0](hash(key))
+        slot = self._front[fb].insert(key, value)
+        if slot >= 0:
+            self._level_of[key] = (1, fb, slot)
+            return
+        # level 2: two choices, least loaded first
+        b1, b2 = (h(hash(key)) for h in self._h_back.functions)
+        first, second = (b1, b2) if self._back[b1].used <= self._back[b2].used else (b2, b1)
+        for bb in (first, second):
+            slot = self._back[bb].insert(key, value)
+            if slot >= 0:
+                self._level_of[key] = (2, bb, slot)
+                return
+        # level 3: overflow
+        self._overflow[key] = value
+        self._level_of[key] = (3,)
+        self.stats_spills += 1
+
+    def get(self, key, default=None):
+        """Value of *key*, or *default*."""
+        where = self._level_of.get(key)
+        if where is None:
+            return default
+        if where[0] == 3:
+            return self._overflow[key]
+        _, b, slot = where
+        yard = self._front if where[0] == 1 else self._back
+        return yard[b].values[slot]
+
+    def delete(self, key) -> None:
+        """Remove *key*; KeyError if absent."""
+        where = self._level_of.pop(key)  # raises KeyError
+        if where[0] == 3:
+            del self._overflow[key]
+            return
+        _, b, slot = where
+        yard = self._front if where[0] == 1 else self._back
+        yard[b].remove_at(slot)
+
+    def slot_of(self, key) -> tuple | None:
+        """The stable (level, bin, slot) coordinate of *key* (None if
+        absent; level-3 keys report ``(3,)``). This is the table's analogue
+        of a physical address: it never changes while the key is present."""
+        return self._level_of.get(key)
+
+    def __getitem__(self, key):
+        sentinel = _EMPTY
+        out = self.get(key, sentinel)
+        if out is sentinel:
+            raise KeyError(key)
+        return out
+
+    def __setitem__(self, key, value) -> None:
+        self.insert(key, value)
+
+    def __delitem__(self, key) -> None:
+        self.delete(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self._level_of
+
+    def __len__(self) -> int:
+        return len(self._level_of)
+
+    def keys(self) -> Iterator:
+        return iter(self._level_of)
+
+    # ------------------------------------------------------------ internals
+
+    def _write(self, where, key, value) -> None:
+        if where[0] == 3:
+            self._overflow[key] = value
+            return
+        _, b, slot = where
+        yard = self._front if where[0] == 1 else self._back
+        yard[b].values[slot] = value
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def load_factor(self) -> float:
+        """Keys stored / design capacity."""
+        return len(self._level_of) / self.capacity
+
+    def level_occupancy(self) -> dict[int, int]:
+        """Key count per level — the 'iceberg' profile (level 1 holds the
+        bulk, level 2 the visible tip's shadow, level 3 nearly nothing)."""
+        front = sum(b.used for b in self._front)
+        back = sum(b.used for b in self._back)
+        return {1: front, 2: back, 3: len(self._overflow)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        occ = self.level_occupancy()
+        return (
+            f"<IcebergHashTable n={len(self)}/{self.capacity} "
+            f"L1={occ[1]} L2={occ[2]} L3={occ[3]}>"
+        )

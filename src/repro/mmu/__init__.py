@@ -1,0 +1,28 @@
+"""Memory-management algorithms: the evaluation's competitors.
+
+* :class:`BasePageMM` — classical base-page paging (``h = 1``);
+* :class:`PhysicalHugePageMM` — physically contiguous huge pages of size
+  ``h`` (the Section 6 simulator, with its IO amplification);
+* :class:`DecoupledMM` — the paper's ``Z``: decoupled virtual huge pages;
+* :class:`HybridMM` — the Section 8 hybrid of both.
+"""
+
+from .base import MemoryManagementAlgorithm
+from .classical import BasePageMM
+from .decoupled import DecoupledMM
+from .hugepage import PhysicalHugePageMM
+from .hybrid import HybridMM
+from .thp import THPStyleMM
+from .virtualized import NestedTranslationMM
+from .writeback import WritebackHugePageMM
+
+__all__ = [
+    "MemoryManagementAlgorithm",
+    "BasePageMM",
+    "PhysicalHugePageMM",
+    "DecoupledMM",
+    "HybridMM",
+    "THPStyleMM",
+    "NestedTranslationMM",
+    "WritebackHugePageMM",
+]

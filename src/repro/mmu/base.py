@@ -1,0 +1,51 @@
+"""Memory-management algorithm interface (paper Section 5).
+
+A memory-management algorithm controls the TLB contents ``T``, the RAM
+active set ``A``, the decoding function ``f``, and the virtual→physical map
+``φ``, and services a stream of virtual-page requests, accumulating costs in
+a :class:`~repro.core.model.CostLedger`. Concrete algorithms — base-page,
+physical-huge-page, decoupled (``Z``), hybrid — live in sibling modules and
+are interchangeable inside :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core import CostLedger
+
+__all__ = ["MemoryManagementAlgorithm"]
+
+
+class MemoryManagementAlgorithm(ABC):
+    """Services virtual-page requests under the address-translation model."""
+
+    #: short registry name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.ledger = CostLedger()
+        #: extra-counter defaults re-seeded after every reset_stats();
+        #: subclasses that keep algorithm-specific counters in
+        #: ``ledger.extra`` register them here.
+        self._extra_defaults: dict = {}
+
+    @abstractmethod
+    def access(self, vpn: int) -> None:
+        """Service one virtual-page request, charging costs to the ledger."""
+
+    def run(self, trace) -> CostLedger:
+        """Service every request in *trace*; return this algorithm's ledger."""
+        access = self.access
+        for vpn in trace:
+            access(int(vpn))
+        return self.ledger
+
+    def reset_stats(self) -> None:
+        """Zero the ledger (the Section 6 warm-up/measure boundary); caches
+        and mappings keep their state."""
+        self.ledger.reset()
+        self.ledger.extra.update(self._extra_defaults)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} {self.ledger.as_dict()}>"

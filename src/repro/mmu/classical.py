@@ -1,0 +1,34 @@
+"""Classical base-page memory management (``h = 1``).
+
+The Sleator–Tarjan end of the tradeoff: minimal IOs (no amplification, full
+RAM utilization) but a TLB entry covers a single page, so TLB misses are
+maximal. This is the ``h = 1`` point of every Figure 1 curve.
+"""
+
+from __future__ import annotations
+
+from ..paging import ReplacementPolicy
+from .hugepage import PhysicalHugePageMM
+
+__all__ = ["BasePageMM"]
+
+
+class BasePageMM(PhysicalHugePageMM):
+    """Physical-huge-page management specialized to huge-page size 1."""
+
+    name = "base-page"
+
+    def __init__(
+        self,
+        tlb_entries: int,
+        ram_pages: int,
+        tlb_policy: ReplacementPolicy | None = None,
+        ram_policy: ReplacementPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            tlb_entries,
+            ram_pages,
+            huge_page_size=1,
+            tlb_policy=tlb_policy,
+            ram_policy=ram_policy,
+        )

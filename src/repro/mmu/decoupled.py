@@ -1,0 +1,114 @@
+"""Decoupled memory management: the paper's algorithm ``Z`` as a drop-in
+:class:`~repro.mmu.base.MemoryManagementAlgorithm`.
+
+The TLB uses virtual huge pages of size ``h_max`` (sized from Theorem 1 or
+Theorem 3 parameters for the machine's ``P`` and ``w``), while RAM is
+managed at base-page granularity through the low-associativity allocator —
+huge-page TLB coverage with base-page IO behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core import (
+    DecoupledSystem,
+    DecouplingScheme,
+    SchemeParameters,
+    TLBValueCodec,
+    build_allocator,
+    theorem1_parameters,
+    theorem3_parameters,
+)
+from ..paging import LRUPolicy, ReplacementPolicy
+from .base import MemoryManagementAlgorithm
+
+__all__ = ["DecoupledMM"]
+
+_PARAMETERS = {
+    "iceberg": theorem3_parameters,
+    "one-choice": theorem1_parameters,
+}
+
+
+class DecoupledMM(MemoryManagementAlgorithm):
+    """Huge-page-decoupled management built from theorem parameters.
+
+    Parameters
+    ----------
+    tlb_entries:
+        ``ℓ``.
+    ram_pages:
+        Physical memory ``P`` in base pages. The RAM-replacement policy is
+        capped at the scheme's ``(1−δ)·P`` (resource augmentation).
+    w:
+        TLB value width in bits (hardware sets this; 64 by default).
+    scheme:
+        ``"iceberg"`` (Theorem 3, default) or ``"one-choice"`` (Theorem 1).
+    hmax:
+        Optional override of the huge-page size; must not exceed the
+        scheme's feasible maximum.
+    tlb_policy / ram_policy:
+        The ``X`` and ``Y`` of Theorem 4 (fresh instances; default LRU).
+    seed:
+        Hash seed for the allocator.
+    """
+
+    name = "decoupled"
+
+    def __init__(
+        self,
+        tlb_entries: int,
+        ram_pages: int,
+        *,
+        w: int = 64,
+        scheme: str = "iceberg",
+        hmax: int | None = None,
+        tlb_policy: ReplacementPolicy | None = None,
+        ram_policy: ReplacementPolicy | None = None,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        try:
+            params_fn = _PARAMETERS[scheme]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose one of {sorted(_PARAMETERS)}"
+            ) from None
+        params: SchemeParameters = params_fn(ram_pages, w)
+        if params.hmax < 1:
+            raise ValueError(
+                f"w = {w} bits cannot hold even one {params.field_bits}-bit field "
+                f"at P = {ram_pages}"
+            )
+        # Section 5 assumes h_max is a power of two (huge-page addresses are
+        # aligned multiples); round the feasible value down.
+        params = dataclasses.replace(params, hmax=1 << (params.hmax.bit_length() - 1))
+        if hmax is not None:
+            if not (1 <= hmax <= params.hmax):
+                raise ValueError(
+                    f"hmax override {hmax} outside feasible range [1, {params.hmax}]"
+                )
+            params = dataclasses.replace(params, hmax=hmax)
+        self.params = params
+        allocator = build_allocator(params, seed=seed)
+        codec = TLBValueCodec(params.w, params.hmax, params.field_bits)
+        self.system = DecoupledSystem(
+            tlb_entries,
+            params.max_pages,
+            tlb_policy or LRUPolicy(),
+            ram_policy or LRUPolicy(),
+            DecouplingScheme(allocator, codec),
+        )
+        self.ledger = self.system.ledger
+
+    @property
+    def hmax(self) -> int:
+        """Huge-page size in base pages."""
+        return self.system.hmax
+
+    def access(self, vpn: int) -> None:
+        self.system.access(vpn)
+
+    def reset_stats(self) -> None:
+        self.system.ledger.reset()

@@ -1,0 +1,82 @@
+"""Physical-huge-page memory management — the Section 6 simulator semantics.
+
+With huge-page size ``h``, every TLB entry covers ``h`` virtually *and
+physically* contiguous base pages; RAM is managed at huge-page granularity.
+The consequences the paper enumerates fall out directly:
+
+1. **Page-fault amplification** — a fault on any constituent page fetches
+   the whole huge page: ``h`` IOs.
+2. **Reduced RAM utilization** — the huge page occupies ``h`` frames even
+   if one page is hot, so RAM holds ``P/h`` huge pages.
+3. (Fragmentation is moot here because *all* pages share one size, exactly
+   as in the paper's simulator; the mixed-size effects are exercised via
+   :class:`repro.sim.memory.PhysicalMemory` separately.)
+
+``h = 1`` recovers classical base-page paging (see
+:class:`~repro.mmu.classical.BasePageMM`).
+"""
+
+from __future__ import annotations
+
+from .._util import check_positive_int, is_power_of_two
+from ..paging import LRUPolicy, PageCache, ReplacementPolicy
+from .base import MemoryManagementAlgorithm
+
+__all__ = ["PhysicalHugePageMM"]
+
+
+class PhysicalHugePageMM(MemoryManagementAlgorithm):
+    """The trace-driven simulator of Section 6 for one huge-page size.
+
+    Parameters
+    ----------
+    tlb_entries:
+        ``ℓ`` (the paper uses 1536). The TLB is fully associative over
+        huge-page addresses.
+    ram_pages:
+        Physical memory size ``P`` in *base* pages; must be divisible by
+        *huge_page_size* (RAM holds ``P/h`` huge frames).
+    huge_page_size:
+        ``h`` in base pages, a power of two in ``{1, 2, …}``.
+    tlb_policy / ram_policy:
+        Replacement policies (fresh instances); both default to LRU as in
+        the paper's experiments.
+    """
+
+    name = "physical-huge"
+
+    def __init__(
+        self,
+        tlb_entries: int,
+        ram_pages: int,
+        huge_page_size: int = 1,
+        tlb_policy: ReplacementPolicy | None = None,
+        ram_policy: ReplacementPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        check_positive_int(tlb_entries, "tlb_entries")
+        check_positive_int(ram_pages, "ram_pages")
+        h = check_positive_int(huge_page_size, "huge_page_size")
+        if not is_power_of_two(h):
+            raise ValueError(f"huge_page_size must be a power of two, got {h}")
+        if ram_pages % h:
+            raise ValueError(
+                f"ram_pages ({ram_pages}) must be divisible by huge_page_size ({h})"
+            )
+        if ram_pages // h < 1:
+            raise ValueError("RAM must hold at least one huge page")
+        self.huge_page_size = h
+        self.tlb = PageCache(tlb_entries, tlb_policy or LRUPolicy())
+        self.ram = PageCache(ram_pages // h, ram_policy or LRUPolicy())
+
+    def access(self, vpn: int) -> None:
+        ledger = self.ledger
+        ledger.accesses += 1
+        hpn = vpn // self.huge_page_size
+        if self.tlb.access(hpn):
+            ledger.tlb_hits += 1
+        else:
+            ledger.tlb_misses += 1
+        if not self.ram.access(hpn):
+            # page-fault amplification: the whole huge page moves
+            ledger.ios += self.huge_page_size

@@ -1,0 +1,137 @@
+"""Inverted (hashed) page tables — the O(P)-space alternative to radix.
+
+A radix table's size scales with the *mapped virtual* footprint and its
+walk depth with the VA width; an inverted table keeps one entry per
+*physical* frame plus a hash anchor table, so space is O(P) and a
+translation is a hash-chain walk (PowerPC/PA-RISC style; the direction the
+paper's citation [48] "Towards O(1) memory" pushes). The walk cost here is
+the chain length — the quantity a hashed-translation ε depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check_positive_int
+from ..hashing import HashFamily
+
+__all__ = ["InvertedPageTable", "InvertedTranslation"]
+
+_FREE = -1
+_NIL = -1
+
+
+@dataclass(frozen=True, slots=True)
+class InvertedTranslation:
+    """Result of a hash-chain walk."""
+
+    pfn: int
+    chain_steps: int  # entries inspected, >= 1 on success
+
+
+class InvertedPageTable:
+    """One entry per frame, chained from a hash anchor table.
+
+    Parameters
+    ----------
+    frames:
+        Physical frames ``P`` (also the number of table entries).
+    anchor_ratio:
+        Hash-anchor buckets per frame (1.0 = classic HAT sizing; larger
+        shortens chains at the cost of anchor memory).
+    seed:
+        Anchor hash seed.
+    """
+
+    def __init__(self, frames: int, anchor_ratio: float = 1.0, seed=None) -> None:
+        self.frames = check_positive_int(frames, "frames")
+        if anchor_ratio <= 0:
+            raise ValueError(f"anchor_ratio must be positive, got {anchor_ratio}")
+        self.n_anchors = max(1, int(frames * anchor_ratio))
+        self._hash = HashFamily(1, self.n_anchors, seed=seed)[0]
+        self._anchor = [_NIL] * self.n_anchors  # bucket -> first frame in chain
+        self._vpn = [_FREE] * self.frames  # frame -> mapped vpn
+        self._next = [_NIL] * self.frames  # frame -> next frame in chain
+        self.mappings = 0
+        self.total_chain_steps = 0
+        self.translations = 0
+
+    # ------------------------------------------------------------------ api
+
+    def map(self, vpn: int, pfn: int) -> None:
+        """Install ``vpn → pfn``; the frame must be free, the vpn unmapped."""
+        self._check_pfn(pfn)
+        if self._vpn[pfn] != _FREE:
+            raise ValueError(f"frame {pfn} already holds vpn {self._vpn[pfn]}")
+        if self.translate(vpn, count_stats=False) is not None:
+            raise ValueError(f"vpn {vpn} is already mapped")
+        bucket = self._hash(vpn)
+        self._vpn[pfn] = vpn
+        self._next[pfn] = self._anchor[bucket]
+        self._anchor[bucket] = pfn
+        self.mappings += 1
+
+    def translate(self, vpn: int, count_stats: bool = True) -> InvertedTranslation | None:
+        """Walk the chain for *vpn*; None on a page fault."""
+        frame = self._anchor[self._hash(vpn)]
+        steps = 0
+        while frame != _NIL:
+            steps += 1
+            if self._vpn[frame] == vpn:
+                if count_stats:
+                    self.translations += 1
+                    self.total_chain_steps += steps
+                return InvertedTranslation(pfn=frame, chain_steps=steps)
+            frame = self._next[frame]
+        if count_stats:
+            self.translations += 1
+            self.total_chain_steps += steps
+        return None
+
+    def unmap(self, vpn: int) -> int:
+        """Remove *vpn*'s mapping; returns the freed frame. KeyError if
+        unmapped."""
+        bucket = self._hash(vpn)
+        frame = self._anchor[bucket]
+        prev = _NIL
+        while frame != _NIL:
+            if self._vpn[frame] == vpn:
+                if prev == _NIL:
+                    self._anchor[bucket] = self._next[frame]
+                else:
+                    self._next[prev] = self._next[frame]
+                self._vpn[frame] = _FREE
+                self._next[frame] = _NIL
+                self.mappings -= 1
+                return frame
+            prev, frame = frame, self._next[frame]
+        raise KeyError(f"vpn {vpn} is not mapped")
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.translate(vpn, count_stats=False) is not None
+
+    def __len__(self) -> int:
+        return self.mappings
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def mean_chain_steps(self) -> float:
+        """Average entries inspected per translation so far."""
+        return self.total_chain_steps / self.translations if self.translations else 0.0
+
+    @property
+    def memory_words(self) -> int:
+        """Table footprint in machine words: anchors + 2 per frame —
+        independent of the virtual footprint, unlike radix."""
+        return self.n_anchors + 2 * self.frames
+
+    def _check_pfn(self, pfn: int) -> None:
+        if not (0 <= pfn < self.frames):
+            raise ValueError(f"pfn {pfn} out of range [0, {self.frames})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<InvertedPageTable frames={self.frames} mappings={self.mappings} "
+            f"mean_chain={self.mean_chain_steps:.2f}>"
+        )

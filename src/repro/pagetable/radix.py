@@ -1,0 +1,186 @@
+"""Sparse multi-level radix page table (x86-64-style).
+
+The page table is the in-RAM dictionary that the TLB caches; a TLB miss
+triggers a *walk* down this tree, which is why a miss costs the model's ε
+(hundreds to thousands of cycles in reality — [8, 29] in the paper).
+
+The default geometry mirrors x86-64: 4 levels of 9 bits each, base pages of
+4 kB, with huge-page leaves allowed at interior levels (level 1 leaf =
+2 MB = 512 base pages, level 2 leaf = 1 GB = 512² base pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check_positive_int
+
+__all__ = ["RadixPageTable", "Translation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Translation:
+    """Result of a successful page-table walk."""
+
+    pfn: int  # physical frame of the *base page* asked about
+    page_size: int  # granularity of the mapping that answered (base pages)
+    levels_walked: int  # tree levels touched, including the leaf
+
+
+class _Leaf:
+    """A terminal mapping: base pfn of an aligned run of `size` frames."""
+
+    __slots__ = ("pfn", "size")
+
+    def __init__(self, pfn: int, size: int) -> None:
+        self.pfn = pfn
+        self.size = size
+
+
+class RadixPageTable:
+    """Maps virtual page numbers to physical frame numbers.
+
+    Parameters
+    ----------
+    levels:
+        Tree depth (4 for x86-64).
+    bits_per_level:
+        Radix width; each node has ``2**bits_per_level`` slots.
+
+    Mappings of size ``radix**k`` terminate ``k`` levels early, exactly like
+    hardware huge-page leaves. Both ``vpn`` and ``pfn`` of a huge mapping
+    must be aligned to its size.
+    """
+
+    def __init__(self, levels: int = 4, bits_per_level: int = 9) -> None:
+        self.levels = check_positive_int(levels, "levels")
+        self.bits_per_level = check_positive_int(bits_per_level, "bits_per_level")
+        self.radix = 1 << bits_per_level
+        self.max_vpn = self.radix**levels
+        self._root: dict[int, object] = {}
+        self.mappings = 0
+        self.nodes = 1  # the root
+
+    # ----------------------------------------------------------- geometry
+
+    def leaf_level_for(self, page_size: int) -> int:
+        """Tree level (1 = deepest) at which a *page_size* mapping terminates.
+
+        Raises ValueError if *page_size* is not a supported power of the
+        radix (``radix**k`` for ``0 <= k < levels``).
+        """
+        size = 1
+        for k in range(self.levels):
+            if size == page_size:
+                return k + 1
+            size *= self.radix
+        raise ValueError(
+            f"page_size {page_size} is not radix**k for k < {self.levels} "
+            f"(radix={self.radix})"
+        )
+
+    def _indices(self, vpn: int) -> list[int]:
+        """Per-level slot indices for *vpn*, topmost first."""
+        idx = []
+        shift = self.bits_per_level * (self.levels - 1)
+        mask = self.radix - 1
+        for _ in range(self.levels):
+            idx.append((vpn >> shift) & mask)
+            shift -= self.bits_per_level
+        return idx
+
+    # ------------------------------------------------------------------ api
+
+    def map(self, vpn: int, pfn: int, page_size: int = 1) -> None:
+        """Install mapping ``vpn → pfn`` at *page_size* granularity.
+
+        Raises ValueError on misalignment or when the slot is occupied.
+        """
+        if not (0 <= vpn < self.max_vpn):
+            raise ValueError(f"vpn {vpn} out of range [0, {self.max_vpn})")
+        if pfn < 0:
+            raise ValueError(f"pfn must be non-negative, got {pfn}")
+        leaf_level = self.leaf_level_for(page_size)
+        if vpn % page_size or pfn % page_size:
+            raise ValueError(
+                f"vpn {vpn} and pfn {pfn} must be aligned to page_size {page_size}"
+            )
+        node = self._root
+        indices = self._indices(vpn)
+        for depth in range(self.levels - leaf_level):
+            i = indices[depth]
+            child = node.get(i)
+            if child is None:
+                child = {}
+                node[i] = child
+                self.nodes += 1
+            elif isinstance(child, _Leaf):
+                raise ValueError(
+                    f"vpn {vpn} is covered by an existing size-{child.size} mapping"
+                )
+            node = child
+        i = indices[self.levels - leaf_level]
+        if i in node:
+            raise ValueError(f"slot for vpn {vpn} at size {page_size} already mapped")
+        node[i] = _Leaf(pfn, page_size)
+        self.mappings += 1
+
+    def translate(self, vpn: int) -> Translation | None:
+        """Walk the tree for *vpn*; None if unmapped (a page fault)."""
+        node = self._root
+        indices = self._indices(vpn)
+        for depth in range(self.levels):
+            entry = node.get(indices[depth])
+            if entry is None:
+                return None
+            if isinstance(entry, _Leaf):
+                offset = vpn % entry.size
+                return Translation(
+                    pfn=entry.pfn + offset,
+                    page_size=entry.size,
+                    levels_walked=depth + 1,
+                )
+            node = entry
+        raise AssertionError("walk ran past the deepest level")  # pragma: no cover
+
+    def unmap(self, vpn: int) -> None:
+        """Remove the mapping covering *vpn*; KeyError if unmapped.
+
+        Empty interior nodes are pruned so ``nodes`` tracks live memory.
+        """
+        indices = self._indices(vpn)
+        path: list[tuple[dict, int]] = []
+        node = self._root
+        for depth in range(self.levels):
+            i = indices[depth]
+            entry = node.get(i)
+            if entry is None:
+                raise KeyError(f"vpn {vpn} is not mapped")
+            path.append((node, i))
+            if isinstance(entry, _Leaf):
+                del node[i]
+                self.mappings -= 1
+                break
+            node = entry
+        else:  # pragma: no cover - translate() would have asserted first
+            raise KeyError(f"vpn {vpn} is not mapped")
+        # prune now-empty interior nodes bottom-up (never the root)
+        for parent, i in reversed(path[:-1]):
+            child = parent[i]
+            if isinstance(child, dict) and not child:
+                del parent[i]
+                self.nodes -= 1
+            else:
+                break
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.translate(vpn) is not None
+
+    def __len__(self) -> int:
+        return self.mappings
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RadixPageTable levels={self.levels} radix={self.radix} "
+            f"mappings={self.mappings} nodes={self.nodes}>"
+        )

@@ -1,0 +1,75 @@
+"""Classical paging substrate: replacement policies and a page cache.
+
+This package implements the Sleator–Tarjan paging problem that the paper's
+Section 5 reduces to (Lemma 1): a :class:`PageCache` of fixed capacity
+driven by one of the replacement policies below. The same policies serve as
+the RAM-replacement and TLB-replacement inputs of a huge-page decoupling
+scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .arc import ARCPolicy
+from .base import Key, ReplacementPolicy
+from .cache import PageCache
+from .clock import ClockPolicy
+from .fifo import FIFOPolicy
+from .lfu import LFUPolicy
+from .lirs import LIRSPolicy
+from .lru import LRUPolicy
+from .mru import MRUPolicy
+from .opt import NEVER, BeladyOPT, compute_next_use
+from .random_policy import RandomPolicy
+from .twoq import TwoQPolicy
+
+__all__ = [
+    "Key",
+    "ReplacementPolicy",
+    "PageCache",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "MRUPolicy",
+    "ClockPolicy",
+    "LFUPolicy",
+    "LIRSPolicy",
+    "RandomPolicy",
+    "TwoQPolicy",
+    "ARCPolicy",
+    "BeladyOPT",
+    "compute_next_use",
+    "NEVER",
+    "POLICIES",
+    "make_policy",
+]
+
+#: Online policies constructible with no arguments, keyed by name.
+POLICIES: dict[str, Callable[[], ReplacementPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    MRUPolicy.name: MRUPolicy,
+    ClockPolicy.name: ClockPolicy,
+    LFUPolicy.name: LFUPolicy,
+    LIRSPolicy.name: LIRSPolicy,
+    RandomPolicy.name: RandomPolicy,
+    TwoQPolicy.name: TwoQPolicy,
+    ARCPolicy.name: ARCPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Construct an online replacement policy by registry *name*.
+
+    ``make_policy("lru")``; extra keyword arguments are forwarded to the
+    policy constructor (e.g. ``make_policy("random", seed=7)``). The offline
+    :class:`BeladyOPT` is not constructible this way because it needs the
+    trace.
+    """
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose one of {sorted(POLICIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,148 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+ARC balances recency (list ``T1``) against frequency (list ``T2``) using two
+ghost lists ``B1``/``B2`` and a continuously adapted target size ``p`` for
+``T1``. It is scan-resistant like 2Q but self-tuning.
+
+The algorithm is expressed here against this package's cache/policy split:
+``evict(incoming)`` runs the ghost-hit adaptation and the REPLACE step of
+the original pseudocode and returns the victim; ``insert(incoming)``
+finishes the placement. When the cache is not yet full, ``evict`` is never
+called and ``insert`` performs the adaptation itself, so behaviour matches
+the original in both phases.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .._util import check_positive_int
+from .base import Key, ReplacementPolicy
+
+__all__ = ["ARCPolicy"]
+
+
+class ARCPolicy(ReplacementPolicy):
+    """Adaptive replacement over recency/frequency lists with ghost feedback."""
+
+    name = "arc"
+
+    def __init__(self) -> None:
+        self._c = 1
+        self._p = 0.0  # adaptive target size of T1
+        self._t1: OrderedDict[Key, None] = OrderedDict()
+        self._t2: OrderedDict[Key, None] = OrderedDict()
+        self._b1: OrderedDict[Key, None] = OrderedDict()
+        self._b2: OrderedDict[Key, None] = OrderedDict()
+        self._adapted_for: Key | None = None
+
+    def bind(self, capacity: int) -> None:
+        self._c = check_positive_int(capacity, "capacity")
+
+    # ----------------------------------------------------------- internals
+
+    def _adapt(self, key: Key) -> None:
+        """Ghost-hit adaptation of the target parameter p (cases II/III)."""
+        if key in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(self._c), self._p + delta)
+        elif key in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+        self._adapted_for = key
+
+    def _replace(self, incoming: Key) -> Key:
+        """REPLACE step: demote from T1 or T2 into the matching ghost list."""
+        t1_len = len(self._t1)
+        if t1_len >= 1 and (
+            (incoming in self._b2 and t1_len == int(self._p)) or t1_len > int(self._p)
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        return victim
+
+    def _trim_ghosts(self) -> None:
+        # |T1| + |B1| <= c  and  |T1|+|T2|+|B1|+|B2| <= 2c
+        while len(self._t1) + len(self._b1) > self._c and self._b1:
+            self._b1.popitem(last=False)
+        while (
+            len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2) > 2 * self._c
+            and self._b2
+        ):
+            self._b2.popitem(last=False)
+
+    # ------------------------------------------------------------------ api
+
+    def record_access(self, key: Key, time: int) -> None:
+        # Case I: hit in T1 ∪ T2 → move to MRU position of T2.
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+        else:
+            raise KeyError(f"key {key!r} not resident")
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if not self._t1 and not self._t2:
+            raise LookupError("evict() on empty ARC policy")
+        if incoming is None:
+            # Plain shrink request: behave like REPLACE for a fresh key.
+            incoming = object()
+        if self._adapted_for is not incoming:
+            self._adapt(incoming)
+        if incoming not in self._b1 and incoming not in self._b2:
+            # Case IV(a) of the original pseudocode: L1 at capacity and T1
+            # full means the LRU page of T1 leaves the cache *and* B1 is not
+            # extended; we realise that by dropping the B1 entry REPLACE
+            # just created. Case IV(b)'s B2 trim is handled by _trim_ghosts.
+            if len(self._t1) + len(self._b1) >= self._c and len(self._t1) >= self._c:
+                victim, _ = self._t1.popitem(last=False)
+                return victim
+            if len(self._t1) + len(self._b1) >= self._c and self._b1:
+                self._b1.popitem(last=False)
+        victim = self._replace(incoming)
+        return victim
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._t1 or key in self._t2:
+            raise KeyError(f"key {key!r} already resident")
+        if self._adapted_for is not key:
+            self._adapt(key)
+        self._adapted_for = None
+        if key in self._b1:
+            del self._b1[key]
+            self._t2[key] = None
+        elif key in self._b2:
+            del self._b2[key]
+            self._t2[key] = None
+        else:
+            self._t1[key] = None
+        self._trim_ghosts()
+
+    def remove(self, key: Key) -> None:
+        if key in self._t1:
+            del self._t1[key]
+        elif key in self._t2:
+            del self._t2[key]
+        else:
+            raise KeyError(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def resident(self) -> Iterator[Key]:
+        yield from self._t1
+        yield from self._t2
+
+    @property
+    def target_t1(self) -> float:
+        """Current adaptive target size ``p`` for the recency list T1."""
+        return self._p

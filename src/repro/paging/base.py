@@ -1,0 +1,81 @@
+"""Replacement-policy protocol for the classical paging problem.
+
+The paging problem (Sleator & Tarjan 1985) services a sequence of page
+requests with a cache of fixed capacity; a request to a non-resident page is
+a *fault* and some resident page may need to be evicted. This module defines
+the contract between a :class:`~repro.paging.cache.PageCache` (which decides
+*when* to evict — namely, when the cache is full and a fault occurs) and a
+:class:`ReplacementPolicy` (which decides *who* to evict).
+
+Policies track the resident set themselves so that membership tests and
+victim selection are both O(1)-ish. All keys are hashable; in this package
+they are virtual page numbers or virtual huge-page numbers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterator
+
+Key = Hashable
+
+__all__ = ["Key", "ReplacementPolicy"]
+
+
+class ReplacementPolicy(ABC):
+    """Abstract eviction policy over a dynamic set of resident keys.
+
+    Subclasses must keep their internal bookkeeping consistent with the
+    resident set: every key passed to :meth:`insert` is resident until it is
+    returned by :meth:`evict` or passed to :meth:`remove`.
+    """
+
+    #: short human-readable identifier (e.g. ``"lru"``), set by subclasses.
+    name: str = "abstract"
+
+    def bind(self, capacity: int) -> None:
+        """Inform the policy of the cache capacity it will serve.
+
+        Called once by :class:`~repro.paging.cache.PageCache` before any
+        accesses. Most policies ignore it; queue-partitioned policies
+        (2Q, ARC) size their internal queues from it.
+        """
+
+    @abstractmethod
+    def record_access(self, key: Key, time: int) -> None:
+        """Note that resident *key* was accessed (a cache hit) at *time*."""
+
+    @abstractmethod
+    def insert(self, key: Key, time: int) -> None:
+        """Add non-resident *key* to the resident set at *time*."""
+
+    @abstractmethod
+    def evict(self, incoming: Key | None = None) -> Key:
+        """Choose a victim, remove it from the resident set, and return it.
+
+        *incoming* is the key about to be inserted (policies such as ARC use
+        it to consult their ghost lists); it may be ``None`` when the caller
+        just wants to shrink the cache.
+
+        Raises :class:`LookupError` if the resident set is empty.
+        """
+
+    @abstractmethod
+    def remove(self, key: Key) -> None:
+        """Remove resident *key* (an explicit invalidation, not an eviction).
+
+        Raises :class:`KeyError` if *key* is not resident.
+        """
+
+    @abstractmethod
+    def __contains__(self, key: Key) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def resident(self) -> Iterator[Key]:
+        """Iterate over the resident keys (order unspecified)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} size={len(self)}>"

@@ -1,0 +1,127 @@
+"""A capacity-bounded page cache driven by a pluggable replacement policy.
+
+This is the classical paging problem's cache: requests to resident keys are
+hits (cost 0); requests to non-resident keys are faults, which insert the key
+and — if the cache is full — evict a victim chosen by the policy.
+
+The cache is used throughout the package as RAM (keys = virtual page
+numbers), as a TLB reached via :mod:`repro.tlb` (keys = virtual huge-page
+numbers), and as the reference implementation for Lemma 1's reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .._util import check_positive_int
+from .base import Key, ReplacementPolicy
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """Fixed-capacity cache of hashable keys with pluggable eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident keys (the paper's cache size ``P`` or
+        ``ℓ``). Must be positive.
+    policy:
+        The :class:`~repro.paging.base.ReplacementPolicy` choosing victims.
+        The cache takes ownership: the policy must be empty and not shared.
+    on_evict:
+        Optional callback invoked as ``on_evict(key)`` after each eviction —
+        the decoupling scheme uses this to keep ``φ`` in sync with the
+        RAM-replacement policy.
+
+    Notes
+    -----
+    ``access`` is the hot path and is kept allocation-free.
+    """
+
+    __slots__ = ("capacity", "policy", "on_evict", "_clock", "hits", "misses", "evictions")
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ReplacementPolicy,
+        on_evict: Callable[[Key], None] | None = None,
+    ) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        if len(policy) != 0:
+            raise ValueError("policy must start empty")
+        self.policy = policy
+        policy.bind(self.capacity)
+        self.on_evict = on_evict
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ api
+
+    def access(self, key: Key) -> bool:
+        """Service a request for *key*; return True on a hit, False on a fault.
+
+        On a fault the key is brought in, evicting a victim if necessary.
+        """
+        t = self._clock
+        self._clock = t + 1
+        policy = self.policy
+        if key in policy:
+            self.hits += 1
+            policy.record_access(key, t)
+            return True
+        self.misses += 1
+        if len(policy) >= self.capacity:
+            victim = policy.evict(key)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        policy.insert(key, t)
+        return False
+
+    def insert(self, key: Key) -> None:
+        """Bring *key* in without counting a hit or miss (prefetch/warm path)."""
+        if key in self.policy:
+            return
+        if len(self.policy) >= self.capacity:
+            victim = self.policy.evict(key)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        self.policy.insert(key, self._clock)
+
+    def remove(self, key: Key) -> None:
+        """Invalidate *key* (no eviction callback; raises KeyError if absent)."""
+        self.policy.remove(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.policy
+
+    def __len__(self) -> int:
+        return len(self.policy)
+
+    def resident(self) -> Iterator[Key]:
+        """Iterate over resident keys (order unspecified)."""
+        return self.policy.resident()
+
+    # ------------------------------------------------------------- counters
+
+    @property
+    def accesses(self) -> int:
+        """Total requests serviced via :meth:`access`."""
+        return self.hits + self.misses
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (resident set is kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PageCache cap={self.capacity} size={len(self)} policy={self.policy.name} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,53 @@
+"""First-in-first-out replacement.
+
+FIFO ignores hits entirely: the victim is always the longest-resident key.
+Like LRU it is ``k/(k-h+1)``-competitive (Sleator & Tarjan 1985), and it is
+one of the policies the paper's "difficulty of reducing associativity"
+argument targets (any policy that evicts nothing during the first
+``(1-δ)P`` insertions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import Key, ReplacementPolicy
+
+__all__ = ["FIFOPolicy"]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the key that was inserted earliest."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        # dicts preserve insertion order, which is exactly FIFO order.
+        self._order: dict[Key, None] = {}
+
+    def record_access(self, key: Key, time: int) -> None:
+        pass  # hits do not affect FIFO order
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._order:
+            raise KeyError(f"key {key!r} already resident")
+        self._order[key] = None
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if not self._order:
+            raise LookupError("evict() on empty FIFO policy")
+        key = next(iter(self._order))
+        del self._order[key]
+        return key
+
+    def remove(self, key: Key) -> None:
+        del self._order[key]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._order)

@@ -1,0 +1,116 @@
+"""Least-frequently-used replacement with O(1) operations.
+
+Uses the constant-time LFU structure (frequency buckets in a doubly-linked
+list of ordered dicts): the victim is a key of minimum access frequency,
+with LRU order breaking ties inside a frequency bucket.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Key, ReplacementPolicy
+
+__all__ = ["LFUPolicy"]
+
+
+class _FreqBucket:
+    __slots__ = ("freq", "keys", "prev", "next")
+
+    def __init__(self, freq: int) -> None:
+        self.freq = freq
+        self.keys: OrderedDict[Key, None] = OrderedDict()
+        self.prev: _FreqBucket | None = None
+        self.next: _FreqBucket | None = None
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict a least-frequently-used key (LRU tie-break within a frequency)."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._bucket_of: dict[Key, _FreqBucket] = {}
+        # Sentinel head; head.next is the minimum-frequency bucket.
+        self._head = _FreqBucket(0)
+        self._head.prev = self._head.next = self._head
+
+    # --------------------------------------------------------------- list ops
+
+    def _link_after(self, bucket: _FreqBucket, after: _FreqBucket) -> None:
+        nxt = after.next
+        assert nxt is not None
+        bucket.prev = after
+        bucket.next = nxt
+        after.next = bucket
+        nxt.prev = bucket
+
+    def _unlink(self, bucket: _FreqBucket) -> None:
+        assert bucket.prev is not None and bucket.next is not None
+        bucket.prev.next = bucket.next
+        bucket.next.prev = bucket.prev
+        bucket.prev = bucket.next = None
+
+    def _promote(self, key: Key) -> None:
+        bucket = self._bucket_of[key]
+        nxt = bucket.next
+        assert nxt is not None
+        target_freq = bucket.freq + 1
+        if nxt is self._head or nxt.freq != target_freq:
+            target = _FreqBucket(target_freq)
+            self._link_after(target, bucket)
+        else:
+            target = nxt
+        del bucket.keys[key]
+        target.keys[key] = None
+        self._bucket_of[key] = target
+        if not bucket.keys:
+            self._unlink(bucket)
+
+    # ------------------------------------------------------------------ api
+
+    def record_access(self, key: Key, time: int) -> None:
+        self._promote(key)
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._bucket_of:
+            raise KeyError(f"key {key!r} already resident")
+        first = self._head.next
+        assert first is not None
+        if first is self._head or first.freq != 1:
+            first_new = _FreqBucket(1)
+            self._link_after(first_new, self._head)
+            first = first_new
+        first.keys[key] = None
+        self._bucket_of[key] = first
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        first = self._head.next
+        assert first is not None
+        if first is self._head:
+            raise LookupError("evict() on empty LFU policy")
+        key, _ = first.keys.popitem(last=False)
+        del self._bucket_of[key]
+        if not first.keys:
+            self._unlink(first)
+        return key
+
+    def remove(self, key: Key) -> None:
+        bucket = self._bucket_of.pop(key)  # raises KeyError if absent
+        del bucket.keys[key]
+        if not bucket.keys:
+            self._unlink(bucket)
+
+    def frequency(self, key: Key) -> int:
+        """Current access count of resident *key* (insert counts as 1)."""
+        return self._bucket_of[key].freq
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._bucket_of
+
+    def __len__(self) -> int:
+        return len(self._bucket_of)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._bucket_of)

@@ -1,0 +1,195 @@
+"""LIRS replacement (Jiang & Zhang, SIGMETRICS 2002).
+
+LIRS ranks pages by *inter-reference recency* (IRR — the recency distance
+between a page's last two accesses) instead of plain recency: pages with
+low IRR ("LIR") own most of the cache, pages seen once in a long while
+("HIR") pass through a small probationary partition. It fixes LRU's two
+classic failures — one-touch scans and cyclic patterns slightly larger
+than the cache — without 2Q's hand-tuned queues or ARC's adaptation.
+
+State (as in the paper): a recency stack ``S`` holding LIR pages, resident
+HIR pages, and bounded non-resident HIR ghosts; a FIFO queue ``Q`` of the
+resident HIR pages (the eviction candidates). Invariant: the bottom of
+``S`` is always LIR ("stack pruning").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Key, ReplacementPolicy
+
+__all__ = ["LIRSPolicy"]
+
+_LIR = 0
+_HIR_RESIDENT = 1
+_HIR_GHOST = 2
+
+
+class LIRSPolicy(ReplacementPolicy):
+    """LIRS eviction.
+
+    Parameters
+    ----------
+    hir_fraction:
+        Fraction of capacity reserved for resident HIR pages (the paper
+        suggests ~1%; we default to 5% which behaves better at the small
+        cache sizes used in simulation).
+    ghost_factor:
+        Bound on stack ghosts: at most ``ghost_factor × capacity``
+        non-resident HIR entries are remembered.
+    """
+
+    name = "lirs"
+
+    def __init__(self, hir_fraction: float = 0.05, ghost_factor: float = 2.0) -> None:
+        if not (0.0 < hir_fraction < 1.0):
+            raise ValueError(f"hir_fraction must be in (0,1), got {hir_fraction}")
+        if ghost_factor < 0:
+            raise ValueError(f"ghost_factor must be >= 0, got {ghost_factor}")
+        self._hir_fraction = hir_fraction
+        self._ghost_factor = ghost_factor
+        self._capacity = 1
+        self._hir_capacity = 1
+        self._max_ghosts = 2
+        # S: recency stack, most recent last. value = status
+        self._stack: OrderedDict[Key, int] = OrderedDict()
+        # Q: resident HIR pages, FIFO (oldest first)
+        self._queue: OrderedDict[Key, None] = OrderedDict()
+        # status of every *resident* page (LIR or HIR_RESIDENT)
+        self._resident: dict[Key, int] = {}
+        self._lir_count = 0
+
+    def bind(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._hir_capacity = max(1, int(capacity * self._hir_fraction))
+        if capacity <= self._hir_capacity:
+            self._hir_capacity = max(1, capacity - 1) if capacity > 1 else 1
+        self._max_ghosts = max(2, int(capacity * self._ghost_factor))
+
+    # ------------------------------------------------------------ stack ops
+
+    def _stack_push(self, key: Key, status: int) -> None:
+        if key in self._stack:
+            del self._stack[key]
+        self._stack[key] = status
+        self._trim_ghosts()
+
+    def _prune(self) -> None:
+        """Remove bottom-of-stack entries until the bottom is LIR."""
+        while self._stack:
+            key, status = next(iter(self._stack.items()))
+            if status == _LIR:
+                return
+            del self._stack[key]
+
+    def _trim_ghosts(self) -> None:
+        ghosts = sum(1 for s in self._stack.values() if s == _HIR_GHOST)
+        if ghosts <= self._max_ghosts:
+            return
+        for key in list(self._stack):
+            if self._stack[key] == _HIR_GHOST:
+                del self._stack[key]
+                ghosts -= 1
+                if ghosts <= self._max_ghosts:
+                    break
+        self._prune()
+
+    def _demote_bottom_lir(self) -> None:
+        """Turn the stack-bottom LIR page into a resident HIR page."""
+        key, status = next(iter(self._stack.items()))
+        assert status == _LIR
+        del self._stack[key]
+        self._lir_count -= 1
+        self._resident[key] = _HIR_RESIDENT
+        self._queue[key] = None
+        self._prune()
+
+    # ------------------------------------------------------------------ api
+
+    def record_access(self, key: Key, time: int) -> None:
+        status = self._resident.get(key)
+        if status is None:
+            raise KeyError(f"key {key!r} not resident")
+        if status == _LIR:
+            was_bottom = next(iter(self._stack)) == key
+            self._stack_push(key, _LIR)
+            if was_bottom:
+                self._prune()
+            return
+        # resident HIR
+        if key in self._stack:
+            # low IRR observed: promote to LIR
+            self._stack_push(key, _LIR)
+            self._resident[key] = _LIR
+            self._lir_count += 1
+            del self._queue[key]
+            if self._lir_count > self._capacity - self._hir_capacity:
+                self._demote_bottom_lir()
+        else:
+            # still long-IRR: stay HIR, refresh both recencies
+            self._stack_push(key, _HIR_RESIDENT)
+            self._queue.move_to_end(key)
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._resident:
+            raise KeyError(f"key {key!r} already resident")
+        lir_limit = self._capacity - self._hir_capacity
+        if key in self._stack and self._stack[key] == _HIR_GHOST:
+            # reuse within the ghost window: short IRR, comes in as LIR
+            self._stack_push(key, _LIR)
+            self._resident[key] = _LIR
+            self._lir_count += 1
+            if self._lir_count > lir_limit:
+                self._demote_bottom_lir()
+            return
+        if self._lir_count < lir_limit:
+            # cold start: fill the LIR partition first
+            self._stack_push(key, _LIR)
+            self._resident[key] = _LIR
+            self._lir_count += 1
+            return
+        self._stack_push(key, _HIR_RESIDENT)
+        self._resident[key] = _HIR_RESIDENT
+        self._queue[key] = None
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if not self._resident:
+            raise LookupError("evict() on empty LIRS policy")
+        if not self._queue:
+            self._demote_bottom_lir()
+        victim, _ = self._queue.popitem(last=False)
+        del self._resident[victim]
+        if victim in self._stack:
+            self._stack[victim] = _HIR_GHOST  # remember its recency
+            self._trim_ghosts()
+        return victim
+
+    def remove(self, key: Key) -> None:
+        status = self._resident.pop(key)  # raises KeyError
+        if status == _LIR:
+            self._lir_count -= 1
+            del self._stack[key]
+            self._prune()
+        else:
+            del self._queue[key]
+            self._stack.pop(key, None)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._resident)
+
+    # introspection for tests
+    @property
+    def lir_count(self) -> int:
+        return self._lir_count
+
+    @property
+    def hir_resident_count(self) -> int:
+        return len(self._queue)

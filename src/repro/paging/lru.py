@@ -1,0 +1,50 @@
+"""Least-recently-used replacement — the paper's default policy.
+
+Section 6 of the paper uses LRU both for the TLB and for RAM; Sleator &
+Tarjan showed LRU is ``k/(k-h+1)``-competitive. Backed by an ordered dict,
+so every operation is O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Key, ReplacementPolicy
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the key whose last access is oldest."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[Key, None] = OrderedDict()
+
+    def record_access(self, key: Key, time: int) -> None:
+        self._order.move_to_end(key)
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._order:
+            raise KeyError(f"key {key!r} already resident")
+        self._order[key] = None
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if not self._order:
+            raise LookupError("evict() on empty LRU policy")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: Key) -> None:
+        del self._order[key]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._order)

@@ -1,0 +1,52 @@
+"""Most-recently-used replacement.
+
+MRU evicts the *newest* key. It is a poor general-purpose policy but the
+optimal one for cyclic scans slightly larger than the cache, and it serves
+as an adversarial baseline in our benchmarks (cf. "The worst
+page-replacement policy", Agrawal, Bender & Fineman 2007, cited by the
+paper).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Key, ReplacementPolicy
+
+__all__ = ["MRUPolicy"]
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the key whose last access is most recent."""
+
+    name = "mru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[Key, None] = OrderedDict()
+
+    def record_access(self, key: Key, time: int) -> None:
+        self._order.move_to_end(key)
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._order:
+            raise KeyError(f"key {key!r} already resident")
+        self._order[key] = None
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if not self._order:
+            raise LookupError("evict() on empty MRU policy")
+        key, _ = self._order.popitem(last=True)
+        return key
+
+    def remove(self, key: Key) -> None:
+        del self._order[key]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._order)

@@ -1,0 +1,104 @@
+"""Belady's OPT — the offline-optimal replacement policy.
+
+OPT evicts the resident page whose next use lies farthest in the future.
+It is the yardstick of every competitive analysis the paper builds on
+(Sleator & Tarjan 1985), and our benchmarks report IO counts relative to it.
+
+Because OPT is offline it must be constructed from the full request trace.
+The policy assumes the cache clock equals the trace position, which holds
+whenever the trace is replayed through ``PageCache.access`` alone (no
+out-of-band ``insert`` calls).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .base import Key, ReplacementPolicy
+
+__all__ = ["BeladyOPT", "compute_next_use", "NEVER"]
+
+#: Sentinel "next use" for keys never referenced again.
+NEVER = 1 << 62
+
+
+def compute_next_use(trace: Sequence[Key]) -> np.ndarray:
+    """For each position ``i`` return the next position ``j > i`` with
+    ``trace[j] == trace[i]``, or :data:`NEVER` if there is none.
+
+    Runs a single backwards scan, O(n) time and O(distinct keys) extra space.
+    """
+    n = len(trace)
+    next_use = np.full(n, NEVER, dtype=np.int64)
+    last_seen: dict[Key, int] = {}
+    for i in range(n - 1, -1, -1):
+        key = trace[i]
+        j = last_seen.get(key)
+        if j is not None:
+            next_use[i] = j
+        last_seen[key] = i
+    return next_use
+
+
+class BeladyOPT(ReplacementPolicy):
+    """Farthest-in-future eviction, given the full trace up front.
+
+    Victim selection uses a lazy max-heap: every access pushes the key's new
+    next-use distance, and stale heap entries are discarded at pop time by
+    comparing against the authoritative per-key value.
+    """
+
+    name = "opt"
+
+    def __init__(self, trace: Sequence[Key]) -> None:
+        self._next = compute_next_use(trace)
+        self._n = len(trace)
+        self._next_use_of: dict[Key, int] = {}
+        self._heap: list[tuple[int, int, Key]] = []  # (-next_use, seq, key)
+        self._seq = 0
+
+    def _note(self, key: Key, time: int) -> None:
+        if not (0 <= time < self._n):
+            raise IndexError(
+                f"OPT saw access time {time} outside its trace of length {self._n}; "
+                "BeladyOPT must replay exactly the trace it was built from"
+            )
+        nxt = int(self._next[time])
+        self._next_use_of[key] = nxt
+        self._seq += 1
+        heapq.heappush(self._heap, (-nxt, self._seq, key))
+
+    def record_access(self, key: Key, time: int) -> None:
+        if key not in self._next_use_of:
+            raise KeyError(f"key {key!r} not resident")
+        self._note(key, time)
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._next_use_of:
+            raise KeyError(f"key {key!r} already resident")
+        self._note(key, time)
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        heap = self._heap
+        resident = self._next_use_of
+        while heap:
+            neg_nxt, _, key = heapq.heappop(heap)
+            if resident.get(key) == -neg_nxt:
+                del resident[key]
+                return key
+        raise LookupError("evict() on empty OPT policy")
+
+    def remove(self, key: Key) -> None:
+        del self._next_use_of[key]  # stale heap entries are skipped later
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._next_use_of
+
+    def __len__(self) -> int:
+        return len(self._next_use_of)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._next_use_of)

@@ -1,0 +1,64 @@
+"""Uniform-random replacement.
+
+RANDOM is ``k``-competitive against an oblivious adversary and is the
+textbook memoryless policy; we use it in benchmarks as a
+no-recency-information baseline. Backed by the classic dict + swap-remove
+array so that sampling, insertion and deletion are all O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .._util import as_rng
+from .base import Key, ReplacementPolicy
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random resident key."""
+
+    name = "random"
+
+    def __init__(self, seed=None) -> None:
+        self._rng = as_rng(seed)
+        self._keys: list[Key] = []
+        self._index: dict[Key, int] = {}
+
+    def record_access(self, key: Key, time: int) -> None:
+        pass  # memoryless
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._index:
+            raise KeyError(f"key {key!r} already resident")
+        self._index[key] = len(self._keys)
+        self._keys.append(key)
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if not self._keys:
+            raise LookupError("evict() on empty RANDOM policy")
+        i = int(self._rng.integers(len(self._keys)))
+        key = self._keys[i]
+        self._swap_remove(key, i)
+        return key
+
+    def remove(self, key: Key) -> None:
+        i = self._index[key]  # raises KeyError if absent
+        self._swap_remove(key, i)
+
+    def _swap_remove(self, key: Key, i: int) -> None:
+        last = self._keys[-1]
+        self._keys[i] = last
+        self._index[last] = i
+        self._keys.pop()
+        del self._index[key]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def resident(self) -> Iterator[Key]:
+        return iter(self._keys)

@@ -1,0 +1,113 @@
+"""2Q replacement (Johnson & Shasha, VLDB 1994) — the "full version".
+
+2Q splits the cache into a small FIFO probation queue ``A1in`` and a main
+LRU queue ``Am``, plus a ghost queue ``A1out`` remembering addresses (not
+contents) of recently demoted pages. A page is promoted into ``Am`` only
+when it is re-referenced after leaving ``A1in`` — filtering out
+one-touch scans that would pollute plain LRU.
+
+Adapted to this package's cache/policy contract: the cache decides when to
+evict; the policy decides whom, demoting ``A1in`` victims into the ghost
+queue as a side effect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .._util import check_positive_int
+from .base import Key, ReplacementPolicy
+
+__all__ = ["TwoQPolicy"]
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """2Q eviction: FIFO probation + ghost-mediated promotion into LRU main.
+
+    Parameters
+    ----------
+    kin_fraction:
+        Fraction of capacity devoted to ``A1in`` (the paper's tuning
+        suggestion is 25%).
+    kout_fraction:
+        Ghost-queue length as a fraction of capacity (suggested 50%).
+    """
+
+    name = "2q"
+
+    def __init__(self, kin_fraction: float = 0.25, kout_fraction: float = 0.5) -> None:
+        if not (0.0 < kin_fraction < 1.0):
+            raise ValueError(f"kin_fraction must be in (0,1), got {kin_fraction}")
+        if not (0.0 < kout_fraction <= 1.0):
+            raise ValueError(f"kout_fraction must be in (0,1], got {kout_fraction}")
+        self._kin_fraction = kin_fraction
+        self._kout_fraction = kout_fraction
+        self._kin = 1
+        self._kout = 1
+        self._a1in: OrderedDict[Key, None] = OrderedDict()  # FIFO, oldest first
+        self._am: OrderedDict[Key, None] = OrderedDict()  # LRU, oldest first
+        self._a1out: OrderedDict[Key, None] = OrderedDict()  # ghost FIFO
+
+    def bind(self, capacity: int) -> None:
+        capacity = check_positive_int(capacity, "capacity")
+        self._kin = max(1, int(capacity * self._kin_fraction))
+        self._kout = max(1, int(capacity * self._kout_fraction))
+
+    def record_access(self, key: Key, time: int) -> None:
+        if key in self._am:
+            self._am.move_to_end(key)
+        elif key not in self._a1in:
+            raise KeyError(f"key {key!r} not resident")
+        # hits inside A1in deliberately do not reorder (FIFO semantics)
+
+    def insert(self, key: Key, time: int) -> None:
+        if key in self._a1in or key in self._am:
+            raise KeyError(f"key {key!r} already resident")
+        if key in self._a1out:
+            # re-reference after demotion: promote straight to main queue
+            del self._a1out[key]
+            self._am[key] = None
+        else:
+            self._a1in[key] = None
+
+    def evict(self, incoming: Key | None = None) -> Key:
+        if len(self._a1in) >= self._kin or not self._am:
+            if not self._a1in:
+                raise LookupError("evict() on empty 2Q policy")
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            while len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        else:
+            victim, _ = self._am.popitem(last=False)
+        return victim
+
+    def remove(self, key: Key) -> None:
+        if key in self._a1in:
+            del self._a1in[key]
+        elif key in self._am:
+            del self._am[key]
+        else:
+            raise KeyError(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._a1in or key in self._am
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def resident(self) -> Iterator[Key]:
+        yield from self._a1in
+        yield from self._am
+
+    # introspection helpers used by tests
+    @property
+    def probation_size(self) -> int:
+        """Current number of keys in the A1in probation queue."""
+        return len(self._a1in)
+
+    @property
+    def ghost_size(self) -> int:
+        """Current number of addresses remembered in the A1out ghost queue."""
+        return len(self._a1out)

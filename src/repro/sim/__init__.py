@@ -1,0 +1,20 @@
+"""Trace-driven simulator: driver, physical-memory model, run statistics."""
+
+from .curves import HugePageCurves, figure1_curves
+from .memory import OutOfMemoryError, PhysicalMemory
+from .simulator import DEFAULT_HUGE_PAGE_SIZES, simulate, sweep_huge_page_sizes
+from .stats import RunRecord
+from .tuning import best_static_h, static_h_costs
+
+__all__ = [
+    "PhysicalMemory",
+    "OutOfMemoryError",
+    "simulate",
+    "sweep_huge_page_sizes",
+    "DEFAULT_HUGE_PAGE_SIZES",
+    "RunRecord",
+    "figure1_curves",
+    "HugePageCurves",
+    "best_static_h",
+    "static_h_costs",
+]

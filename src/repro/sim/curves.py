@@ -1,0 +1,83 @@
+"""Miss-ratio curves: the Figure 1 experiment for *every* cache size at once.
+
+For LRU-managed, fully-associative caches, an access faults iff its
+Mattson stack distance reaches the capacity — so a single distance pass
+over the huge-page trace ``p // h`` yields the fault count for **all** TLB
+sizes and **all** RAM sizes simultaneously. This turns the paper's
+two-point experiment (one ℓ, one P) into full curves: how many TLB entries
+(or how much RAM) each huge-page size actually needs.
+
+Exact for LRU + LRU; use :func:`repro.sim.sweep_huge_page_sizes` for other
+policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stackdist import COLD, stack_distances
+from .._util import check_positive_int
+
+__all__ = ["HugePageCurves", "figure1_curves"]
+
+
+@dataclass(frozen=True, slots=True)
+class HugePageCurves:
+    """All-capacities fault curves for one huge-page size.
+
+    ``faults(c)`` is the LRU fault count of the measured window for a
+    cache of ``c`` *huge-page* frames; interpret it as TLB misses when
+    ``c = ℓ`` and as huge-frame faults when ``c = P/h`` (multiply by ``h``
+    for IOs).
+    """
+
+    h: int
+    n_measured: int
+    _cold: int
+    _distance_hist: np.ndarray  # hist[d] = measured accesses with distance d
+
+    def faults(self, capacity: int) -> int:
+        """Fault count at *capacity* huge-page frames."""
+        check_positive_int(capacity, "capacity")
+        hist = self._distance_hist
+        hits = int(hist[:capacity].sum()) if capacity <= len(hist) else int(hist.sum())
+        return self._cold + (self.n_measured - self._cold - hits)
+
+    def tlb_misses(self, tlb_entries: int) -> int:
+        return self.faults(tlb_entries)
+
+    def ios(self, ram_pages: int) -> int:
+        """IO count with *ram_pages* base-page frames of RAM (amplified ×h)."""
+        frames = max(1, ram_pages // self.h)
+        return self.faults(frames) * self.h
+
+
+def figure1_curves(trace, sizes, *, warmup: int = 0) -> list[HugePageCurves]:
+    """One :class:`HugePageCurves` per huge-page size in *sizes*.
+
+    The first *warmup* accesses warm the (implicit) caches: their faults
+    are excluded, but they contribute recency state — identical semantics
+    to ``simulate(..., warmup=...)`` with LRU.
+    """
+    trace = np.asarray(trace, dtype=np.int64)
+    if not (0 <= warmup <= len(trace)):
+        raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
+    out = []
+    for h in sizes:
+        check_positive_int(h, "huge page size")
+        hp = trace // h
+        dists = stack_distances(hp)[warmup:]
+        cold = int((dists == COLD).sum())
+        warm = dists[dists != COLD]
+        hist = np.bincount(warm) if len(warm) else np.zeros(1, dtype=np.int64)
+        out.append(
+            HugePageCurves(
+                h=int(h),
+                n_measured=len(dists),
+                _cold=cold,
+                _distance_hist=hist,
+            )
+        )
+    return out

@@ -1,0 +1,132 @@
+"""Physical-memory substrate: frames, contiguous runs, fragmentation.
+
+Physical huge pages need *physically contiguous* frame runs; this module
+models the machine's frame map so experiments can quantify the
+fragmentation effect (the paper's third IO cost of huge pages): after a
+workload mixes allocation sizes, the largest free run shrinks even when
+plenty of total memory is free, and a huge-page allocation then requires
+evictions.
+
+Runs are allocated first-fit over an explicit free-run index (a sorted dict
+of start → length), so allocation and free are O(log F) with coalescing.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from .._util import check_positive_int
+
+__all__ = ["PhysicalMemory", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(Exception):
+    """No free run long enough for the requested allocation."""
+
+
+class PhysicalMemory:
+    """A frame allocator supporting aligned contiguous runs.
+
+    Parameters
+    ----------
+    frames:
+        Total number of physical frames.
+
+    Notes
+    -----
+    ``allocate(n, align)`` returns the start frame of a free run of length
+    ``n`` whose start is a multiple of ``align`` (hardware huge pages must
+    be size-aligned). ``free(start, n)`` releases it, coalescing neighbours.
+    """
+
+    def __init__(self, frames: int) -> None:
+        self.frames = check_positive_int(frames, "frames")
+        # sorted, disjoint, coalesced free runs
+        self._starts: list[int] = [0]
+        self._lengths: dict[int, int] = {0: frames}
+        self._allocated: dict[int, int] = {}  # start -> length
+        self.free_frames = frames
+
+    # ------------------------------------------------------------------ api
+
+    def allocate(self, n: int = 1, align: int = 1) -> int:
+        """First-fit allocate an *align*-aligned run of *n* frames.
+
+        Raises :class:`OutOfMemoryError` when no (aligned) run fits — even
+        if ``free_frames >= n`` (external fragmentation).
+        """
+        check_positive_int(n, "n")
+        check_positive_int(align, "align")
+        for i, start in enumerate(self._starts):
+            length = self._lengths[start]
+            aligned = -(-start // align) * align  # round start up to align
+            waste = aligned - start
+            if length - waste >= n:
+                self._take(i, start, aligned, n)
+                self._allocated[aligned] = n
+                self.free_frames -= n
+                return aligned
+        raise OutOfMemoryError(
+            f"no aligned free run of {n} frames (free={self.free_frames}, "
+            f"largest={self.largest_free_run()})"
+        )
+
+    def free(self, start: int) -> None:
+        """Release the run previously returned by :meth:`allocate`."""
+        n = self._allocated.pop(start)  # raises KeyError if not allocated
+        self.free_frames += n
+        self._insert_run(start, n)
+
+    def is_allocated(self, start: int) -> bool:
+        return start in self._allocated
+
+    # ---------------------------------------------------------- diagnostics
+
+    def largest_free_run(self) -> int:
+        """Length of the longest free run (0 when memory is full)."""
+        return max(self._lengths.values(), default=0)
+
+    def external_fragmentation(self) -> float:
+        """``1 − largest_free_run / free_frames`` (0.0 when nothing is free
+        or the free space is one run) — the classic fragmentation metric."""
+        if self.free_frames == 0:
+            return 0.0
+        return 1.0 - self.largest_free_run() / self.free_frames
+
+    def free_run_count(self) -> int:
+        return len(self._starts)
+
+    # ------------------------------------------------------------ internals
+
+    def _take(self, i: int, start: int, aligned: int, n: int) -> None:
+        """Carve [aligned, aligned+n) out of the free run at index *i*."""
+        length = self._lengths.pop(start)
+        del self._starts[i]
+        if aligned > start:  # leading remainder
+            self._insert_run(start, aligned - start, coalesce=False)
+        tail = (start + length) - (aligned + n)
+        if tail > 0:  # trailing remainder
+            self._insert_run(aligned + n, tail, coalesce=False)
+
+    def _insert_run(self, start: int, length: int, *, coalesce: bool = True) -> None:
+        i = bisect.bisect_left(self._starts, start)
+        if coalesce:
+            # merge with successor
+            if i < len(self._starts) and self._starts[i] == start + length:
+                nxt = self._starts[i]
+                length += self._lengths.pop(nxt)
+                del self._starts[i]
+            # merge with predecessor
+            if i > 0:
+                prev = self._starts[i - 1]
+                if prev + self._lengths[prev] == start:
+                    self._lengths[prev] += length
+                    return
+        self._starts.insert(i, start)
+        self._lengths[start] = length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PhysicalMemory frames={self.frames} free={self.free_frames} "
+            f"runs={len(self._starts)} largest={self.largest_free_run()}>"
+        )

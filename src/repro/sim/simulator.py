@@ -1,0 +1,83 @@
+"""Trace-driven simulation driver (paper Section 6).
+
+``simulate`` replays a trace through any memory-management algorithm with
+the paper's warm-up/measure split: the cache state persists across the
+boundary but the counters restart, so the reported IOs and TLB misses are
+steady-state, exactly as in the Figure 1 experiments.
+
+``sweep_huge_page_sizes`` is the Figure 1 engine: one
+:class:`~repro.mmu.hugepage.PhysicalHugePageMM` run per huge-page size
+``h ∈ {1, 2, 4, …}``, returning the (IOs, TLB misses) series the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core import CostLedger
+from ..mmu import MemoryManagementAlgorithm, PhysicalHugePageMM
+from ..paging import LRUPolicy, ReplacementPolicy
+from .stats import RunRecord
+
+__all__ = ["simulate", "sweep_huge_page_sizes", "DEFAULT_HUGE_PAGE_SIZES"]
+
+#: The paper's sweep: h ∈ {1, 2, 4, …, 1024}.
+DEFAULT_HUGE_PAGE_SIZES: tuple[int, ...] = tuple(2**k for k in range(11))
+
+
+def simulate(
+    mm: MemoryManagementAlgorithm,
+    trace,
+    *,
+    warmup: int = 0,
+) -> CostLedger:
+    """Replay *trace* through *mm*; counters reset after *warmup* accesses.
+
+    Returns the measurement-phase ledger (which is ``mm.ledger``).
+    """
+    trace = np.asarray(trace)
+    if warmup < 0 or warmup > len(trace):
+        raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
+    if warmup:
+        mm.run(trace[:warmup])
+        mm.reset_stats()
+    return mm.run(trace[warmup:])
+
+
+def sweep_huge_page_sizes(
+    trace,
+    *,
+    tlb_entries: int,
+    ram_pages: int,
+    sizes: Sequence[int] = DEFAULT_HUGE_PAGE_SIZES,
+    warmup: int = 0,
+    tlb_policy_factory: Callable[[], ReplacementPolicy] = LRUPolicy,
+    ram_policy_factory: Callable[[], ReplacementPolicy] = LRUPolicy,
+) -> list[RunRecord]:
+    """Run the Section 6 experiment: one physical-huge-page simulation per
+    huge-page size, all on the same trace.
+
+    Returns one :class:`~repro.sim.stats.RunRecord` per size with
+    ``params={"h": size}`` — the two Figure 1 series are
+    ``[r.ios for r in records]`` and ``[r.tlb_misses for r in records]``.
+    """
+    records = []
+    for h in sizes:
+        # round RAM down to a whole number of huge frames (a ≤h-page
+        # difference — negligible at every scale we sweep)
+        ram_h = (ram_pages // h) * h
+        if ram_h < h:
+            continue
+        mm = PhysicalHugePageMM(
+            tlb_entries,
+            ram_h,
+            huge_page_size=h,
+            tlb_policy=tlb_policy_factory(),
+            ram_policy=ram_policy_factory(),
+        )
+        ledger = simulate(mm, trace, warmup=warmup)
+        records.append(RunRecord(algorithm=mm.name, ledger=ledger, params={"h": h}))
+    return records

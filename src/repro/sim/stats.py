@@ -1,0 +1,39 @@
+"""Derived statistics for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import ATCostModel, CostLedger
+
+__all__ = ["RunRecord"]
+
+
+@dataclass(slots=True)
+class RunRecord:
+    """One (algorithm, parameter point) measurement of a sweep.
+
+    ``params`` carries the sweep coordinates (e.g. ``{"h": 64}``); the
+    convenience accessors expose the Figure 1 series and the total cost at
+    any ε.
+    """
+
+    algorithm: str
+    ledger: CostLedger
+    params: dict = field(default_factory=dict)
+
+    @property
+    def ios(self) -> int:
+        return self.ledger.ios
+
+    @property
+    def tlb_misses(self) -> int:
+        return self.ledger.tlb_misses
+
+    def cost(self, epsilon: float) -> float:
+        """Total address-translation cost ``C`` at the given ε."""
+        return ATCostModel(epsilon=epsilon).cost(self.ledger)
+
+    def as_row(self) -> dict:
+        """Flat dict for table printing / npz export."""
+        return {"algorithm": self.algorithm, **self.params, **self.ledger.as_dict()}

@@ -1,0 +1,61 @@
+"""Choosing the cost-optimal static huge-page size — and why it's fragile.
+
+Given a trace and machine parameters, the Mattson curves of
+:func:`~repro.sim.curves.figure1_curves` price every huge-page size
+exactly (for LRU); :func:`best_static_h` returns the argmin. The paper's
+argument is that this argmin is a moving target (it shifts with ε, with
+RAM, and with the workload — see ``bench_sensitivity``), which is why a
+decoupled scheme that never has to choose wins.
+"""
+
+from __future__ import annotations
+
+from ..core.model import ATCostModel
+from .curves import figure1_curves
+from .simulator import DEFAULT_HUGE_PAGE_SIZES
+
+__all__ = ["best_static_h", "static_h_costs"]
+
+
+def static_h_costs(
+    trace,
+    *,
+    tlb_entries: int,
+    ram_pages: int,
+    epsilon: float,
+    sizes=DEFAULT_HUGE_PAGE_SIZES,
+    warmup: int = 0,
+) -> dict[int, float]:
+    """Total address-translation cost of each static huge-page size."""
+    model = ATCostModel(epsilon=epsilon)
+    out = {}
+    for curve in figure1_curves(trace, sizes, warmup=warmup):
+        from ..core.model import CostLedger
+
+        ledger = CostLedger(
+            ios=curve.ios(ram_pages), tlb_misses=curve.tlb_misses(tlb_entries)
+        )
+        out[curve.h] = model.cost(ledger)
+    return out
+
+
+def best_static_h(
+    trace,
+    *,
+    tlb_entries: int,
+    ram_pages: int,
+    epsilon: float,
+    sizes=DEFAULT_HUGE_PAGE_SIZES,
+    warmup: int = 0,
+) -> tuple[int, float]:
+    """The cost-minimizing static huge-page size and its cost."""
+    costs = static_h_costs(
+        trace,
+        tlb_entries=tlb_entries,
+        ram_pages=ram_pages,
+        epsilon=epsilon,
+        sizes=sizes,
+        warmup=warmup,
+    )
+    h = min(costs, key=costs.get)
+    return h, costs[h]

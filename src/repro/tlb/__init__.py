@@ -1,0 +1,25 @@
+"""TLB substrate: fully-associative, set-associative, multi-size, and
+coalescing models."""
+
+from .asid import AsidTaggedTLB, FlushingTLB
+from .coalescing import CoalescingTLB
+from .entry import TLBEntry, coverage_range, huge_page_of
+from .hierarchy import TwoLevelTLB
+from .prefetch import PrefetchingTLB
+from .multi import CASCADE_LAKE_L2, MultiSizeTLB
+from .tlb import TLB, SetAssociativeTLB
+
+__all__ = [
+    "TLB",
+    "SetAssociativeTLB",
+    "MultiSizeTLB",
+    "CASCADE_LAKE_L2",
+    "CoalescingTLB",
+    "AsidTaggedTLB",
+    "FlushingTLB",
+    "TwoLevelTLB",
+    "PrefetchingTLB",
+    "TLBEntry",
+    "huge_page_of",
+    "coverage_range",
+]

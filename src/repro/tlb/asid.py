@@ -1,0 +1,104 @@
+"""Context switches and the TLB: flushing vs ASID tagging.
+
+The paper's introduction notes that modern TLBs hold translations for
+multiple applications simultaneously. Hardware got there in two steps:
+legacy TLBs *flushed* on every context switch (each tenant restarts cold),
+while tagged TLBs attach an address-space identifier (ASID) to each entry
+and let tenants' entries compete for capacity instead. These two wrappers
+make the difference measurable on interleaved traces.
+
+Both wrap the plain :class:`~repro.tlb.tlb.TLB` and present a
+``lookup(asid, hpn)`` / ``fill(asid, hpn, value)`` interface.
+"""
+
+from __future__ import annotations
+
+from ..paging import LRUPolicy, ReplacementPolicy
+from .tlb import TLB
+
+__all__ = ["AsidTaggedTLB", "FlushingTLB"]
+
+
+class AsidTaggedTLB:
+    """Entries tagged by (ASID, huge page); switches cost nothing, capacity
+    is shared."""
+
+    def __init__(
+        self,
+        entries: int,
+        value_bits: int = 64,
+        policy: ReplacementPolicy | None = None,
+    ) -> None:
+        self._tlb = TLB(entries, value_bits, policy or LRUPolicy())
+        self.switches = 0
+        self._current_asid: int | None = None
+
+    def lookup(self, asid: int, hpn: int) -> int | None:
+        if asid != self._current_asid:
+            self.switches += self._current_asid is not None
+            self._current_asid = asid
+        return self._tlb.lookup((asid, hpn))
+
+    def fill(self, asid: int, hpn: int, value: int = 0) -> None:
+        self._tlb.fill((asid, hpn), value)
+
+    @property
+    def hits(self) -> int:
+        return self._tlb.hits
+
+    @property
+    def misses(self) -> int:
+        return self._tlb.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self._tlb.miss_rate
+
+    def __len__(self) -> int:
+        return len(self._tlb)
+
+
+class FlushingTLB:
+    """Legacy behaviour: the whole TLB is invalidated on every ASID change."""
+
+    def __init__(
+        self,
+        entries: int,
+        value_bits: int = 64,
+        policy_factory=LRUPolicy,
+    ) -> None:
+        self.entries = entries
+        self.value_bits = value_bits
+        self._policy_factory = policy_factory
+        self._tlb = TLB(entries, value_bits, policy_factory())
+        self._current_asid: int | None = None
+        self.switches = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, asid: int, hpn: int) -> int | None:
+        if asid != self._current_asid:
+            if self._current_asid is not None:
+                self.switches += 1
+                # flush: new empty TLB, stats carried over externally
+                self._tlb = TLB(self.entries, self.value_bits, self._policy_factory())
+            self._current_asid = asid
+        out = self._tlb.lookup(hpn)
+        if out is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return out
+
+    def fill(self, asid: int, hpn: int, value: int = 0) -> None:
+        if asid != self._current_asid:
+            raise ValueError("fill must follow a lookup for the same ASID")
+        self._tlb.fill(hpn, value)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._tlb)

@@ -1,0 +1,155 @@
+"""Coalescing TLB — the CoLT / Translation-Ranger family (paper Section 7).
+
+Instead of architectural huge pages, these designs let one TLB entry cover
+a *run* of translations whenever the OS happened to map virtually
+contiguous pages to physically contiguous frames ("incidental
+contiguity"). Coverage is therefore opportunistic: sequential allocation
+gives long runs; hashed low-associativity placement (the paper's
+decoupling substrate) gives none — which is exactly the contrast our
+benchmarks draw.
+
+An entry is ``(start_vpn, length, start_pfn)`` with ``length ≤
+max_coalesce``; a fill extends an adjacent entry when the new translation
+continues its arithmetic progression, else starts a fresh entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .._util import check_positive_int
+
+__all__ = ["CoalescingTLB"]
+
+
+class _Run:
+    __slots__ = ("vpn", "pfn", "length")
+
+    def __init__(self, vpn: int, pfn: int, length: int = 1) -> None:
+        self.vpn = vpn
+        self.pfn = pfn
+        self.length = length
+
+    def covers(self, vpn: int) -> bool:
+        return self.vpn <= vpn < self.vpn + self.length
+
+    def translate(self, vpn: int) -> int:
+        return self.pfn + (vpn - self.vpn)
+
+
+class CoalescingTLB:
+    """An LRU TLB whose entries cover contiguous translation runs.
+
+    Parameters
+    ----------
+    entries:
+        Number of run entries (each costs one tag, like CoLT).
+    max_coalesce:
+        Longest run a single entry may cover (hardware: 4–8 for CoLT,
+        larger for range TLBs).
+    """
+
+    def __init__(self, entries: int, max_coalesce: int = 8) -> None:
+        self.entries = check_positive_int(entries, "entries")
+        self.max_coalesce = check_positive_int(max_coalesce, "max_coalesce")
+        self._runs: OrderedDict[int, _Run] = OrderedDict()  # start vpn -> run
+        self._cover: dict[int, _Run] = {}  # vpn -> run
+        self.hits = 0
+        self.misses = 0
+        self.coalesces = 0
+
+    # ------------------------------------------------------------------ api
+
+    def lookup(self, vpn: int) -> int | None:
+        """Translate *vpn*: its pfn on a hit (refreshing LRU), else None."""
+        run = self._cover.get(vpn)
+        if run is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._runs.move_to_end(run.vpn)
+        return run.translate(vpn)
+
+    def fill(self, vpn: int, pfn: int) -> None:
+        """Install the translation *vpn* → *pfn*, coalescing if contiguous.
+
+        Raises ValueError if *vpn* is already covered.
+        """
+        if vpn in self._cover:
+            raise ValueError(f"vpn {vpn} already covered")
+        # extend a preceding run ending exactly at (vpn, pfn)?
+        prev = self._cover.get(vpn - 1)
+        if (
+            prev is not None
+            and prev.length < self.max_coalesce
+            and prev.translate(vpn - 1) + 1 == pfn
+        ):
+            prev.length += 1
+            self._cover[vpn] = prev
+            self._runs.move_to_end(prev.vpn)
+            self.coalesces += 1
+            return
+        # extend a following run starting exactly at (vpn+1, pfn+1)?
+        nxt = self._cover.get(vpn + 1)
+        if nxt is not None and nxt.length < self.max_coalesce and nxt.pfn == pfn + 1:
+            del self._runs[nxt.vpn]
+            nxt.vpn = vpn
+            nxt.pfn = pfn
+            nxt.length += 1
+            self._cover[vpn] = nxt
+            self._runs[vpn] = nxt
+            self._runs.move_to_end(vpn)
+            self.coalesces += 1
+            return
+        # fresh entry
+        if len(self._runs) >= self.entries:
+            _, victim = self._runs.popitem(last=False)
+            self._drop_cover(victim)
+        run = _Run(vpn, pfn)
+        self._runs[vpn] = run
+        self._cover[vpn] = run
+
+    def invalidate(self, vpn: int) -> None:
+        """Shoot down the whole run covering *vpn* (as real coalesced TLBs
+        must — per-page invalidation splits are not implemented in
+        hardware). KeyError if not covered."""
+        run = self._cover[vpn]
+        del self._runs[run.vpn]
+        self._drop_cover(run)
+
+    def _drop_cover(self, run: _Run) -> None:
+        for v in range(run.vpn, run.vpn + run.length):
+            self._cover.pop(v, None)
+
+    # --------------------------------------------------------------- queries
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._cover
+
+    def __len__(self) -> int:
+        """Number of run entries in use (≤ entries)."""
+        return len(self._runs)
+
+    @property
+    def coverage(self) -> int:
+        """Total translations currently covered (Σ run lengths)."""
+        return len(self._cover)
+
+    @property
+    def mean_run_length(self) -> float:
+        """Average translations per entry — the 'reach multiplier'."""
+        return self.coverage / len(self._runs) if self._runs else 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.coalesces = 0

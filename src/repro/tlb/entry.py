@@ -1,0 +1,59 @@
+"""TLB entry representation.
+
+A TLB entry maps a *virtual huge-page address* (the high-order bits of a
+virtual address) to a ``w``-bit *value*. Classically the value is one
+physical huge-page address; under huge-page decoupling it is the packed
+array of per-base-page locations produced by
+:mod:`repro.core.encoding`. The entry's *coverage* is the set of base-page
+translations it can answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check_positive_int, is_power_of_two
+
+__all__ = ["TLBEntry", "huge_page_of", "coverage_range"]
+
+
+def huge_page_of(vpn: int, h: int) -> int:
+    """Virtual huge-page number containing base page *vpn* for huge-page
+    size ``h`` (the paper's ``r(v)`` divided by ``h``)."""
+    return vpn // h
+
+
+def coverage_range(hpn: int, h: int) -> range:
+    """Base-page numbers covered by huge page *hpn* of size *h*."""
+    return range(hpn * h, (hpn + 1) * h)
+
+
+@dataclass(frozen=True, slots=True)
+class TLBEntry:
+    """An immutable (huge page, size, value) triple.
+
+    ``page_size`` is the huge-page size in base pages (a power of two,
+    1 = base page). ``value`` is the raw ``w``-bit payload.
+    """
+
+    hpn: int
+    page_size: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.page_size, "page_size")
+        if not is_power_of_two(self.page_size):
+            raise ValueError(f"page_size must be a power of two, got {self.page_size}")
+        if self.hpn < 0:
+            raise ValueError(f"hpn must be non-negative, got {self.hpn}")
+        if self.value < 0:
+            raise ValueError(f"value must be non-negative, got {self.value}")
+
+    @property
+    def coverage(self) -> range:
+        """Base-page numbers this entry can translate."""
+        return coverage_range(self.hpn, self.page_size)
+
+    def covers(self, vpn: int) -> bool:
+        """True iff base page *vpn* falls inside this entry's huge page."""
+        return self.hpn == vpn // self.page_size

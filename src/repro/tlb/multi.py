@@ -1,0 +1,88 @@
+"""Multi-size TLB: dedicated TLBs per page size, as in real hardware.
+
+The paper's footnote 1 notes that real systems split the TLB by page size
+(e.g. Cascade Lake: a 1536-entry L2 TLB for 4 kB/2 MB pages and a separate
+16-entry TLB for 1 GB pages). This model lets benchmarks quantify how much
+of a huge page's coverage gain survives when the dedicated TLB is tiny.
+"""
+
+from __future__ import annotations
+
+from .._util import check_positive_int, is_power_of_two
+from ..paging import LRUPolicy
+from .tlb import TLB
+
+__all__ = ["MultiSizeTLB", "CASCADE_LAKE_L2"]
+
+#: Cascade Lake-like L2 dTLB layout: page size (in 4 kB base pages) → entries.
+CASCADE_LAKE_L2: dict[int, int] = {1: 1536, 512: 1536, 512 * 512: 16}
+
+
+class MultiSizeTLB:
+    """A bank of per-page-size TLBs sharing one hit/miss ledger.
+
+    Parameters
+    ----------
+    layout:
+        Mapping from huge-page size (in base pages, powers of two) to the
+        number of entries in that size's dedicated TLB.
+    value_bits:
+        Payload width shared by all banks.
+    """
+
+    def __init__(
+        self,
+        layout: dict[int, int],
+        value_bits: int = 64,
+        policy_factory=LRUPolicy,
+    ) -> None:
+        if not layout:
+            raise ValueError("layout must name at least one page size")
+        self.banks: dict[int, TLB] = {}
+        for size, entries in sorted(layout.items()):
+            check_positive_int(size, "page size")
+            if not is_power_of_two(size):
+                raise ValueError(f"page sizes must be powers of two, got {size}")
+            self.banks[size] = TLB(entries, value_bits, policy_factory())
+
+    def bank_for(self, page_size: int) -> TLB:
+        """The dedicated TLB for *page_size*; KeyError if unsupported."""
+        try:
+            return self.banks[page_size]
+        except KeyError:
+            raise KeyError(
+                f"no TLB bank for page size {page_size}; "
+                f"supported sizes: {sorted(self.banks)}"
+            ) from None
+
+    def lookup(self, vpn: int, page_size: int) -> int | None:
+        """Translate base page *vpn* mapped at *page_size* granularity."""
+        return self.bank_for(page_size).lookup(vpn // page_size)
+
+    def fill(self, vpn: int, page_size: int, value: int = 0) -> int | None:
+        """Install the translation covering *vpn* at *page_size* granularity."""
+        return self.bank_for(page_size).fill(vpn // page_size, value)
+
+    def invalidate(self, vpn: int, page_size: int) -> None:
+        self.bank_for(page_size).invalidate(vpn // page_size)
+
+    @property
+    def hits(self) -> int:
+        return sum(b.hits for b in self.banks.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(b.misses for b in self.banks.values())
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        for b in self.banks.values():
+            b.reset_stats()

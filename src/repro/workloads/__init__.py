@@ -1,0 +1,40 @@
+"""Workload generators: the Figure 1 traces and supporting patterns.
+
+* :class:`BimodalWorkload` — Fig 1a (hot region + cold space);
+* :class:`RandomWalkWorkload` — Fig 1b (Pareto graph walk);
+* :class:`Graph500Workload` — Fig 1c (Kronecker BFS page trace);
+* :class:`ZipfWorkload`, :class:`SequentialWorkload`,
+  :class:`StridedWorkload`, :class:`UniformWorkload` — calibration and
+  ablation patterns.
+"""
+
+from .base import Workload, bounded_power_law_sampler
+from .bimodal import BimodalWorkload
+from .btree import BTreeLookupWorkload
+from .graph500 import PAGE_ELEMS, Graph500Workload, KroneckerGraph
+from .interleave import InterleavedWorkload
+from .markov import MarkovPhaseWorkload
+from .randomwalk import RandomWalkWorkload
+from .sequential import SequentialWorkload, StridedWorkload
+from .trace_io import load_trace, save_trace
+from .uniform import UniformWorkload
+from .zipf import ZipfWorkload
+
+__all__ = [
+    "Workload",
+    "bounded_power_law_sampler",
+    "BimodalWorkload",
+    "BTreeLookupWorkload",
+    "InterleavedWorkload",
+    "MarkovPhaseWorkload",
+    "RandomWalkWorkload",
+    "Graph500Workload",
+    "KroneckerGraph",
+    "PAGE_ELEMS",
+    "ZipfWorkload",
+    "SequentialWorkload",
+    "StridedWorkload",
+    "UniformWorkload",
+    "save_trace",
+    "load_trace",
+]

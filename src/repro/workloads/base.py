@@ -1,0 +1,63 @@
+"""Workload abstraction and shared sampling helpers.
+
+A workload generates a virtual-page access trace — a 1-D ``int64`` numpy
+array of virtual page numbers in ``[0, va_pages)``. Generation is
+numpy-vectorized wherever the access process allows (per the HPC guides);
+inherently sequential processes (graph walks, BFS) vectorize per step or per
+level.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+
+__all__ = ["Workload", "bounded_power_law_sampler"]
+
+
+class Workload(ABC):
+    """A reproducible generator of virtual-page traces."""
+
+    #: short registry name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, va_pages: int) -> None:
+        #: virtual address space size in base pages (the paper's ``V``).
+        self.va_pages = check_positive_int(va_pages, "va_pages")
+
+    @abstractmethod
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        """Produce a trace of *n* page accesses (int64, in ``[0, va_pages)``)."""
+
+    def _check_n(self, n: int) -> int:
+        return check_positive_int(n, "n")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} va_pages={self.va_pages}>"
+
+
+def bounded_power_law_sampler(n_items: int, exponent: float):
+    """Return a vectorized sampler of ``{0, …, n_items−1}`` with
+    ``P(i) ∝ (i+1)^(−exponent)``.
+
+    This is the paper's "Pareto distributed with parameter α" over a finite
+    page set (exponent = α + 1), implemented by inverse-CDF lookup: one
+    cumulative array, then ``searchsorted`` per batch — O(log n) per draw,
+    fully vectorized.
+    """
+    check_positive_int(n_items, "n_items")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    weights = np.arange(1, n_items + 1, dtype=np.float64) ** (-exponent)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+
+    def sample(size: int, rng) -> np.ndarray:
+        rng = as_rng(rng)
+        u = rng.random(size)
+        return np.searchsorted(cdf, u, side="left").astype(np.int64)
+
+    return sample

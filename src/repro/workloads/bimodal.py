@@ -1,0 +1,69 @@
+"""Bimodal uniform workload — Figure 1a.
+
+99.99% of accesses are uniform over a small hot region; the remaining
+0.01% are uniform over the whole virtual address space. The paper designed
+it as the huge-page worst case: small ``h`` thrashes the TLB on the hot
+region, large ``h`` amplifies IOs on the cold accesses.
+
+Paper parameters: 64 GB VA, 1 GB hot region, 16 GB RAM (ratios
+64 : 1 : 16); our generator keeps the ratios and scales the absolute sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int, check_probability
+from .base import Workload
+
+__all__ = ["BimodalWorkload"]
+
+
+class BimodalWorkload(Workload):
+    """Hot-region/cold-space mixture.
+
+    Parameters
+    ----------
+    va_pages:
+        Total virtual pages ``V`` (paper: 64 GB / 4 kB = 16 M).
+    hot_pages:
+        Size of the hot region in pages (paper: 1 GB = 256 K → ``V/64``).
+        The region starts at page 0 — where it sits is immaterial to every
+        cache involved.
+    p_hot:
+        Probability that an access is a hot-region access (paper: 0.9999).
+    """
+
+    name = "bimodal"
+
+    def __init__(self, va_pages: int, hot_pages: int, p_hot: float = 0.9999) -> None:
+        super().__init__(va_pages)
+        self.hot_pages = check_positive_int(hot_pages, "hot_pages")
+        if hot_pages > va_pages:
+            raise ValueError(
+                f"hot_pages ({hot_pages}) cannot exceed va_pages ({va_pages})"
+            )
+        self.p_hot = check_probability(p_hot, "p_hot")
+
+    @classmethod
+    def paper_scaled(cls, scale_pages: int = 1 << 18) -> "BimodalWorkload":
+        """The paper's configuration scaled so ``V = scale_pages``.
+
+        Keeps ``hot = V/64`` and ``p_hot = 0.9999``. The matching RAM size
+        is ``V/4`` (16 GB of 64 GB) — see ``ram_pages``.
+        """
+        return cls(scale_pages, max(1, scale_pages // 64), 0.9999)
+
+    @property
+    def ram_pages(self) -> int:
+        """The paper-ratio RAM size for this VA size (16 GB : 64 GB = 1 : 4)."""
+        return max(1, self.va_pages // 4)
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        rng = as_rng(seed)
+        hot = rng.random(n) < self.p_hot
+        trace = rng.integers(0, self.va_pages, size=n, dtype=np.int64)
+        n_hot = int(hot.sum())
+        trace[hot] = rng.integers(0, self.hot_pages, size=n_hot, dtype=np.int64)
+        return trace

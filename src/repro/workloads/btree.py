@@ -1,0 +1,120 @@
+"""B-tree index-lookup workload — the database pattern behind the paper's
+THP citations.
+
+The paper's references [1–4] are database vendors telling users to disable
+transparent huge pages; the access pattern that makes databases special is
+the index probe: every query walks root → inner → leaf, so the top of the
+tree is red-hot (perfect for TLB coverage) while the leaf level is as cold
+and skewed as the key distribution (hostile to physical huge pages, which
+drag in whole leaf neighbourhoods). This generator emits the page-access
+stream of point lookups against a static B⁺-tree.
+
+Layout: levels are laid out level-by-level (root first) in one contiguous
+region, ``fanout`` keys per node, one node per page — the standard
+array-packed static B-tree (Eytzinger-style per level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from .base import Workload, bounded_power_law_sampler
+
+__all__ = ["BTreeLookupWorkload"]
+
+
+class BTreeLookupWorkload(Workload):
+    """Page accesses of zipf-distributed point lookups on a B⁺-tree.
+
+    Parameters
+    ----------
+    n_keys:
+        Keys stored in the tree.
+    fanout:
+        Children per inner node = keys per node = one node per page.
+    zipf_s:
+        Key-popularity skew (0 → uniform keys; database benchmarks use
+        0.8–1.2).
+    shuffle_keys:
+        Scatter key popularity across the leaf level (hot keys are not
+        physically adjacent — the realistic case).
+    """
+
+    name = "btree-lookup"
+
+    def __init__(
+        self,
+        n_keys: int,
+        fanout: int = 256,
+        zipf_s: float = 1.0,
+        *,
+        shuffle_keys: bool = True,
+        perm_seed=0,
+    ) -> None:
+        check_positive_int(n_keys, "n_keys")
+        self.fanout = check_positive_int(fanout, "fanout")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.n_keys = n_keys
+        # level sizes, leaves last
+        self.level_nodes: list[int] = []
+        nodes = max(1, -(-n_keys // fanout))  # leaves
+        self.level_nodes.append(nodes)
+        while nodes > 1:
+            nodes = -(-nodes // fanout)
+            self.level_nodes.append(nodes)
+        self.level_nodes.reverse()  # root first
+        # page offset of each level
+        self.level_base: list[int] = []
+        off = 0
+        for count in self.level_nodes:
+            self.level_base.append(off)
+            off += count
+        super().__init__(off)
+        if zipf_s > 0:
+            self._sampler = bounded_power_law_sampler(n_keys, zipf_s)
+        else:
+            self._sampler = None
+        self._perm: np.ndarray | None = None
+        if shuffle_keys:
+            self._perm = as_rng(perm_seed).permutation(n_keys).astype(np.int64)
+
+    @property
+    def depth(self) -> int:
+        """Tree levels (pages touched per lookup)."""
+        return len(self.level_nodes)
+
+    def pages_for_key(self, key: int) -> list[int]:
+        """Root→leaf page path for *key* (keys are leaf-ordered ranks)."""
+        if not (0 <= key < self.n_keys):
+            raise ValueError(f"key {key} outside [0, {self.n_keys})")
+        leaf = key // self.fanout
+        path = []
+        node = leaf
+        for level in range(self.depth - 1, -1, -1):
+            path.append(self.level_base[level] + node)
+            node //= self.fanout
+        path.reverse()
+        return path
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        rng = as_rng(seed)
+        depth = self.depth
+        n_lookups = -(-n // depth)
+        if self._sampler is not None:
+            keys = self._sampler(n_lookups, rng)
+        else:
+            keys = rng.integers(0, self.n_keys, size=n_lookups)
+        if self._perm is not None:
+            keys = self._perm[keys]
+        # vectorized root→leaf paths: per level, node index = key // f^(d-1-l)
+        fanout = self.fanout
+        out = np.empty((n_lookups, depth), dtype=np.int64)
+        leaf = keys // fanout
+        node = leaf
+        for level in range(depth - 1, -1, -1):
+            out[:, level] = self.level_base[level] + node
+            node = node // fanout
+        return out.reshape(-1)[:n]

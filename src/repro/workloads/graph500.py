@@ -1,0 +1,255 @@
+"""graph500-style BFS memory trace — Figure 1c's substitute.
+
+The paper replays a trace recorded from a real graph500 run (BFS over a
+large Kronecker graph) during a period of high memory pressure (~5 M
+accesses touching ~525 MB, simulated with a 520 MB cache). We cannot record
+that machine's trace, so we build the whole pipeline instead:
+
+1. a **Kronecker graph generator** following the graph500 specification
+   (R-MAT recursive quadrant sampling with (A, B, C, D) =
+   (0.57, 0.19, 0.19, 0.05), edgefactor 16, vertex relabeling);
+2. a **level-synchronous BFS** over the CSR representation;
+3. an instrumented run that emits the *page-level access stream* of the
+   BFS's three resident arrays — offsets (``xadj``), adjacency
+   (``adjncy``), and the parent/visited array — laid out in disjoint
+   virtual-address regions with 512 8-byte elements per 4 kB page.
+
+The figure depends only on the access-pattern class (sequential offset
+scans + irregular adjacency/parent probes over a power-law graph) and on
+the cache sitting just below the touched footprint; both are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from .base import Workload
+
+__all__ = ["KroneckerGraph", "Graph500Workload", "PAGE_ELEMS"]
+
+#: 8-byte elements per 4 kB page.
+PAGE_ELEMS = 512
+
+# graph500 initiator matrix
+_A, _B, _C = 0.57, 0.19, 0.19
+
+
+class KroneckerGraph:
+    """A graph500-spec Kronecker (R-MAT) graph in CSR form.
+
+    Parameters
+    ----------
+    scale:
+        ``N = 2**scale`` vertices.
+    edgefactor:
+        ``M = edgefactor · N`` undirected edges before dedup (spec: 16).
+    seed:
+        Generator seed (edge sampling and vertex relabeling).
+    """
+
+    def __init__(self, scale: int, edgefactor: int = 16, seed=0) -> None:
+        self.scale = check_positive_int(scale, "scale")
+        self.edgefactor = check_positive_int(edgefactor, "edgefactor")
+        self.n_vertices = 1 << scale
+        rng = as_rng(seed)
+        src, dst = self._sample_edges(rng)
+        # relabel vertices to kill the locality the recursion bakes in (spec step)
+        perm = rng.permutation(self.n_vertices).astype(np.int64)
+        src, dst = perm[src], perm[dst]
+        # symmetrize, drop self-loops, dedup
+        u = np.concatenate([src, dst])
+        v = np.concatenate([dst, src])
+        keep = u != v
+        u, v = u[keep], v[keep]
+        order = np.lexsort((v, u))
+        u, v = u[order], v[order]
+        if len(u):
+            uniq = np.concatenate([[True], (u[1:] != u[:-1]) | (v[1:] != v[:-1])])
+            u, v = u[uniq], v[uniq]
+        self.xadj = np.zeros(self.n_vertices + 1, dtype=np.int64)
+        np.add.at(self.xadj, u + 1, 1)
+        np.cumsum(self.xadj, out=self.xadj)
+        self.adjncy = v.copy()
+
+    def _sample_edges(self, rng) -> tuple[np.ndarray, np.ndarray]:
+        m = self.edgefactor * self.n_vertices
+        src = np.zeros(m, dtype=np.int64)
+        dst = np.zeros(m, dtype=np.int64)
+        for _ in range(self.scale):
+            r = rng.random(m)
+            src_bit = r > (_A + _B)  # quadrants C, D set the source bit
+            dst_bit = ((r > _A) & (r <= _A + _B)) | (r > (_A + _B + _C))
+            src = (src << 1) | src_bit
+            dst = (dst << 1) | dst_bit
+        return src, dst
+
+    @property
+    def n_edges(self) -> int:
+        """Directed edge count after symmetrization/dedup."""
+        return len(self.adjncy)
+
+    def degree(self, u: int) -> int:
+        return int(self.xadj[u + 1] - self.xadj[u])
+
+    def bfs(self, root: int) -> np.ndarray:
+        """Plain level-synchronous BFS; returns the parent array (−1 =
+        unreached). Used for correctness tests against networkx-free
+        references."""
+        parent = np.full(self.n_vertices, -1, dtype=np.int64)
+        parent[root] = root
+        frontier = np.array([root], dtype=np.int64)
+        while len(frontier):
+            starts = self.xadj[frontier]
+            ends = self.xadj[frontier + 1]
+            counts = ends - starts
+            if counts.sum() == 0:
+                break
+            eidx = _expand_ranges(starts, counts)
+            vs = self.adjncy[eidx]
+            fresh = parent[vs] == -1
+            vs_new = vs[fresh]
+            us_new = np.repeat(frontier, counts)[fresh]
+            # first writer wins within the level
+            first = _first_occurrence_mask(vs_new)
+            vs_new, us_new = vs_new[first], us_new[first]
+            parent[vs_new] = us_new
+            frontier = vs_new
+        return parent
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s+c)`` for every (s, c) pair, vectorized.
+
+    The classic cumsum trick: an all-ones array with a corrective jump at
+    each range boundary integrates to the concatenated ranges.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nonzero = counts > 0
+    starts, counts = starts[nonzero], counts[nonzero]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    boundaries = np.cumsum(counts)[:-1]  # strictly increasing: counts > 0
+    out[boundaries] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
+
+
+def _first_occurrence_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask keeping the first occurrence of each value, preserving
+    order."""
+    seen = {}
+    mask = np.zeros(len(values), dtype=bool)
+    for i, v in enumerate(values.tolist()):
+        if v not in seen:
+            seen[v] = i
+            mask[i] = True
+    return mask
+
+
+class Graph500Workload(Workload):
+    """Page-access trace of a level-synchronous BFS over a Kronecker graph.
+
+    Virtual layout (disjoint regions, 512 elements/page):
+    ``[xadj | adjncy | parent]``. Every BFS step emits, in order: the
+    frontier's offset reads, then for each traversed edge its adjacency
+    read followed by its parent probe — the same interleaving a CSR BFS
+    performs.
+
+    ``generate(n)`` runs BFS traversals from random roots until ``n``
+    accesses accumulate, then truncates — mirroring the paper's fixed-length
+    trace window. The paper recorded its window "during a period of high
+    memory pressure and high TLB miss rate": pass ``skip_fraction > 0`` to
+    start each traversal's contribution that far into the BFS, where the
+    frontier has left the contiguous hub blocks and touches scattered
+    low-degree adjacency pages — the regime in which huge pages dilute the
+    cache most.
+    """
+
+    name = "graph500"
+
+    def __init__(
+        self,
+        scale: int = 14,
+        edgefactor: int = 16,
+        graph_seed=0,
+        skip_fraction: float = 0.0,
+    ) -> None:
+        if not (0.0 <= skip_fraction < 1.0):
+            raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+        self.skip_fraction = skip_fraction
+        self.graph = KroneckerGraph(scale, edgefactor, seed=graph_seed)
+        g = self.graph
+        self._xadj_base = 0
+        self._adj_base = (len(g.xadj) + PAGE_ELEMS - 1) // PAGE_ELEMS
+        adj_pages = (len(g.adjncy) + PAGE_ELEMS - 1) // PAGE_ELEMS
+        self._parent_base = self._adj_base + max(1, adj_pages)
+        parent_pages = (g.n_vertices + PAGE_ELEMS - 1) // PAGE_ELEMS
+        super().__init__(self._parent_base + max(1, parent_pages))
+
+    @property
+    def footprint_pages(self) -> int:
+        """Pages the BFS data structures span — the 'touched' footprint the
+        paper sets its cache just below."""
+        return self.va_pages
+
+    def ram_pages(self, pressure: float = 0.99) -> int:
+        """Cache size at the given fraction of the footprint (paper: 520 MB
+        of 525 MB touched ≈ 0.99)."""
+        return max(1, int(self.footprint_pages * pressure))
+
+    def generate(self, n: int, seed=None, *, skip_fraction: float | None = None) -> np.ndarray:
+        n = self._check_n(n)
+        if skip_fraction is None:
+            skip_fraction = self.skip_fraction
+        if not (0.0 <= skip_fraction < 1.0):
+            raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+        rng = as_rng(seed)
+        chunks: list[np.ndarray] = []
+        total = 0
+        while total < n:
+            root = int(rng.integers(0, self.graph.n_vertices))
+            traversal = list(self._bfs_trace(root))
+            if skip_fraction:
+                flat = np.concatenate(traversal) if traversal else np.empty(0, np.int64)
+                flat = flat[int(len(flat) * skip_fraction) :]
+                traversal = [flat]
+            for chunk in traversal:
+                chunks.append(chunk)
+                total += len(chunk)
+        return np.concatenate(chunks)[:n]
+
+    # ------------------------------------------------------------ internals
+
+    def _bfs_trace(self, root: int):
+        """Yield page-access chunks for one BFS from *root*."""
+        g = self.graph
+        parent = np.full(g.n_vertices, -1, dtype=np.int64)
+        parent[root] = root
+        frontier = np.array([root], dtype=np.int64)
+        while len(frontier):
+            starts = g.xadj[frontier]
+            ends = g.xadj[frontier + 1]
+            counts = ends - starts
+            # offset reads: xadj[u] and xadj[u+1] for each frontier vertex
+            offs = np.empty(2 * len(frontier), dtype=np.int64)
+            offs[0::2] = self._xadj_base + frontier // PAGE_ELEMS
+            offs[1::2] = self._xadj_base + (frontier + 1) // PAGE_ELEMS
+            yield offs
+            if counts.sum() == 0:
+                return
+            eidx = _expand_ranges(starts, counts)
+            vs = g.adjncy[eidx]
+            # per-edge interleaving: adjacency read, then parent probe
+            per_edge = np.empty(2 * len(eidx), dtype=np.int64)
+            per_edge[0::2] = self._adj_base + eidx // PAGE_ELEMS
+            per_edge[1::2] = self._parent_base + vs // PAGE_ELEMS
+            yield per_edge
+            fresh = parent[vs] == -1
+            vs_new = vs[fresh]
+            us_new = np.repeat(frontier, counts)[fresh]
+            first = _first_occurrence_mask(vs_new)
+            vs_new, us_new = vs_new[first], us_new[first]
+            parent[vs_new] = us_new
+            frontier = vs_new

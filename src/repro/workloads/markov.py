@@ -1,0 +1,79 @@
+"""Markov-modulated phase workloads.
+
+Real programs run in phases (pointer-chasing, scans, bursts of locality);
+working sets shift at phase boundaries, which is where paging policies and
+TLB coverage earn or lose their keep. This generator switches between
+member workloads according to a Markov chain, with geometrically
+distributed dwell times — the standard phase model in memory-systems
+evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from .base import Workload
+
+__all__ = ["MarkovPhaseWorkload"]
+
+
+class MarkovPhaseWorkload(Workload):
+    """Phase-switching mixture of workloads.
+
+    Parameters
+    ----------
+    phases:
+        Member workloads (all share one address space — phases revisit the
+        same pages, unlike :class:`InterleavedWorkload`'s tenants).
+    transition:
+        Row-stochastic ``k×k`` matrix; ``transition[i][j]`` is the
+        probability that phase ``i`` hands over to phase ``j`` when it
+        ends. Defaults to uniform-over-others.
+    mean_dwell:
+        Expected accesses per phase visit (geometric).
+    """
+
+    name = "markov-phases"
+
+    def __init__(self, phases, transition=None, mean_dwell: int = 1000) -> None:
+        phases = list(phases)
+        if not phases:
+            raise ValueError("need at least one phase workload")
+        self.phases = phases
+        self.mean_dwell = check_positive_int(mean_dwell, "mean_dwell")
+        k = len(phases)
+        if transition is None:
+            if k == 1:
+                transition = np.ones((1, 1))
+            else:
+                transition = np.full((k, k), 1.0 / (k - 1))
+                np.fill_diagonal(transition, 0.0)
+        transition = np.asarray(transition, dtype=np.float64)
+        if transition.shape != (k, k):
+            raise ValueError(
+                f"transition must be {k}x{k}, got {transition.shape}"
+            )
+        if (transition < 0).any() or not np.allclose(transition.sum(axis=1), 1.0):
+            raise ValueError("transition rows must be non-negative and sum to 1")
+        self.transition = transition
+        super().__init__(max(p.va_pages for p in phases))
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        rng = as_rng(seed)
+        out = np.empty(n, dtype=np.int64)
+        phase = int(rng.integers(len(self.phases)))
+        boundaries = []  # (start index, phase) for introspection via last_schedule
+        filled = 0
+        while filled < n:
+            dwell = int(rng.geometric(1.0 / self.mean_dwell))
+            take = min(dwell, n - filled)
+            boundaries.append((filled, phase))
+            out[filled : filled + take] = self.phases[phase].generate(
+                take, seed=rng.integers(1 << 62)
+            )
+            filled += take
+            phase = int(rng.choice(len(self.phases), p=self.transition[phase]))
+        self.last_schedule = boundaries
+        return out

@@ -1,0 +1,99 @@
+"""Random walk on a page graph — Figure 1b.
+
+Each page is a node with a logarithmic number of outgoing edges whose
+destinations are Pareto-distributed over all pages with parameter
+``α = 0.01`` (``P(edge → page i) ∝ i^{−α−1}``) — a PageRank-flavoured
+irregular access pattern. Paper parameters: 64 GB VA, 32 GB RAM (ratio
+2 : 1); we keep the ratio and scale the sizes.
+
+The edge table is materialized once per (va_pages, seed) — ``V·⌈log₂V⌉``
+int32 entries — so repeated generation reuses it; the walk itself is the
+only sequential loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import as_rng
+from .base import Workload, bounded_power_law_sampler
+
+__all__ = ["RandomWalkWorkload"]
+
+
+class RandomWalkWorkload(Workload):
+    """Pareto-destination random graph walk.
+
+    Parameters
+    ----------
+    va_pages:
+        Node/page count ``V``.
+    alpha:
+        Pareto parameter (paper: 0.01); edge destinations follow
+        ``P(i) ∝ i^{−α−1}``.
+    out_degree:
+        Edges per node; defaults to ``max(2, ⌈log₂ V⌉)`` ("a logarithmic
+        number of outgoing edges").
+    graph_seed:
+        Seed for the graph structure; kept separate from the walk seed so
+        one graph can be walked many times.
+    """
+
+    name = "random-walk"
+
+    def __init__(
+        self,
+        va_pages: int,
+        alpha: float = 0.01,
+        out_degree: int | None = None,
+        graph_seed=0,
+    ) -> None:
+        super().__init__(va_pages)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self.out_degree = (
+            out_degree
+            if out_degree is not None
+            else max(2, math.ceil(math.log2(max(2, va_pages))))
+        )
+        if self.out_degree < 1:
+            raise ValueError(f"out_degree must be >= 1, got {self.out_degree}")
+        self.graph_seed = graph_seed
+        self._edges: np.ndarray | None = None
+
+    @classmethod
+    def paper_scaled(cls, scale_pages: int = 1 << 18, graph_seed=0) -> "RandomWalkWorkload":
+        """The paper's configuration scaled so ``V = scale_pages``."""
+        return cls(scale_pages, alpha=0.01, graph_seed=graph_seed)
+
+    @property
+    def ram_pages(self) -> int:
+        """The paper-ratio RAM size (32 GB of 64 GB = half the VA)."""
+        return max(1, self.va_pages // 2)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``(V, out_degree)`` destination table (built lazily)."""
+        if self._edges is None:
+            sampler = bounded_power_law_sampler(self.va_pages, self.alpha + 1.0)
+            rng = as_rng(self.graph_seed)
+            flat = sampler(self.va_pages * self.out_degree, rng)
+            self._edges = flat.reshape(self.va_pages, self.out_degree)
+        return self._edges
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        rng = as_rng(seed)
+        edges = self.edges
+        choices = rng.integers(0, self.out_degree, size=n)
+        start = int(rng.integers(0, self.va_pages))
+        trace = np.empty(n, dtype=np.int64)
+        cur = start
+        # the walk is inherently sequential; everything random was pre-drawn
+        for t in range(n):
+            cur = int(edges[cur, choices[t]])
+            trace[t] = cur
+        return trace

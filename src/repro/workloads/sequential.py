@@ -1,0 +1,60 @@
+"""Sequential and strided scan workloads.
+
+Scans are the best case for huge pages (perfect spatial locality, no RAM
+waste) and the worst case for LRU when they exceed the cache — both useful
+calibration points next to the paper's irregular workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from .base import Workload
+
+__all__ = ["SequentialWorkload", "StridedWorkload"]
+
+
+class SequentialWorkload(Workload):
+    """Wrap-around linear scan: ``start, start+1, …`` mod ``va_pages``."""
+
+    name = "sequential"
+
+    def __init__(self, va_pages: int, start: int = 0) -> None:
+        super().__init__(va_pages)
+        if not (0 <= start < va_pages):
+            raise ValueError(f"start {start} outside [0, {va_pages})")
+        self.start = start
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        return (self.start + np.arange(n, dtype=np.int64)) % self.va_pages
+
+
+class StridedWorkload(Workload):
+    """Strided scan: ``start, start+stride, …`` mod ``va_pages``.
+
+    Strides ≥ the huge-page size defeat huge-page coverage entirely (every
+    access lands in a new huge page) while keeping base-page IO behaviour
+    identical to a sequential scan over ``n`` distinct pages — a clean
+    ablation for TLB-reach claims. A random *jitter* within the stride can
+    be added to break perfect periodicity.
+    """
+
+    name = "strided"
+
+    def __init__(self, va_pages: int, stride: int, jitter: int = 0) -> None:
+        super().__init__(va_pages)
+        self.stride = check_positive_int(stride, "stride")
+        if jitter < 0 or jitter >= stride:
+            if jitter != 0:
+                raise ValueError(f"jitter must be in [0, stride), got {jitter}")
+        self.jitter = jitter
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        base = (np.arange(n, dtype=np.int64) * self.stride) % self.va_pages
+        if self.jitter:
+            rng = as_rng(seed)
+            base = (base + rng.integers(0, self.jitter + 1, size=n)) % self.va_pages
+        return base

@@ -1,0 +1,32 @@
+"""Saving and loading traces (npz with a metadata dict).
+
+Long traces are expensive to regenerate (the graph500 pipeline in
+particular), so benches cache them on disk; the metadata block records the
+generator and its parameters for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(path, trace, metadata: dict | None = None) -> None:
+    """Write *trace* (+ JSON-serializable *metadata*) to an ``.npz`` file."""
+    trace = np.asarray(trace, dtype=np.int64)
+    if trace.ndim != 1:
+        raise ValueError(f"trace must be 1-D, got shape {trace.shape}")
+    meta = json.dumps(metadata or {})
+    np.savez_compressed(Path(path), trace=trace, metadata=np.array(meta))
+
+
+def load_trace(path) -> tuple[np.ndarray, dict]:
+    """Read a trace saved by :func:`save_trace`; returns (trace, metadata)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        trace = data["trace"]
+        metadata = json.loads(str(data["metadata"]))
+    return trace, metadata

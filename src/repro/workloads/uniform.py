@@ -1,0 +1,20 @@
+"""Uniform random page accesses — the no-locality extreme."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from .base import Workload
+
+__all__ = ["UniformWorkload"]
+
+
+class UniformWorkload(Workload):
+    """Independent uniform draws over the whole address space."""
+
+    name = "uniform"
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        return as_rng(seed).integers(0, self.va_pages, size=n, dtype=np.int64)

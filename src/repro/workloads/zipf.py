@@ -1,0 +1,48 @@
+"""Zipf-distributed page accesses.
+
+Not a Figure 1 workload, but the canonical skewed-popularity pattern
+(object caches, key-value stores); used in ablation benches and examples
+where the paper's intro motivates "irregular, hard-to-prefetch" accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from .base import Workload, bounded_power_law_sampler
+
+__all__ = ["ZipfWorkload"]
+
+
+class ZipfWorkload(Workload):
+    """Independent draws with ``P(page i) ∝ (i+1)^{−s}``.
+
+    Parameters
+    ----------
+    va_pages:
+        Page universe size.
+    s:
+        Zipf exponent (> 0); 0.8–1.2 covers most measured cache workloads.
+    shuffle:
+        When True (default), popularity ranks are scattered over the address
+        space with a fixed permutation, so huge pages cannot trivially pack
+        the hot head — matching how hot objects really land in memory.
+    """
+
+    name = "zipf"
+
+    def __init__(self, va_pages: int, s: float = 1.0, *, shuffle: bool = True, perm_seed=0) -> None:
+        super().__init__(va_pages)
+        if s <= 0:
+            raise ValueError(f"s must be positive, got {s}")
+        self.s = float(s)
+        self._sampler = bounded_power_law_sampler(va_pages, s)
+        self._perm: np.ndarray | None = None
+        if shuffle:
+            self._perm = as_rng(perm_seed).permutation(va_pages).astype(np.int64)
+
+    def generate(self, n: int, seed=None) -> np.ndarray:
+        n = self._check_n(n)
+        ranks = self._sampler(n, as_rng(seed))
+        return self._perm[ranks] if self._perm is not None else ranks

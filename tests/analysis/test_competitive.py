@@ -1,0 +1,64 @@
+"""Tests for the empirical competitive-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import competitive_ratio, sleator_tarjan_bound
+from repro.paging import LRUPolicy
+
+
+class TestSleatorTarjanBound:
+    def test_equal_capacities(self):
+        assert sleator_tarjan_bound(8, 8) == 8.0
+
+    def test_double_capacity(self):
+        # k=2h gives ratio < 2: the resource-augmentation magic
+        assert sleator_tarjan_bound(20, 10) == pytest.approx(20 / 11)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sleator_tarjan_bound(4, 5)
+        with pytest.raises(ValueError):
+            sleator_tarjan_bound(4, 0)
+
+
+class TestCompetitiveRatio:
+    def trace(self, seed=0, n=3000):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 60, n).tolist()
+
+    def test_ratio_at_least_one(self):
+        res = competitive_ratio(self.trace(), "lru", 16)
+        assert res.ratio >= 1.0
+        assert res.policy == "lru"
+        assert res.policy_capacity == res.opt_capacity == 16
+
+    def test_accepts_policy_instance(self):
+        res = competitive_ratio(self.trace(), LRUPolicy(), 16)
+        assert res.policy == "lru"
+
+    def test_policy_kwargs_forwarded(self):
+        res = competitive_ratio(self.trace(), "random", 16, seed=3)
+        assert res.ratio >= 1.0
+
+    def test_augmented_lru_within_sleator_tarjan(self):
+        """LRU with k frames vs OPT with h: faults <= k/(k-h+1)·OPT + k."""
+        trace = self.trace(seed=2, n=5000)
+        k, h = 24, 12
+        res = competitive_ratio(trace, "lru", k, opt_capacity=h)
+        bound = sleator_tarjan_bound(k, h)
+        assert res.policy_faults <= bound * res.opt_faults + k
+
+    def test_augmentation_improves_ratio(self):
+        trace = self.trace(seed=3, n=5000)
+        plain = competitive_ratio(trace, "lru", 12)
+        augmented = competitive_ratio(trace, "lru", 24, opt_capacity=12)
+        assert augmented.ratio <= plain.ratio
+
+    def test_no_opt_faults_edge(self):
+        from repro.analysis import CompetitiveResult
+
+        r = CompetitiveResult("x", 4, 4, policy_faults=0, opt_faults=0)
+        assert r.ratio == 1.0
+        r = CompetitiveResult("x", 4, 4, policy_faults=5, opt_faults=0)
+        assert r.ratio == float("inf")

@@ -1,0 +1,67 @@
+"""Tests for Mattson stack distances and the one-pass LRU miss curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import COLD, lru_miss_curve, stack_distances
+from repro.paging import LRUPolicy, PageCache
+
+
+class TestStackDistances:
+    def test_cold_misses(self):
+        d = stack_distances([1, 2, 3])
+        assert list(d) == [COLD, COLD, COLD]
+
+    def test_immediate_reuse(self):
+        d = stack_distances([1, 1])
+        assert d[1] == 0  # zero distinct others in between
+
+    def test_textbook_example(self):
+        d = stack_distances([1, 2, 3, 2, 1])
+        assert d[3] == 1  # only page 3 since previous access to 2
+        assert d[4] == 2  # pages 2 and 3 since previous access to 1
+
+    def test_repeated_page_not_double_counted(self):
+        d = stack_distances([1, 2, 2, 2, 1])
+        assert d[4] == 1  # page 2 touched thrice but counts once
+
+    def test_empty(self):
+        assert len(stack_distances([])) == 0
+
+
+class TestLRUMissCurve:
+    def test_matches_pagecache_exactly(self):
+        rng = np.random.default_rng(0)
+        trace = rng.zipf(1.3, 4000) % 80
+        capacities = [1, 2, 4, 8, 16, 32, 64]
+        curve = lru_miss_curve(trace, capacities)
+        for c in capacities:
+            cache = PageCache(c, LRUPolicy())
+            expected = sum(0 if cache.access(int(p)) else 1 for p in trace)
+            assert curve[c] == expected, f"mismatch at capacity {c}"
+
+    def test_monotone_nonincreasing(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 50, 3000)
+        curve = lru_miss_curve(trace, range(1, 60))
+        values = [curve[c] for c in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_big_cache_only_cold_misses(self):
+        trace = [1, 2, 3, 1, 2, 3, 1]
+        curve = lru_miss_curve(trace, [10])
+        assert curve[10] == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            lru_miss_curve([1, 2], [0])
+
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_property_matches_simulation(self, trace):
+        curve = lru_miss_curve(trace, [3])
+        cache = PageCache(3, LRUPolicy())
+        expected = sum(0 if cache.access(p) else 1 for p in trace)
+        assert curve[3] == expected

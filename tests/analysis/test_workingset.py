@@ -1,0 +1,55 @@
+"""Tests for Denning working-set statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_working_set, working_set_profile, working_set_sizes
+
+
+class TestWorkingSetSizes:
+    def test_simple_window(self):
+        sizes = working_set_sizes([1, 2, 1, 3], tau=2)
+        # windows: [1], [1,2], [2,1], [1,3]
+        assert list(sizes) == [1, 2, 2, 2]
+
+    def test_window_one(self):
+        sizes = working_set_sizes([5, 5, 6], tau=1)
+        assert list(sizes) == [1, 1, 1]
+
+    def test_all_distinct(self):
+        sizes = working_set_sizes(list(range(10)), tau=4)
+        assert list(sizes[4:]) == [4] * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_set_sizes([1], tau=0)
+
+    def test_brute_force_agreement(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 10, 200).tolist()
+        tau = 7
+        sizes = working_set_sizes(trace, tau)
+        for t in range(len(trace)):
+            window = trace[max(0, t - tau + 1) : t + 1]
+            assert sizes[t] == len(set(window)), f"t={t}"
+
+
+class TestAverages:
+    def test_average_steady_state(self):
+        trace = [1, 2] * 100
+        assert average_working_set(trace, 4) == 2.0
+
+    def test_profile_monotone(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 100, 3000)
+        profile = working_set_profile(trace, [1, 4, 16, 64])
+        values = [profile[t] for t in sorted(profile)]
+        assert values == sorted(values)
+
+    def test_profile_saturates_at_footprint(self):
+        trace = ([1, 2, 3] * 100)
+        profile = working_set_profile(trace, [100])
+        assert profile[100] == pytest.approx(3.0)
+
+    def test_short_trace(self):
+        assert average_working_set([1], 5) == 1.0

@@ -1,0 +1,80 @@
+"""Tests for the oblivious adversary generators."""
+
+import pytest
+
+from repro.ballsbins import (
+    batch_turnover,
+    cyclic_reinsertion,
+    fifo_churn,
+    fill,
+    random_churn,
+)
+
+
+def replay_live_set(ops):
+    """Track the live set implied by an op sequence, asserting legality."""
+    live = set()
+    peak = 0
+    for op, ball in ops:
+        if op == "i":
+            assert ball not in live, "insert of live ball"
+            live.add(ball)
+        else:
+            assert ball in live, "delete of dead ball"
+            live.remove(ball)
+        peak = max(peak, len(live))
+    return live, peak
+
+
+class TestFill:
+    def test_inserts_m_distinct(self):
+        live, peak = replay_live_set(fill(10))
+        assert len(live) == 10 and peak == 10
+
+    def test_start_offset(self):
+        ops = list(fill(3, start=100))
+        assert ops == [("i", 100), ("i", 101), ("i", 102)]
+
+
+class TestFifoChurn:
+    def test_live_count_bounded_by_m(self):
+        live, peak = replay_live_set(fifo_churn(8, 50))
+        assert peak <= 8
+        assert len(live) == 8
+
+    def test_deletes_oldest_first(self):
+        ops = list(fifo_churn(3, 2))
+        assert ops[3] == ("d", 0)
+        assert ops[5] == ("d", 1)
+
+
+class TestRandomChurn:
+    def test_legal_and_bounded(self):
+        live, peak = replay_live_set(random_churn(10, 200, seed=0))
+        assert peak <= 10 and len(live) == 10
+
+    def test_seed_reproducible(self):
+        a = list(random_churn(5, 50, seed=3))
+        b = list(random_churn(5, 50, seed=3))
+        assert a == b
+
+
+class TestCyclicReinsertion:
+    def test_reinserts_same_keys(self):
+        ops = list(cyclic_reinsertion(4, 3))
+        live, peak = replay_live_set(ops)
+        assert live == {0, 1, 2, 3}
+        assert peak == 4
+        inserted = {b for op, b in ops if op == "i"}
+        assert inserted == {0, 1, 2, 3}
+
+
+class TestBatchTurnover:
+    def test_bounded_live_set(self):
+        live, peak = replay_live_set(batch_turnover(10, 5, 4))
+        assert peak <= 10
+        assert len(live) == 10
+
+    def test_rejects_batch_bigger_than_m(self):
+        with pytest.raises(ValueError):
+            list(batch_turnover(4, 2, 5))

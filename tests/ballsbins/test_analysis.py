@@ -1,0 +1,127 @@
+"""Tests for run_game and the theory curves of eqs. (5)/(6)/Theorem 2.
+
+The load-bound tests are the finite-size checks behind the paper's
+asymptotics: measured maxima must respect the closed-form curves (which
+carry explicit constants here, so they are hard ceilings for these sizes).
+"""
+
+import math
+
+import pytest
+
+from repro.ballsbins import (
+    BallsAndBinsGame,
+    GreedyStrategy,
+    IcebergStrategy,
+    OneChoiceStrategy,
+    fifo_churn,
+    fill,
+    greedy_max_load_bound,
+    iceberg_max_load_bound,
+    one_choice_max_load_bound,
+    run_game,
+)
+
+
+class TestRunGame:
+    def test_counts(self):
+        game = BallsAndBinsGame(16, OneChoiceStrategy(), seed=0)
+        result = run_game(game, fifo_churn(8, 20))
+        assert result.insertions == 28
+        assert result.deletions == 20
+        assert result.operations == 48
+        assert result.final_balls == 8
+
+    def test_sampling(self):
+        game = BallsAndBinsGame(16, OneChoiceStrategy(), seed=0)
+        result = run_game(game, fill(64), sample_every=16)
+        assert len(result.load_samples) == 4
+        ops, loads = zip(*result.load_samples)
+        assert list(ops) == [16, 32, 48, 64]
+        assert all(l >= 1 for l in loads)
+
+    def test_unknown_op_raises(self):
+        game = BallsAndBinsGame(4, OneChoiceStrategy(), seed=0)
+        with pytest.raises(ValueError):
+            run_game(game, [("x", 1)])
+
+    def test_peak_overhead(self):
+        game = BallsAndBinsGame(4, OneChoiceStrategy(), seed=0)
+        result = run_game(game, fill(8))
+        assert result.peak_overhead == result.peak_load / 2.0
+
+
+class TestTheoryCurves:
+    def test_one_choice_regimes(self):
+        n = 1 << 10
+        log_n = math.log(n)
+        # sparse: ~ log n / log(log n / λ)
+        assert one_choice_max_load_bound(n, 1.0) > 1.0
+        # heavy: λ + sqrt-term, so slightly above λ
+        lam = 100 * log_n
+        heavy = one_choice_max_load_bound(n, lam)
+        assert lam < heavy < 1.25 * lam  # λ plus a lower-order √(λ log n) term
+
+    def test_one_choice_monotone_in_lambda(self):
+        n = 1 << 12
+        values = [one_choice_max_load_bound(n, lam) for lam in (8, 32, 128, 512)]
+        assert values == sorted(values)
+
+    def test_greedy_additive_loglog(self):
+        n = 1 << 16
+        b = greedy_max_load_bound(n, 10.0, d=2)
+        assert b >= 20.0  # the Ω(λ) gap the paper highlights
+        assert b <= 2 * 10.0 + math.log(math.log(n)) / math.log(2) + 1.0 + 1e-9
+
+    def test_iceberg_tighter_than_greedy_for_large_lambda(self):
+        n = 1 << 16
+        lam = 64.0
+        assert iceberg_max_load_bound(n, lam) < greedy_max_load_bound(n, lam)
+
+    def test_degenerate_sizes(self):
+        assert one_choice_max_load_bound(1, 5.0) == 5.0
+        assert one_choice_max_load_bound(8, 0.0) == 0.0
+
+
+class TestMeasuredLoadsRespectTheory:
+    """Static fill at various λ: measured peak <= closed-form curve."""
+
+    N = 1 << 10
+
+    @pytest.mark.parametrize("lam", [16, 64])
+    def test_one_choice(self, lam):
+        game = BallsAndBinsGame(self.N, OneChoiceStrategy(), seed=1)
+        run_game(game, fill(self.N * lam))
+        assert game.peak_load <= one_choice_max_load_bound(self.N, lam) * 1.1
+
+    @pytest.mark.parametrize("lam", [4, 16])
+    def test_greedy(self, lam):
+        game = BallsAndBinsGame(self.N, GreedyStrategy(2), seed=1)
+        run_game(game, fill(self.N * lam))
+        assert game.peak_load <= greedy_max_load_bound(self.N, lam)
+
+    @pytest.mark.parametrize("lam", [4, 16])
+    def test_iceberg_static(self, lam):
+        game = BallsAndBinsGame(self.N, IcebergStrategy(lam=lam), seed=1)
+        run_game(game, fill(self.N * lam))
+        assert game.peak_load <= iceberg_max_load_bound(self.N, lam)
+
+    def test_iceberg_dynamic_churn(self):
+        """Theorem 2 is a *dynamic* bound: check it under FIFO churn."""
+        lam = 8
+        game = BallsAndBinsGame(self.N, IcebergStrategy(lam=lam), seed=2)
+        run_game(game, fifo_churn(self.N * lam, self.N * lam * 2))
+        assert game.peak_load <= iceberg_max_load_bound(self.N, lam)
+
+    def test_iceberg_peak_has_theorem2_shape(self):
+        """Theorem 2's shape: front capacity (1+o(1))λ plus a log log n
+        spill term — the peak must sit within log log n + O(1) of the
+        front capacity, not within O(λ)."""
+        import math
+
+        lam = 32
+        strategy = IcebergStrategy(lam=lam)
+        game = BallsAndBinsGame(self.N, strategy, seed=3)
+        run_game(game, fifo_churn(self.N * lam, self.N * 16))
+        loglog = math.log(math.log(self.N))
+        assert game.peak_load <= strategy.front_capacity + loglog + 2

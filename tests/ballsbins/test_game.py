@@ -1,0 +1,140 @@
+"""Tests for the dynamic balls-and-bins game mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ballsbins import BallsAndBinsGame, OneChoiceStrategy
+
+
+def make_game(n_bins=16, capacity=None, seed=0):
+    return BallsAndBinsGame(
+        n_bins, OneChoiceStrategy(), bin_capacity=capacity, seed=seed
+    )
+
+
+class TestInsertDelete:
+    def test_insert_returns_bin(self):
+        game = make_game()
+        b = game.insert(1)
+        assert b is not None and 0 <= b < 16
+        assert game.bin_of(1) == b
+        assert len(game) == 1
+
+    def test_double_insert_raises(self):
+        game = make_game()
+        game.insert(1)
+        with pytest.raises(ValueError):
+            game.insert(1)
+
+    def test_delete_returns_bin(self):
+        game = make_game()
+        b = game.insert(1)
+        assert game.delete(1) == b
+        assert 1 not in game
+        assert len(game) == 0
+
+    def test_delete_absent_raises(self):
+        game = make_game()
+        with pytest.raises(KeyError):
+            game.delete(1)
+
+    def test_reinsert_same_bin_one_choice(self):
+        """With one hash, re-insertion must land in the same bin (stability
+        of the hash, not of the placement)."""
+        game = make_game()
+        b1 = game.insert(42)
+        game.delete(42)
+        b2 = game.insert(42)
+        assert b1 == b2
+
+    def test_loads_match_contents(self):
+        game = make_game(n_bins=8)
+        for ball in range(50):
+            game.insert(ball)
+        assert int(game.loads.sum()) == 50
+        for ball in range(0, 50, 2):
+            game.delete(ball)
+        assert int(game.loads.sum()) == 25
+
+
+class TestMaxLoadTracking:
+    def test_incremental_max_matches_numpy(self):
+        game = make_game(n_bins=8, seed=3)
+        rng = np.random.default_rng(0)
+        live = []
+        for step in range(2000):
+            if live and rng.random() < 0.45:
+                ball = live.pop(int(rng.integers(len(live))))
+                game.delete(ball)
+            else:
+                ball = step + 10_000
+                game.insert(ball)
+                live.append(ball)
+            assert game.max_load == int(game.loads.max())
+
+    def test_peak_load_monotone(self):
+        game = make_game(n_bins=4, seed=1)
+        peaks = []
+        for ball in range(40):
+            game.insert(ball)
+            peaks.append(game.peak_load)
+        assert peaks == sorted(peaks)
+        assert game.peak_load == game.max_load  # no deletions yet
+
+    def test_average_load(self):
+        game = make_game(n_bins=10)
+        for ball in range(25):
+            game.insert(ball)
+        assert game.average_load == 2.5
+
+
+class TestCapacitatedGame:
+    def test_failures_counted_not_raised(self):
+        game = make_game(n_bins=2, capacity=1, seed=0)
+        placed = sum(1 for ball in range(10) if game.insert(ball) is not None)
+        assert placed <= 2
+        assert game.failures == 10 - placed
+        assert game.max_load <= 1
+
+    def test_failed_ball_not_live(self):
+        game = make_game(n_bins=1, capacity=1, seed=0)
+        assert game.insert(1) == 0
+        assert game.insert(2) is None
+        assert 2 not in game
+        with pytest.raises(KeyError):
+            game.delete(2)
+
+    def test_capacity_frees_after_delete(self):
+        game = make_game(n_bins=1, capacity=1, seed=0)
+        game.insert(1)
+        game.delete(1)
+        assert game.insert(2) == 0
+
+
+@st.composite
+def op_sequences(draw):
+    ops = draw(
+        st.lists(st.tuples(st.booleans(), st.integers(0, 30)), min_size=1, max_size=200)
+    )
+    return ops
+
+
+class TestGameInvariants:
+    @given(op_sequences())
+    @settings(max_examples=40)
+    def test_loads_always_consistent(self, ops):
+        game = make_game(n_bins=4, seed=7)
+        live = set()
+        for is_insert, ball in ops:
+            if is_insert and ball not in live:
+                game.insert(ball)
+                live.add(ball)
+            elif not is_insert and ball in live:
+                game.delete(ball)
+                live.remove(ball)
+        assert len(game) == len(live)
+        assert int(game.loads.sum()) == len(live)
+        assert game.max_load == (int(game.loads.max()) if game.n_bins else 0)
+        assert (game.loads >= 0).all()

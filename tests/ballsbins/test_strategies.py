@@ -1,0 +1,142 @@
+"""Tests for the placement strategies, including the load-bound behaviour
+that Section 4 of the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.ballsbins import (
+    BallsAndBinsGame,
+    GreedyLeftStrategy,
+    GreedyStrategy,
+    IcebergStrategy,
+    OneChoiceStrategy,
+    fill,
+    run_game,
+)
+
+
+class TestOneChoice:
+    def test_uses_single_hash(self):
+        s = OneChoiceStrategy()
+        game = BallsAndBinsGame(64, s, seed=0)
+        for ball in range(100):
+            assert game.insert(ball) == s.family[0](ball)
+
+    def test_choice_index(self):
+        s = OneChoiceStrategy()
+        BallsAndBinsGame(64, s, seed=0)
+        b = s.family[0](5)
+        assert s.choice_index(5, b) == 0
+        with pytest.raises(ValueError):
+            s.choice_index(5, (b + 1) % 64)
+
+
+class TestGreedy:
+    def test_requires_positive_d(self):
+        with pytest.raises(ValueError):
+            GreedyStrategy(0)
+
+    def test_places_in_less_loaded(self):
+        s = GreedyStrategy(2)
+        game = BallsAndBinsGame(8, s, seed=1)
+        for ball in range(64):
+            b = game.insert(ball)
+            c1, c2 = s.family[0](ball), s.family[1](ball)
+            # chosen bin's load (after insert) must be <= the other's + 1
+            other = c2 if b == c1 else c1
+            assert game.loads[b] <= game.loads[other] + 1
+
+    def test_beats_one_choice_at_unit_load(self):
+        """The classic two-choice win: max load log log n vs log n/log log n."""
+        n = 1 << 12
+        one = BallsAndBinsGame(n, OneChoiceStrategy(), seed=0)
+        two = BallsAndBinsGame(n, GreedyStrategy(2), seed=0)
+        run_game(one, fill(n))
+        run_game(two, fill(n))
+        assert two.max_load < one.max_load
+
+    def test_capacitated_failure_only_when_all_choices_full(self):
+        s = GreedyStrategy(2)
+        game = BallsAndBinsGame(4, s, bin_capacity=2, seed=2)
+        failures_seen = 0
+        for ball in range(40):
+            b = game.insert(ball)
+            if b is None:
+                failures_seen += 1
+                c = s.family(ball)
+                assert all(game.loads[bi] >= 2 for bi in c)
+        assert game.max_load <= 2
+
+
+class TestGreedyLeft:
+    def test_candidates_in_disjoint_groups(self):
+        s = GreedyLeftStrategy(2)
+        BallsAndBinsGame(64, s, seed=0)
+        for ball in range(100):
+            c1, c2 = s.candidates(ball)
+            assert 0 <= c1 < 32
+            assert 32 <= c2 < 64
+
+    def test_rejects_too_few_bins(self):
+        s = GreedyLeftStrategy(4)
+        with pytest.raises(ValueError):
+            BallsAndBinsGame(2, s, seed=0)
+
+    def test_comparable_to_greedy(self):
+        n = 1 << 10
+        left = BallsAndBinsGame(n, GreedyLeftStrategy(2), seed=0)
+        run_game(left, fill(n))
+        assert left.max_load <= 6  # log log n territory
+
+
+class TestIceberg:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IcebergStrategy(lam=0)
+        with pytest.raises(ValueError):
+            IcebergStrategy(lam=4, front_slack=-0.1)
+
+    def test_uses_three_hashes_for_d2(self):
+        s = IcebergStrategy(lam=4, d=2)
+        assert s.choices == 3
+
+    def test_front_layer_preferred(self):
+        s = IcebergStrategy(lam=8, d=2, front_slack=0.25)
+        game = BallsAndBinsGame(32, s, seed=0)
+        for ball in range(32):  # λ=1 << front capacity: all go front
+            b = game.insert(ball)
+            assert b == s.family[0](ball)
+        assert int(s.front_loads.sum()) == 32
+        assert int(s.back_loads.sum()) == 0
+
+    def test_spill_goes_to_back_layer(self):
+        s = IcebergStrategy(lam=1, d=2, front_slack=0.0)  # front capacity 1
+        game = BallsAndBinsGame(4, s, seed=3)
+        for ball in range(32):
+            game.insert(ball)
+        assert int(s.front_loads.sum()) + int(s.back_loads.sum()) == 32
+        assert (s.front_loads <= s.front_capacity).all()
+        assert int(s.back_loads.sum()) > 0
+
+    def test_layers_tracked_through_deletion(self):
+        s = IcebergStrategy(lam=1, d=2, front_slack=0.0)
+        game = BallsAndBinsGame(4, s, seed=3)
+        for ball in range(24):
+            game.insert(ball)
+        for ball in range(24):
+            game.delete(ball)
+        assert int(s.front_loads.sum()) == 0
+        assert int(s.back_loads.sum()) == 0
+        assert (s.front_loads >= 0).all() and (s.back_loads >= 0).all()
+
+    def test_front_capacity_formula(self):
+        s = IcebergStrategy(lam=10, front_slack=0.2)
+        assert s.front_capacity == 12
+        s = IcebergStrategy(lam=0.5, front_slack=0.0)
+        assert s.front_capacity == 1
+
+    def test_unplaced_readonly_views(self):
+        s = IcebergStrategy(lam=4)
+        BallsAndBinsGame(8, s, seed=0)
+        with pytest.raises(ValueError):
+            s.front_loads[0] = 5

@@ -1,0 +1,63 @@
+"""Tests for result persistence and diffing."""
+
+import pytest
+
+from repro.bench import diff_records, load_records, save_records
+from repro.core import CostLedger
+from repro.sim import RunRecord
+
+
+def records(ios):
+    return [
+        RunRecord("x", CostLedger(ios=io, tlb_misses=100 - io), {"h": h})
+        for h, io in ios.items()
+    ]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_records(path, records({1: 10, 8: 40}), params={"eps": 0.01})
+        payload = load_records(path)
+        assert payload["params"] == {"eps": 0.01}
+        assert len(payload["rows"]) == 2
+        assert payload["rows"][0]["algorithm"] == "x"
+        assert "repro_version" in payload
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text('{"format": 99, "rows": []}')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_records(path)
+
+
+class TestDiff:
+    def payloads(self, tmp_path, a, b):
+        pa = load_records(save_records(tmp_path / "a.json", records(a)))
+        pb = load_records(save_records(tmp_path / "b.json", records(b)))
+        return pa, pb
+
+    def test_identical_is_empty(self, tmp_path):
+        pa, pb = self.payloads(tmp_path, {1: 10}, {1: 10})
+        assert diff_records(pa, pb) == []
+
+    def test_changed_metric_reported(self, tmp_path):
+        pa, pb = self.payloads(tmp_path, {1: 10}, {1: 20})
+        diffs = diff_records(pa, pb)
+        metrics = {d["metric"] for d in diffs}
+        assert "ios" in metrics and "tlb_misses" in metrics
+        io_diff = next(d for d in diffs if d["metric"] == "ios")
+        assert io_diff["old"] == 10 and io_diff["new"] == 20
+        assert io_diff["rel_change"] == pytest.approx(1.0)
+
+    def test_rel_tol_suppresses_noise(self, tmp_path):
+        pa, pb = self.payloads(tmp_path, {1: 1000}, {1: 1001})
+        noisy = {d["metric"] for d in diff_records(pa, pb)}
+        quiet = {d["metric"] for d in diff_records(pa, pb, rel_tol=0.01)}
+        assert "ios" in noisy  # the 0.1% change is reported by default
+        assert "ios" not in quiet  # ...and suppressed under the tolerance
+
+    def test_missing_row_flagged(self, tmp_path):
+        pa, pb = self.payloads(tmp_path, {1: 10, 8: 20}, {1: 10})
+        diffs = diff_records(pa, pb)
+        assert any(d["metric"] == "<row>" and d["key"] == 8 for d in diffs)

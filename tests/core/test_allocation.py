@@ -1,0 +1,192 @@
+"""Tests for the RAM-allocation schemes: stability, injectivity, encoding
+round-trips, and the paging-failure semantics of Sections 3-4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FullyAssociativeAllocator,
+    GreedyAllocator,
+    IcebergAllocator,
+    OneChoiceAllocator,
+)
+
+ALLOCATOR_FACTORIES = {
+    "full": lambda: FullyAssociativeAllocator(64),
+    "one-choice": lambda: OneChoiceAllocator(64, 8, seed=0),
+    "greedy": lambda: GreedyAllocator(64, 8, seed=0),
+    "iceberg": lambda: IcebergAllocator(64, 8, lam=4.0, seed=0),
+}
+
+
+@pytest.fixture(params=sorted(ALLOCATOR_FACTORIES))
+def allocator(request):
+    return ALLOCATOR_FACTORIES[request.param]()
+
+
+class TestAllocatorContract:
+    def test_allocate_returns_valid_frame(self, allocator):
+        frame = allocator.allocate(1)
+        assert frame is not None
+        assert 0 <= frame < allocator.total_frames
+        assert allocator.frame_of(1) == frame
+        assert len(allocator) == 1
+
+    def test_double_allocate_raises(self, allocator):
+        allocator.allocate(1)
+        with pytest.raises(ValueError):
+            allocator.allocate(1)
+
+    def test_free_releases(self, allocator):
+        frame = allocator.allocate(1)
+        assert allocator.free(1) == frame
+        assert allocator.frame_of(1) is None
+        assert len(allocator) == 0
+
+    def test_free_absent_raises(self, allocator):
+        with pytest.raises(KeyError):
+            allocator.free(1)
+
+    def test_injectivity_under_churn(self, allocator):
+        """φ must always be an injection."""
+        frames = {}
+        vpn = 0
+        for round_ in range(6):
+            for _ in range(10):
+                f = allocator.allocate(vpn)
+                if f is not None:
+                    assert f not in frames.values(), "frame double-assigned"
+                    frames[vpn] = f
+                vpn += 1
+            for victim in list(frames)[:5]:
+                allocator.free(victim)
+                del frames[victim]
+
+    def test_stability(self, allocator):
+        """φ(v) never changes while v is resident."""
+        allocator.allocate(7)
+        before = allocator.frame_of(7)
+        for v in range(20, 40):
+            allocator.allocate(v)
+        for v in range(20, 30):
+            allocator.free(v)
+        assert allocator.frame_of(7) == before
+
+    def test_encode_decode_roundtrip(self, allocator):
+        placed = []
+        for v in range(40):
+            if allocator.allocate(v) is not None:
+                placed.append(v)
+        for v in placed:
+            code = allocator.encode(v)
+            assert 0 <= code < (1 << allocator.address_bits)
+            assert allocator.decode(v, code) == allocator.frame_of(v)
+
+    def test_decode_range_checked(self, allocator):
+        allocator.allocate(1)
+        with pytest.raises(ValueError):
+            allocator.decode(1, allocator.associativity)
+
+
+class TestFullyAssociative:
+    def test_associativity_is_p(self):
+        a = FullyAssociativeAllocator(128)
+        assert a.associativity == 128
+        assert a.address_bits == 7
+
+    def test_no_failures_until_truly_full(self):
+        a = FullyAssociativeAllocator(8)
+        for v in range(8):
+            assert a.allocate(v) is not None
+        assert a.allocate(99) is None  # physically full
+        a.free(0)
+        assert a.allocate(99) is not None
+
+    def test_frames_are_distinct(self):
+        a = FullyAssociativeAllocator(16)
+        frames = {a.allocate(v) for v in range(16)}
+        assert frames == set(range(16))
+
+
+class TestBucketedGeometry:
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            OneChoiceAllocator(65, 8)
+
+    def test_bucket_size_and_associativity(self):
+        a = OneChoiceAllocator(64, 8, seed=0)
+        assert a.bucket_size == 8
+        assert a.associativity == 8
+        assert a.address_bits == 3
+
+        g = GreedyAllocator(64, 8, d=2, seed=0)
+        assert g.associativity == 16
+        assert g.address_bits == 4
+
+        i = IcebergAllocator(64, 8, lam=4.0, seed=0)
+        assert i.associativity == 24
+        assert i.address_bits == 5
+
+    def test_frame_lies_in_a_candidate_bucket(self):
+        a = IcebergAllocator(64, 8, lam=4.0, seed=1)
+        for v in range(40):
+            frame = a.allocate(v)
+            if frame is None:
+                continue
+            bucket = frame // a.bucket_size
+            assert bucket in a.strategy.candidates(v)
+
+    def test_failure_when_candidates_full(self):
+        # 2 buckets of 2 frames, one choice: ~ collisions guaranteed
+        a = OneChoiceAllocator(4, 2, seed=0)
+        failures_before = a.failures
+        outcomes = [a.allocate(v) for v in range(12)]
+        assert None in outcomes
+        assert a.failures > failures_before
+        assert len(a) == sum(1 for o in outcomes if o is not None)
+
+    def test_failed_page_not_resident(self):
+        a = OneChoiceAllocator(2, 2, seed=0)
+        results = {v: a.allocate(v) for v in range(10)}
+        failed = [v for v, f in results.items() if f is None]
+        assert failed, "expected at least one failure at this density"
+        v = failed[0]
+        assert a.frame_of(v) is None
+        with pytest.raises(KeyError):
+            a.free(v)
+
+    def test_slot_reuse_within_bucket(self):
+        a = OneChoiceAllocator(8, 1, seed=0)  # single bucket of 8
+        frames = [a.allocate(v) for v in range(8)]
+        assert sorted(frames) == list(range(8))
+        a.free(3)
+        new = a.allocate(100)
+        assert new == frames[3]  # freed slot reused
+
+    def test_max_bucket_load_bounded(self):
+        a = IcebergAllocator(64, 8, lam=4.0, seed=2)
+        for v in range(64):
+            a.allocate(v)
+        assert a.max_bucket_load <= a.bucket_size
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 63)), max_size=300))
+    @settings(max_examples=40)
+    def test_iceberg_invariants_under_arbitrary_churn(self, ops):
+        a = IcebergAllocator(64, 8, lam=4.0, seed=5)
+        resident: dict[int, int] = {}
+        for insert, v in ops:
+            if insert and v not in resident:
+                f = a.allocate(v)
+                if f is not None:
+                    resident[v] = f
+            elif not insert and v in resident:
+                a.free(v)
+                del resident[v]
+        # injectivity + stability + decode agreement, all at once
+        assert len(set(resident.values())) == len(resident)
+        for v, f in resident.items():
+            assert a.frame_of(v) == f
+            assert a.decode(v, a.encode(v)) == f

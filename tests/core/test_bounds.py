@@ -1,0 +1,135 @@
+"""Tests for the theorem parameter calculators (eqs. 1-2, Theorems 1/3)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    build_allocator,
+    greedy_parameters,
+    hmax_upper_bound,
+    theorem1_parameters,
+    theorem3_parameters,
+)
+
+
+class TestHmaxUpperBound:
+    def test_eq1(self):
+        assert hmax_upper_bound(64) == 64
+        with pytest.raises(ValueError):
+            hmax_upper_bound(0)
+
+
+class TestTheorem1Parameters:
+    def test_shape(self):
+        P, w = 1 << 20, 64
+        p = theorem1_parameters(P, w)
+        assert p.scheme == "one-choice"
+        assert p.frames_used == p.n_buckets * p.bucket_size
+        assert p.frames_used <= P
+        # λ = log P · log log P
+        assert p.lam == pytest.approx(math.log(P) * math.log(math.log(P)), rel=1e-6)
+        assert 0 < p.delta < 1
+        assert p.bucket_size >= p.lam  # room above the average load
+        assert p.associativity == p.bucket_size
+        assert p.hmax >= 1
+        assert p.max_pages <= p.frames_used
+
+    def test_hmax_scales_with_w(self):
+        P = 1 << 20
+        assert theorem1_parameters(P, 128).hmax >= 2 * theorem1_parameters(P, 64).hmax - 1
+
+    def test_hmax_theta_w_over_loglog(self):
+        """h_max·field_bits ≈ w, with field_bits = Θ(log log P)."""
+        P, w = 1 << 24, 256
+        p = theorem1_parameters(P, w)
+        assert p.field_bits <= 4 * math.log(math.log(P))
+        assert p.hmax == w // p.field_bits
+
+
+class TestTheorem3Parameters:
+    def test_shape(self):
+        P, w = 1 << 20, 64
+        p = theorem3_parameters(P, w)
+        assert p.scheme == "iceberg"
+        assert p.frames_used == p.n_buckets * p.bucket_size
+        assert p.associativity == 3 * p.bucket_size
+        assert p.hmax >= 1
+
+    def test_smaller_buckets_than_theorem1(self):
+        """The whole point of Iceberg: Θ̃(log log P) ≪ Θ̃(log P) buckets."""
+        P, w = 1 << 24, 64
+        t1 = theorem1_parameters(P, w)
+        t3 = theorem3_parameters(P, w)
+        assert t3.bucket_size < t1.bucket_size
+
+    def test_larger_hmax_than_theorem1(self):
+        """Eq. (2): Θ(w/log log log P) beats Θ(w/log log P)."""
+        P, w = 1 << 30, 256
+        assert theorem3_parameters(P, w).hmax > theorem1_parameters(P, w).hmax
+
+    def test_hmax_never_exceeds_eq1_bound(self):
+        for P in (1 << 12, 1 << 20, 1 << 30):
+            for w in (16, 64, 256):
+                assert theorem1_parameters(P, w).hmax <= hmax_upper_bound(w)
+                assert theorem3_parameters(P, w).hmax <= hmax_upper_bound(w)
+
+    def test_delta_shrinks_with_p(self):
+        """δ = o(1): resource augmentation vanishes as P grows."""
+        w = 64
+        deltas = [theorem3_parameters(1 << k, w).delta for k in (16, 32, 48)]
+        assert deltas[0] >= deltas[-1] - 1e-9
+
+
+class TestGreedyParameters:
+    def test_constant_delta(self):
+        """Greedy's Ω(λ) gap shows up as δ = Ω(1) — roughly half of RAM."""
+        p = greedy_parameters(1 << 24, 64)
+        assert p.delta >= 0.5
+
+    def test_scheme_label(self):
+        assert greedy_parameters(1 << 16, 64).scheme == "greedy"
+
+
+class TestBuildAllocator:
+    @pytest.mark.parametrize(
+        "params_fn", [theorem1_parameters, theorem3_parameters, greedy_parameters]
+    )
+    def test_builds_matching_allocator(self, params_fn):
+        p = params_fn(1 << 14, 64)
+        alloc = build_allocator(p, seed=0)
+        assert alloc.total_frames == p.frames_used
+        assert alloc.associativity == p.associativity
+        # the codec arithmetic in SchemeParameters matches the allocator
+        from repro.core import field_bits_for
+
+        assert field_bits_for(alloc.associativity) == p.field_bits
+
+    def test_unknown_scheme(self):
+        from repro.core import SchemeParameters
+
+        bogus = SchemeParameters(
+            scheme="bogus", total_frames=1, frames_used=1, n_buckets=1,
+            bucket_size=1, lam=1.0, delta=0.1, associativity=1, field_bits=1,
+            hmax=1, w=1,
+        )
+        with pytest.raises(ValueError):
+            build_allocator(bogus)
+
+    def test_theorem3_allocator_no_failures_at_max_pages(self):
+        """The operational content of Theorem 3 at small scale: filling to
+        (1-δ)·P and churning produces no paging failures."""
+        p = theorem3_parameters(1 << 14, 64)
+        alloc = build_allocator(p, seed=1)
+        m = p.max_pages
+        for v in range(m):
+            alloc.allocate(v)
+        assert alloc.failures == 0, "failure during initial fill"
+        oldest, fresh = 0, m
+        for _ in range(2 * m):  # FIFO churn at full occupancy
+            if alloc.frame_of(oldest) is not None:
+                alloc.free(oldest)
+            oldest += 1
+            alloc.allocate(fresh)
+            fresh += 1
+        assert alloc.failures == 0

@@ -1,0 +1,154 @@
+"""Tests for the TLB value codec and the h_max arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TLBValueCodec, field_bits_for, hmax_for
+
+
+class TestFieldBits:
+    def test_small(self):
+        assert field_bits_for(1) == 1  # present-at-slot-0 vs absent
+        assert field_bits_for(2) == 2  # codes 0,1 plus absent -> 3 states
+        assert field_bits_for(3) == 2
+
+    def test_power_of_two_needs_extra_bit(self):
+        # associativity 4 -> codes 0..3 plus absent = 5 states -> 3 bits
+        assert field_bits_for(4) == 3
+        assert field_bits_for(7) == 3
+
+    def test_hmax_for(self):
+        assert hmax_for(64, 7) == 64 // 3
+        assert hmax_for(2, 1024) == 0  # field doesn't fit
+
+
+class TestCodecConstruction:
+    def test_width_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            TLBValueCodec(w=16, hmax=9, field_bits=2)
+        TLBValueCodec(w=16, hmax=8, field_bits=2)  # exactly fits
+
+    def test_for_allocator(self):
+        class FakeAlloc:
+            associativity = 24  # needs 5 bits
+
+        codec = TLBValueCodec.for_allocator(64, FakeAlloc())
+        assert codec.field_bits == 5
+        assert codec.hmax == 12
+
+        codec2 = TLBValueCodec.for_allocator(64, FakeAlloc(), hmax=4)
+        assert codec2.hmax == 4
+
+    def test_for_allocator_infeasible(self):
+        class HugeAlloc:
+            associativity = 1 << 40
+
+        with pytest.raises(ValueError, match="does not fit"):
+            TLBValueCodec.for_allocator(8, HugeAlloc())
+
+
+class TestFieldOps:
+    def make(self):
+        return TLBValueCodec(w=64, hmax=8, field_bits=4)  # max_code 14
+
+    def test_empty_all_absent(self):
+        codec = self.make()
+        assert codec.decode(codec.empty) == [None] * 8
+
+    def test_set_and_get(self):
+        codec = self.make()
+        v = codec.set_field(0, 3, 7)
+        assert codec.field(v, 3) == 7
+        assert all(codec.field(v, i) is None for i in range(8) if i != 3)
+
+    def test_code_zero_is_not_absent(self):
+        codec = self.make()
+        v = codec.set_field(0, 0, 0)
+        assert codec.field(v, 0) == 0
+
+    def test_clear(self):
+        codec = self.make()
+        v = codec.set_field(0, 2, 5)
+        v = codec.set_field(v, 4, 9)
+        v = codec.clear_field(v, 2)
+        assert codec.field(v, 2) is None
+        assert codec.field(v, 4) == 9
+
+    def test_overwrite(self):
+        codec = self.make()
+        v = codec.set_field(0, 1, 3)
+        v = codec.set_field(v, 1, 10)
+        assert codec.field(v, 1) == 10
+
+    def test_code_range_checked(self):
+        codec = self.make()
+        with pytest.raises(ValueError):
+            codec.set_field(0, 0, 15)  # 15 == 2^4 - 1 is reserved arithmetic
+        with pytest.raises(ValueError):
+            codec.set_field(0, 0, -1)
+
+    def test_index_checked(self):
+        codec = self.make()
+        with pytest.raises(IndexError):
+            codec.field(0, 8)
+        with pytest.raises(IndexError):
+            codec.set_field(0, -1, 0)
+
+    def test_encode_decode_roundtrip(self):
+        codec = self.make()
+        fields = [None, 0, 5, None, 14, 1, None, 2]
+        assert codec.decode(codec.encode(fields)) == fields
+
+    def test_encode_wrong_length(self):
+        codec = self.make()
+        with pytest.raises(ValueError):
+            codec.encode([None] * 7)
+
+    def test_present_fields(self):
+        codec = self.make()
+        v = codec.encode([None, 4, None, None, 0, None, None, None])
+        assert list(codec.present_fields(v)) == [(1, 4), (4, 0)]
+
+    def test_value_fits_in_w_bits(self):
+        codec = self.make()
+        v = codec.encode([codec.max_code] * 8)
+        assert 0 <= v < (1 << 64)
+
+
+@st.composite
+def field_lists(draw):
+    codec_bits = draw(st.sampled_from([2, 3, 5]))
+    hmax = draw(st.integers(1, 10))
+    max_code = (1 << codec_bits) - 2
+    fields = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(0, max_code)),
+            min_size=hmax,
+            max_size=hmax,
+        )
+    )
+    return codec_bits, hmax, fields
+
+
+class TestCodecProperties:
+    @given(field_lists())
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, case):
+        bits, hmax, fields = case
+        codec = TLBValueCodec(w=bits * hmax, hmax=hmax, field_bits=bits)
+        assert codec.decode(codec.encode(fields)) == fields
+
+    @given(field_lists(), st.data())
+    @settings(max_examples=80)
+    def test_field_independence(self, case, data):
+        """Setting one field never disturbs the others."""
+        bits, hmax, fields = case
+        codec = TLBValueCodec(w=bits * hmax, hmax=hmax, field_bits=bits)
+        v = codec.encode(fields)
+        i = data.draw(st.integers(0, hmax - 1))
+        code = data.draw(st.integers(0, codec.max_code))
+        v2 = codec.set_field(v, i, code)
+        expected = list(fields)
+        expected[i] = code
+        assert codec.decode(v2) == expected

@@ -1,0 +1,40 @@
+"""Tests for hardware-derived epsilon profiles."""
+
+import pytest
+
+from repro.core.hardware import HDD, NVME_SSD, OPTANE, SATA_SSD, HardwareProfile
+
+
+class TestHardwareProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareProfile("x", memory_latency_ns=0)
+        with pytest.raises(ValueError):
+            HardwareProfile("x", io_latency_ns=-1)
+        with pytest.raises(ValueError):
+            HardwareProfile("x", walk_levels=0)
+        with pytest.raises(ValueError):
+            HardwareProfile("x", pwc_hit_fraction=1.0)
+
+    def test_walk_latency(self):
+        p = HardwareProfile("x", memory_latency_ns=100, walk_levels=4,
+                            pwc_hit_fraction=0.5)
+        assert p.walk_latency_ns == 200.0
+
+    def test_epsilon_in_unit_interval(self):
+        for p in (HDD, SATA_SSD, NVME_SSD, OPTANE):
+            assert 0 < p.epsilon < 1
+
+    def test_faster_storage_larger_epsilon(self):
+        """The paper's motivating trend."""
+        assert HDD.epsilon < SATA_SSD.epsilon < NVME_SSD.epsilon < OPTANE.epsilon
+
+    def test_virtualization_multiplies_epsilon(self):
+        for p in (SATA_SSD, NVME_SSD):
+            virt = p.virtualized()
+            assert virt.epsilon > 4 * p.epsilon  # ~6x for 4+4 levels
+            assert virt.name.endswith("+virt")
+
+    def test_epsilon_clamped(self):
+        extreme = HardwareProfile("x", memory_latency_ns=1e9, io_latency_ns=1.0)
+        assert extreme.epsilon < 1.0

@@ -1,0 +1,69 @@
+"""Tests for the address-translation cost model."""
+
+import pytest
+
+from repro.core import ATCostModel, CostLedger
+
+
+class TestATCostModel:
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            ATCostModel(epsilon=0.0)
+        with pytest.raises(ValueError):
+            ATCostModel(epsilon=1.0)
+        with pytest.raises(ValueError):
+            ATCostModel(epsilon=0.5, io_cost=0)
+
+    def test_total_cost_decomposition(self):
+        model = ATCostModel(epsilon=0.1)
+        ledger = CostLedger(ios=10, tlb_misses=100, decoding_misses=5)
+        assert model.io_cost_of(ledger) == 10.0
+        assert model.tlb_cost(ledger) == pytest.approx(10.0)
+        assert model.decoding_cost(ledger) == pytest.approx(0.5)
+        assert model.cost(ledger) == pytest.approx(20.5)
+
+    def test_hits_and_evictions_are_free(self):
+        model = ATCostModel(epsilon=0.5)
+        ledger = CostLedger(accesses=1000, tlb_hits=1000)
+        assert model.cost(ledger) == 0.0
+
+    def test_custom_io_cost(self):
+        model = ATCostModel(epsilon=0.1, io_cost=2.0)
+        assert model.cost(CostLedger(ios=3)) == 6.0
+
+    def test_frozen(self):
+        model = ATCostModel()
+        with pytest.raises(AttributeError):
+            model.epsilon = 0.2
+
+
+class TestCostLedger:
+    def test_defaults_zero(self):
+        ledger = CostLedger()
+        assert ledger.ios == 0 and ledger.tlb_misses == 0
+        assert ledger.tlb_miss_rate == 0.0
+
+    def test_miss_rate(self):
+        ledger = CostLedger(tlb_hits=75, tlb_misses=25)
+        assert ledger.tlb_miss_rate == 0.25
+
+    def test_merge(self):
+        a = CostLedger(accesses=10, ios=1, tlb_misses=2, extra={"x": 1})
+        b = CostLedger(accesses=5, ios=3, tlb_hits=4, extra={"x": 2, "y": 9})
+        m = a.merge(b)
+        assert m.accesses == 15 and m.ios == 4
+        assert m.tlb_misses == 2 and m.tlb_hits == 4
+        assert m.extra == {"x": 3, "y": 9}
+        # originals untouched
+        assert a.ios == 1 and b.ios == 3
+
+    def test_reset(self):
+        ledger = CostLedger(accesses=5, ios=2, extra={"k": 1})
+        ledger.reset()
+        assert ledger.accesses == 0 and ledger.ios == 0 and ledger.extra == {}
+
+    def test_as_dict(self):
+        d = CostLedger(ios=2, paging_failures=1, extra={"h": 8}).as_dict()
+        assert d["ios"] == 2
+        assert d["paging_failures"] == 1
+        assert d["h"] == 8

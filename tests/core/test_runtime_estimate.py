@@ -1,0 +1,27 @@
+"""Tests for the ledger → wall-time estimator."""
+
+import pytest
+
+from repro.core import CostLedger
+from repro.core.hardware import NVME_SSD, OPTANE, HardwareProfile, estimate_runtime_ns
+
+
+class TestEstimateRuntime:
+    def test_components_add(self):
+        profile = HardwareProfile("x", memory_latency_ns=100, io_latency_ns=1000,
+                                  walk_levels=4, pwc_hit_fraction=0.0)
+        ledger = CostLedger(accesses=10, ios=2, tlb_misses=3, decoding_misses=1)
+        t = estimate_runtime_ns(ledger, profile, base_access_ns=1.0)
+        assert t == pytest.approx(10 * 1.0 + 4 * 400.0 + 2 * 1000.0)
+
+    def test_empty_ledger_is_zero(self):
+        assert estimate_runtime_ns(CostLedger(), NVME_SSD) == 0.0
+
+    def test_faster_storage_shrinks_io_share(self):
+        ledger = CostLedger(accesses=1000, ios=100, tlb_misses=1000)
+        t_nvme = estimate_runtime_ns(ledger, NVME_SSD)
+        t_optane = estimate_runtime_ns(ledger, OPTANE)
+        assert t_optane < t_nvme
+        # translation share grows as storage speeds up
+        walk = NVME_SSD.walk_latency_ns * 1000
+        assert walk / t_optane > walk / t_nvme

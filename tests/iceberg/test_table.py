@@ -1,0 +1,134 @@
+"""Tests for the iceberg hash table: dict semantics, stability, and the
+iceberg occupancy shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iceberg import IcebergHashTable
+
+
+class TestDictSemantics:
+    def test_insert_get(self):
+        t = IcebergHashTable(64, seed=0)
+        t.insert("a", 1)
+        assert t.get("a") == 1
+        assert t["a"] == 1
+        assert "a" in t and len(t) == 1
+
+    def test_get_default(self):
+        t = IcebergHashTable(64, seed=0)
+        assert t.get("missing") is None
+        assert t.get("missing", 7) == 7
+        with pytest.raises(KeyError):
+            t["missing"]
+
+    def test_overwrite(self):
+        t = IcebergHashTable(64, seed=0)
+        t["k"] = 1
+        t["k"] = 2
+        assert t["k"] == 2
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = IcebergHashTable(64, seed=0)
+        t["k"] = 1
+        del t["k"]
+        assert "k" not in t
+        with pytest.raises(KeyError):
+            del t["k"]
+
+    def test_keys_iteration(self):
+        t = IcebergHashTable(64, seed=0)
+        for i in range(10):
+            t[i] = i * i
+        assert sorted(t.keys()) == list(range(10))
+
+    def test_none_values_distinguished_from_absent(self):
+        t = IcebergHashTable(64, seed=0)
+        t["k"] = None
+        assert "k" in t
+        assert t["k"] is None
+
+
+class TestStability:
+    def test_slot_never_moves(self):
+        t = IcebergHashTable(256, seed=1)
+        t["pinned"] = 0
+        slot = t.slot_of("pinned")
+        for i in range(400):
+            t[i] = i
+        for i in range(0, 400, 2):
+            del t[i]
+        t["pinned"] = 99  # overwrite too
+        assert t.slot_of("pinned") == slot
+
+    def test_slot_reused_after_delete(self):
+        t = IcebergHashTable(64, front_bin=4, seed=2)
+        t["a"] = 1
+        slot = t.slot_of("a")
+        del t["a"]
+        assert t.slot_of("a") is None
+        t["a"] = 2
+        assert t.slot_of("a") == slot  # same hash path, freed slot
+
+
+class TestIcebergShape:
+    def test_level1_holds_the_bulk(self):
+        t = IcebergHashTable(4096, seed=3)
+        for i in range(int(4096 * 0.9)):  # 90% load
+            t[i] = i
+        occ = t.level_occupancy()
+        total = sum(occ.values())
+        assert occ[1] / total > 0.85
+        assert occ[3] / total < 0.01
+
+    def test_over_capacity_degrades_not_breaks(self):
+        t = IcebergHashTable(64, seed=4)
+        for i in range(200):  # 3x capacity
+            t[i] = i
+        assert len(t) == 200
+        for i in range(200):
+            assert t[i] == i
+        assert t.load_factor == pytest.approx(200 / 64)
+
+    def test_occupancy_sums_to_len(self):
+        t = IcebergHashTable(512, seed=5)
+        rng = np.random.default_rng(0)
+        live = set()
+        for step in range(3000):
+            k = int(rng.integers(0, 800))
+            if k in live:
+                del t[k]
+                live.remove(k)
+            else:
+                t[k] = step
+                live.add(k)
+        assert sum(t.level_occupancy().values()) == len(t) == len(live)
+
+
+class TestAgainstDictModel:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["i", "d", "g"]), st.integers(0, 50),
+                      st.integers(0, 1000)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict(self, ops):
+        t = IcebergHashTable(32, front_bin=4, back_bin=2, seed=6)
+        model: dict = {}
+        for op, k, v in ops:
+            if op == "i":
+                t[k] = v
+                model[k] = v
+            elif op == "d" and k in model:
+                del t[k]
+                del model[k]
+            else:
+                assert t.get(k) == model.get(k)
+        assert len(t) == len(model)
+        for k, v in model.items():
+            assert t[k] == v

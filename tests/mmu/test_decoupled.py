@@ -1,0 +1,128 @@
+"""Tests for DecoupledMM (Z as a drop-in MM algorithm) and HybridMM."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import BasePageMM, DecoupledMM, HybridMM, PhysicalHugePageMM
+
+
+class TestDecoupledMM:
+    def test_scheme_selection(self):
+        z_ice = DecoupledMM(16, 1 << 12, scheme="iceberg", seed=0)
+        z_one = DecoupledMM(16, 1 << 12, scheme="one-choice", seed=0)
+        assert z_ice.params.scheme == "iceberg"
+        assert z_one.params.scheme == "one-choice"
+        with pytest.raises(ValueError, match="unknown scheme"):
+            DecoupledMM(16, 1 << 12, scheme="greedy2")
+
+    def test_hmax_override(self):
+        z = DecoupledMM(16, 1 << 12, hmax=2, seed=0)
+        assert z.hmax == 2
+        with pytest.raises(ValueError, match="feasible range"):
+            DecoupledMM(16, 1 << 12, hmax=10_000)
+
+    def test_iceberg_hmax_exceeds_one_choice(self):
+        P, w = 1 << 20, 64
+        assert (
+            DecoupledMM(16, P, scheme="iceberg").hmax
+            >= DecoupledMM(16, P, scheme="one-choice").hmax
+        )
+
+    def test_ledger_is_system_ledger(self):
+        z = DecoupledMM(16, 1 << 12, seed=0)
+        z.access(0)
+        assert z.ledger.accesses == 1
+        z.reset_stats()
+        assert z.ledger.accesses == 0
+
+    def test_matches_base_page_ios_when_no_failures(self):
+        """Z's IO count equals classical base-page paging on (1-δ)P frames:
+        the 'none of the physical downsides' half of the headline claim."""
+        P = 1 << 12
+        z = DecoupledMM(32, P, seed=1)
+        base = BasePageMM(32, z.params.max_pages)
+        rng = np.random.default_rng(2)
+        trace = rng.integers(0, 2 * P, 20_000)
+        z.run(trace)
+        base.run(trace)
+        if z.ledger.paging_failures == 0:
+            assert z.ledger.ios == base.ledger.ios
+
+    def test_tlb_misses_match_physical_huge_pages(self):
+        """Z's TLB misses equal a physical-huge-page run at h = hmax: the
+        'all of the virtual benefits' half."""
+        P = 1 << 12
+        z = DecoupledMM(32, P, seed=3)
+        h = z.hmax
+        rng = np.random.default_rng(4)
+        trace = rng.integers(0, P, 20_000)
+        # physical comparison on the same huge-page geometry
+        ram = (P // h) * h
+        phys = PhysicalHugePageMM(32, ram, huge_page_size=h)
+        z.run(trace)
+        phys.run(trace)
+        assert z.ledger.tlb_misses == phys.ledger.tlb_misses
+
+    def test_beats_both_on_total_cost(self):
+        """On a bimodal-style trace Z must dominate base pages and physical
+        huge pages in total address-translation cost at moderate ε."""
+        from repro.core import ATCostModel
+
+        P = 1 << 12
+        rng = np.random.default_rng(5)
+        n = 40_000
+        hot = rng.integers(0, P // 8, n)
+        cold = rng.integers(0, 16 * P, n)
+        trace = np.where(rng.random(n) < 0.999, hot, cold)
+
+        z = DecoupledMM(16, P, seed=6)
+        base = BasePageMM(16, P)
+        phys = PhysicalHugePageMM(16, P, huge_page_size=64)
+        for mm in (z, base, phys):
+            mm.run(trace)
+        model = ATCostModel(epsilon=0.05)
+        z_cost = model.cost(z.ledger)
+        assert z_cost <= model.cost(base.ledger)
+        assert z_cost <= model.cost(phys.ledger)
+
+
+class TestHybridMM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridMM(16, 1 << 12, chunk=3)
+        with pytest.raises(ValueError):
+            HybridMM(16, (1 << 12) + 4, chunk=8)
+
+    def test_coverage_multiplies(self):
+        h = HybridMM(16, 1 << 12, chunk=4, seed=0)
+        assert h.coverage == h.system.hmax * 4
+
+    def test_chunk1_matches_decoupled_geometry(self):
+        h = HybridMM(16, 1 << 12, chunk=1, seed=0)
+        z = DecoupledMM(16, 1 << 12, seed=0)
+        assert h.coverage == z.hmax
+
+    def test_fault_costs_chunk_ios(self):
+        h = HybridMM(16, 1 << 12, chunk=8, seed=0)
+        h.access(0)
+        assert h.ledger.ios == 8
+
+    def test_chunk_locality_shares_fault(self):
+        h = HybridMM(16, 1 << 12, chunk=8, seed=0)
+        for vpn in range(8):  # same chunk
+            h.access(vpn)
+        assert h.ledger.ios == 8
+        assert h.ledger.tlb_misses == 1
+
+    def test_coverage_vs_amplification_tradeoff(self):
+        """Bigger chunks buy coverage but pay IO amplification on sparse
+        access patterns."""
+        rng = np.random.default_rng(7)
+        trace = rng.integers(0, 1 << 14, 15_000)  # sparse uniform
+        small = HybridMM(16, 1 << 12, chunk=1, seed=8)
+        big = HybridMM(16, 1 << 12, chunk=16, seed=8)
+        small.run(trace)
+        big.run(trace)
+        assert big.coverage > small.coverage
+        assert big.ledger.ios > small.ledger.ios
+        assert big.ledger.tlb_misses <= small.ledger.tlb_misses

@@ -1,0 +1,105 @@
+"""Tests for the physical-huge-page MM algorithm (the Section 6 simulator
+semantics) and its base-page specialization."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import BasePageMM, PhysicalHugePageMM
+from repro.paging import FIFOPolicy
+
+
+class TestValidation:
+    def test_huge_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            PhysicalHugePageMM(16, 256, huge_page_size=3)
+
+    def test_ram_divisible(self):
+        with pytest.raises(ValueError):
+            PhysicalHugePageMM(16, 250, huge_page_size=8)
+
+    def test_ram_at_least_one_huge_frame(self):
+        with pytest.raises(ValueError):
+            PhysicalHugePageMM(16, 4, huge_page_size=8)
+
+
+class TestAmplification:
+    def test_fault_moves_h_pages(self):
+        mm = PhysicalHugePageMM(16, 256, huge_page_size=8)
+        mm.access(0)
+        assert mm.ledger.ios == 8  # one fault, h IOs
+
+    def test_pages_within_huge_page_share_fault(self):
+        mm = PhysicalHugePageMM(16, 256, huge_page_size=8)
+        for vpn in range(8):
+            mm.access(vpn)
+        assert mm.ledger.ios == 8  # one fault total
+        assert mm.ledger.tlb_misses == 1
+
+    def test_h1_is_classical(self):
+        mm = BasePageMM(16, 256)
+        for vpn in range(10):
+            mm.access(vpn)
+        assert mm.ledger.ios == 10
+        assert mm.ledger.tlb_misses == 10
+
+    def test_reduced_utilization(self):
+        """With h=4 and RAM of 8 pages, only 2 distinct huge pages fit; 3
+        hot pages in distinct huge pages must thrash."""
+        mm = PhysicalHugePageMM(16, 8, huge_page_size=4)
+        hot = [0, 4, 8]  # three different huge pages
+        for _ in range(20):
+            for vpn in hot:
+                mm.access(vpn)
+        # every access after warmup faults (LRU over 2 frames, 3-cycle)
+        assert mm.ledger.ios >= 4 * (len(hot) * 20 - 2)
+
+    def test_base_page_no_thrash_same_footprint(self):
+        """Same hot set at h=1 fits trivially: 3 IOs total."""
+        mm = BasePageMM(16, 8)
+        for _ in range(20):
+            for vpn in [0, 4, 8]:
+                mm.access(vpn)
+        assert mm.ledger.ios == 3
+
+
+class TestTradeoffShape:
+    def test_io_grows_and_misses_shrink_with_h(self):
+        """The Figure 1 trend on a miniature bimodal trace."""
+        rng = np.random.default_rng(0)
+        n = 30_000
+        hot = rng.integers(0, 512, n)
+        cold = rng.integers(0, 1 << 15, n)
+        is_hot = rng.random(n) < 0.999
+        trace = np.where(is_hot, hot, cold)
+
+        results = {}
+        for h in (1, 16, 256):
+            mm = PhysicalHugePageMM(64, 1 << 13, huge_page_size=h)
+            mm.run(trace)
+            results[h] = (mm.ledger.ios, mm.ledger.tlb_misses)
+        assert results[1][0] < results[16][0] < results[256][0]
+        assert results[1][1] > results[16][1] > results[256][1]
+
+
+class TestBookkeeping:
+    def test_accesses_counted(self):
+        mm = BasePageMM(4, 16)
+        mm.run([1, 2, 1])
+        assert mm.ledger.accesses == 3
+        assert mm.ledger.tlb_hits == 1
+
+    def test_reset_stats_preserves_state(self):
+        mm = BasePageMM(4, 16)
+        mm.run([1, 2, 3])
+        mm.reset_stats()
+        mm.access(1)
+        assert mm.ledger.ios == 0  # still cached
+        assert mm.ledger.accesses == 1
+
+    def test_custom_policies(self):
+        mm = PhysicalHugePageMM(
+            2, 16, huge_page_size=1, tlb_policy=FIFOPolicy(), ram_policy=FIFOPolicy()
+        )
+        mm.run([0, 1, 0, 2])  # FIFO TLB of 2: miss, miss, hit, miss(evicts 0)
+        assert mm.ledger.tlb_misses == 3
+        assert mm.ledger.tlb_hits == 1

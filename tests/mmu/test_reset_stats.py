@@ -1,0 +1,36 @@
+"""Regression tests: reset_stats must re-seed algorithm-specific counters.
+
+A warm-up/measure run of THP under promotion pressure once raised KeyError
+because CostLedger.reset() cleared the extra dict; this pins the fix.
+"""
+
+from repro.mmu import NestedTranslationMM, THPStyleMM
+from repro.sim import simulate
+from repro.workloads import BTreeLookupWorkload
+
+
+class TestResetReseedsExtras:
+    def test_thp_counters_survive_reset(self):
+        mm = THPStyleMM(8, 64, huge_page_size=4, promote_utilization=0.5)
+        mm.run(range(8))
+        mm.reset_stats()
+        assert mm.ledger.extra["promotions"] == 0
+        mm.run(range(100, 108))  # promotion traffic after the reset
+        assert "promotion_failures" in mm.ledger.extra
+
+    def test_nested_counters_survive_reset(self):
+        mm = NestedTranslationMM(4, 4, 64)
+        mm.access(0)
+        mm.reset_stats()
+        mm.access(99)  # walks again
+        assert mm.ledger.extra["walk_touches"] > 0
+
+    def test_thp_fragmented_warmup_measure(self):
+        """The original failing scenario: THP with warm-up under a
+        fragmentation-prone index workload."""
+        index = BTreeLookupWorkload(50_000, fanout=64, zipf_s=0.8)
+        trace = index.generate(20_000, seed=0)
+        mm = THPStyleMM(64, 2048, huge_page_size=64, promote_utilization=0.75)
+        ledger = simulate(mm, trace, warmup=10_000)
+        mm.check_invariants()
+        assert ledger.accesses == 10_000

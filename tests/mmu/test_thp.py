@@ -1,0 +1,146 @@
+"""Tests for the THP-style promotion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import THPStyleMM
+
+
+def make(tlb=64, ram=1 << 10, h=8, util=0.9):
+    return THPStyleMM(tlb, ram, huge_page_size=h, promote_utilization=util)
+
+
+class TestValidation:
+    def test_power_of_two(self):
+        with pytest.raises(ValueError):
+            THPStyleMM(8, 256, huge_page_size=6)
+
+    def test_ram_holds_huge_page(self):
+        with pytest.raises(ValueError):
+            THPStyleMM(8, 4, huge_page_size=8)
+
+    def test_utilization_range(self):
+        with pytest.raises(ValueError):
+            THPStyleMM(8, 256, promote_utilization=0.0)
+        with pytest.raises(ValueError):
+            THPStyleMM(8, 256, promote_utilization=1.5)
+
+
+class TestBasePath:
+    def test_fault_costs_one_io(self):
+        mm = make()
+        mm.access(0)
+        assert mm.ledger.ios == 1
+        assert mm.ledger.tlb_misses == 1
+
+    def test_hit_is_free(self):
+        mm = make()
+        mm.access(0)
+        mm.access(0)
+        assert mm.ledger.ios == 1
+        assert mm.ledger.tlb_hits == 1
+
+    def test_no_promotion_below_threshold(self):
+        mm = make(h=8, util=0.9)  # threshold 7
+        for vpn in range(6):
+            mm.access(vpn)
+        assert mm.promoted_regions == 0
+        assert mm.ledger.extra["promotions"] == 0
+
+
+class TestPromotion:
+    def test_promotes_at_threshold(self):
+        mm = make(h=8, util=0.5)  # threshold 4
+        for vpn in range(4):
+            mm.access(vpn)
+        assert mm.promoted_regions == 1
+        assert mm.ledger.extra["promotions"] == 1
+        # amplification: 4 faults + 4 fetched at promotion
+        assert mm.ledger.ios == 8
+        assert mm.ledger.extra["migrations"] == 4
+
+    def test_promoted_region_shares_tlb_entry(self):
+        mm = make(h=8, util=0.5)
+        for vpn in range(4):
+            mm.access(vpn)
+        misses_before = mm.ledger.tlb_misses
+        mm.access(5)  # covered by the promoted huge unit, but TLB must refill
+        mm.access(6)
+        mm.access(7)
+        # after the huge entry is in, the rest of the region hits
+        assert mm.ledger.tlb_misses <= misses_before + 1
+        assert mm.ledger.ios == 8  # no further IOs: all 8 pages resident
+
+    def test_promotion_pins_h_frames(self):
+        mm = make(ram=64, h=8, util=0.5)
+        for vpn in range(4):
+            mm.access(vpn)
+        assert mm.resident_pages == 8  # 4 hot + 4 cold pinned
+
+    def test_full_region_without_promotion_threshold_one(self):
+        mm = make(h=4, util=0.1)  # threshold 1: promote on first touch (THP-like)
+        mm.access(0)
+        assert mm.promoted_regions == 1
+        assert mm.ledger.ios == 4  # classic THP fault amplification
+
+
+class TestEvictionAndDemotion:
+    def test_huge_unit_evicted_wholesale(self):
+        mm = make(ram=16, h=8, util=0.5)
+        for vpn in range(4):  # promote region 0 (8 frames)
+            mm.access(vpn)
+        for vpn in range(100, 112):  # 12 base pages force eviction
+            mm.access(vpn)
+        assert mm.ledger.extra["demotions"] >= 1
+        # region 0's huge unit was the LRU victim; re-access refaults
+        ios_before = mm.ledger.ios
+        mm.access(0)
+        assert mm.ledger.ios > ios_before
+
+    def test_reaccess_after_demotion_refaults(self):
+        mm = make(ram=16, h=8, util=0.9)
+        for vpn in range(7):
+            mm.access(vpn)  # below threshold 7? exactly 7 -> promotes
+        for vpn in range(100, 116):
+            mm.access(vpn)  # flush
+        ios_before = mm.ledger.ios
+        mm.access(0)
+        assert mm.ledger.ios == ios_before + 1  # demoted: refaults as base page
+
+
+class TestFragmentation:
+    def test_promotion_failure_under_fragmentation(self):
+        """Interleave allocations from many regions so no aligned run of h
+        free frames exists when a region becomes promotable."""
+        mm = make(ram=64, h=8, util=0.9)  # threshold 7
+        rng = np.random.default_rng(0)
+        # scatter single pages from 8 regions to fragment the frame space
+        order = rng.permutation(
+            [r * 8 + i for r in range(8) for i in range(7)]
+        )
+        for vpn in order:
+            mm.access(int(vpn))
+        # 56 of 64 frames in use, scattered; most promotions must have failed
+        assert mm.ledger.extra["promotion_failures"] >= 1
+
+    def test_ledger_counters_exposed(self):
+        mm = make()
+        d = mm.ledger.as_dict()
+        for key in ("promotions", "promotion_failures", "demotions", "migrations"):
+            assert key in d
+
+
+class TestVsPhysicalHugePages:
+    def test_thp_beats_static_huge_on_sparse_access(self):
+        """Sparse accesses never reach the promotion threshold, so THP
+        behaves like base pages while static huge pages amplify every
+        fault."""
+        from repro.mmu import PhysicalHugePageMM
+
+        rng = np.random.default_rng(1)
+        trace = (rng.integers(0, 1 << 12, 4000) * 8) % (1 << 14)  # 1 page/region
+        thp = make(tlb=32, ram=1 << 10, h=8, util=0.9)
+        static = PhysicalHugePageMM(32, 1 << 10, huge_page_size=8)
+        thp.run(trace)
+        static.run(trace)
+        assert thp.ledger.ios < static.ledger.ios

@@ -1,0 +1,89 @@
+"""Tests for the nested-translation (virtualized) MM model."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import NestedTranslationMM
+
+
+def make(guest=16, host=64, ram=1 << 10, h=1, **kw):
+    return NestedTranslationMM(guest, host, ram, huge_page_size=h, **kw)
+
+
+class TestValidation:
+    def test_huge_power_of_two(self):
+        with pytest.raises(ValueError):
+            make(h=3)
+
+    def test_ram_divisible(self):
+        with pytest.raises(ValueError):
+            NestedTranslationMM(4, 4, 10, huge_page_size=4)
+
+
+class TestWalkAccounting:
+    def test_cold_miss_walk_touches(self):
+        mm = make()
+        mm.access(0)
+        assert mm.ledger.tlb_misses == 1
+        # worst case: 4 node reads + 5 host walks of 4 = 24 touches
+        assert mm.ledger.extra["walk_touches"] == 24
+        assert mm.ledger.extra["host_tlb_misses"] == 5
+
+    def test_hit_costs_nothing(self):
+        mm = make()
+        mm.access(0)
+        mm.access(0)
+        assert mm.ledger.extra["walk_touches"] == 24  # unchanged
+        assert mm.ledger.tlb_hits == 1
+
+    def test_nested_tlb_absorbs_repeat_walks(self):
+        """Misses on nearby pages share page-table nodes: the nested TLB
+        turns later walks into mostly node reads."""
+        mm = make(guest=1)  # guest TLB of 1 entry: every new page misses
+        mm.access(0)
+        first = mm.ledger.extra["walk_touches"]
+        mm.access(1)  # same page-table path except the leaf
+        second = mm.ledger.extra["walk_touches"] - first
+        assert second < first
+        assert second >= mm.guest_levels  # node reads are unavoidable
+
+    def test_effective_multiplier_bounds(self):
+        mm = make(guest=4, host=8)
+        rng = np.random.default_rng(0)
+        for vpn in rng.integers(0, 1 << 16, 4000):
+            mm.access(int(vpn))
+        mult = mm.effective_epsilon_multiplier
+        worst = ((mm.guest_levels + 1) * (mm.host_levels + 1) - 1) / mm.guest_levels
+        assert 1.0 <= mult <= worst
+
+    def test_multiplier_default_one(self):
+        assert make().effective_epsilon_multiplier == 1.0
+
+
+class TestVirtualizationAmplifiesTlbValue:
+    def test_bigger_nested_tlb_lowers_multiplier(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 1 << 15, 5000)
+        small = make(guest=8, host=8)
+        big = make(guest=8, host=512)
+        for vpn in trace:
+            small.access(int(vpn))
+            big.access(int(vpn))
+        assert big.effective_epsilon_multiplier < small.effective_epsilon_multiplier
+
+    def test_huge_pages_cut_guest_misses(self):
+        rng = np.random.default_rng(2)
+        # spatially local trace
+        trace = (rng.integers(0, 64, 5000) * 4 + rng.integers(0, 4, 5000)).tolist()
+        flat = make(guest=8, h=1)
+        huge = make(guest=8, h=16)
+        for vpn in trace:
+            flat.access(vpn)
+            huge.access(vpn)
+        assert huge.ledger.tlb_misses < flat.ledger.tlb_misses
+        assert huge.ledger.extra["walk_touches"] < flat.ledger.extra["walk_touches"]
+
+    def test_ram_amplification_preserved(self):
+        mm = make(h=8, ram=64)
+        mm.access(0)
+        assert mm.ledger.ios == 8

@@ -1,0 +1,65 @@
+"""Tests for write-back accounting (the fourth huge-page cost)."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import WritebackHugePageMM
+
+
+class TestDirtyTracking:
+    def test_all_writes_dirty_everything(self):
+        mm = WritebackHugePageMM(8, 64, huge_page_size=4, write_fraction=1.0, seed=0)
+        for vpn in range(8):
+            mm.access(vpn)
+        assert mm.dirty_units == 2  # two huge units, both dirty
+
+    def test_read_only_never_writes_back(self):
+        mm = WritebackHugePageMM(8, 16, huge_page_size=4, write_fraction=0.0, seed=0)
+        for vpn in range(0, 64, 4):  # force heavy eviction traffic
+            mm.access(vpn)
+        assert mm.ledger.extra["writeback_ios"] == 0
+        assert mm.total_ios == mm.ledger.ios
+
+    def test_dirty_eviction_costs_h_ios(self):
+        mm = WritebackHugePageMM(8, 8, huge_page_size=8, write_fraction=1.0, seed=0)
+        mm.access(0)  # unit 0 in the single frame, dirtied
+        mm.access(8)  # unit 1 evicts dirty unit 0
+        assert mm.ledger.extra["writebacks"] == 1
+        assert mm.ledger.extra["writeback_ios"] == 8
+
+    def test_clean_reaccess_after_flush(self):
+        mm = WritebackHugePageMM(8, 8, huge_page_size=8, write_fraction=1.0, seed=0)
+        mm.access(0)
+        mm.access(8)  # flushes unit 0
+        mm.access(0)  # unit 0 returns (evicting dirty unit 1)
+        assert mm.ledger.extra["writebacks"] == 2
+
+    def test_reset_stats_reseeds_counters(self):
+        mm = WritebackHugePageMM(8, 8, huge_page_size=8, write_fraction=1.0, seed=0)
+        mm.access(0)
+        mm.access(8)
+        mm.reset_stats()
+        assert mm.ledger.extra["writeback_ios"] == 0
+        mm.access(0)
+        assert mm.ledger.extra["writebacks"] == 1  # counter still functional
+
+    def test_write_fraction_validated(self):
+        with pytest.raises(ValueError):
+            WritebackHugePageMM(8, 64, write_fraction=1.5)
+
+
+class TestWriteAmplification:
+    def test_writeback_grows_with_h(self):
+        """The fourth huge-page cost: write-back traffic scales with h on a
+        write-heavy workload with modest locality."""
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 1 << 13, 20_000)
+
+        def wb(h):
+            mm = WritebackHugePageMM(
+                64, 1 << 10, huge_page_size=h, write_fraction=0.3, seed=1
+            )
+            mm.run(trace)
+            return mm.ledger.extra["writeback_ios"]
+
+        assert wb(1) < wb(8) < wb(64)

@@ -1,0 +1,118 @@
+"""Tests for the inverted (hashed) page table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pagetable import InvertedPageTable, RadixPageTable
+
+
+class TestMapping:
+    def test_roundtrip(self):
+        pt = InvertedPageTable(16, seed=0)
+        pt.map(1000, 3)
+        t = pt.translate(1000)
+        assert t.pfn == 3
+        assert t.chain_steps >= 1
+
+    def test_fault_is_none(self):
+        pt = InvertedPageTable(16, seed=0)
+        assert pt.translate(5) is None
+        assert 5 not in pt
+
+    def test_frame_conflict_rejected(self):
+        pt = InvertedPageTable(16, seed=0)
+        pt.map(1, 3)
+        with pytest.raises(ValueError, match="already holds"):
+            pt.map(2, 3)
+
+    def test_double_map_rejected(self):
+        pt = InvertedPageTable(16, seed=0)
+        pt.map(1, 3)
+        with pytest.raises(ValueError, match="already mapped"):
+            pt.map(1, 4)
+
+    def test_pfn_range_checked(self):
+        pt = InvertedPageTable(16, seed=0)
+        with pytest.raises(ValueError):
+            pt.map(1, 16)
+
+    def test_unmap(self):
+        pt = InvertedPageTable(16, seed=0)
+        pt.map(1, 3)
+        assert pt.unmap(1) == 3
+        assert pt.translate(1) is None
+        with pytest.raises(KeyError):
+            pt.unmap(1)
+
+    def test_unmap_middle_of_chain(self):
+        """Force several vpns into one bucket and remove the middle one."""
+        pt = InvertedPageTable(8, anchor_ratio=1 / 8, seed=0)  # 1 bucket
+        for pfn, vpn in enumerate([10, 20, 30]):
+            pt.map(vpn, pfn)
+        pt.unmap(20)
+        assert pt.translate(10).pfn == 0
+        assert pt.translate(30).pfn == 2
+        assert pt.translate(20) is None
+
+
+class TestChainCosts:
+    def test_single_bucket_chain_lengths(self):
+        pt = InvertedPageTable(8, anchor_ratio=1 / 8, seed=0)
+        for pfn, vpn in enumerate([10, 20, 30]):
+            pt.map(vpn, pfn)
+        # chain head is the most recently mapped
+        assert pt.translate(30).chain_steps == 1
+        assert pt.translate(10).chain_steps == 3
+
+    def test_mean_chain_short_at_normal_sizing(self):
+        pt = InvertedPageTable(1 << 10, anchor_ratio=1.0, seed=1)
+        rng = np.random.default_rng(0)
+        vpns = rng.choice(1 << 20, size=1 << 10, replace=False)
+        for pfn, vpn in enumerate(vpns):
+            pt.map(int(vpn), pfn)
+        for vpn in vpns:
+            pt.translate(int(vpn))
+        assert pt.mean_chain_steps < 2.0  # expected ~1.5 at load 1.0
+
+    def test_memory_independent_of_va(self):
+        """The inverted table's selling point vs radix."""
+        frames = 1 << 10
+        inv = InvertedPageTable(frames, seed=0)
+        radix = RadixPageTable(levels=4, bits_per_level=9)
+        rng = np.random.default_rng(1)
+        vpns = rng.choice(512**4 - 1, size=frames, replace=False)
+        for pfn, vpn in enumerate(vpns):
+            inv.map(int(vpn), pfn)
+            radix.map(int(vpn), pfn)
+        inv_words = inv.memory_words
+        # radix: ~512 words per node
+        radix_words = radix.nodes * 512
+        assert inv_words < radix_words  # sparse VA: radix pays per mapping
+
+
+class TestInvertedProperty:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 100)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40)
+    def test_matches_dict_model(self, ops):
+        pt = InvertedPageTable(32, seed=2)
+        model: dict[int, int] = {}
+        free = list(range(31, -1, -1))
+        for do_map, vpn in ops:
+            if do_map and vpn not in model and free:
+                pfn = free.pop()
+                pt.map(vpn, pfn)
+                model[vpn] = pfn
+            elif not do_map and vpn in model:
+                freed = pt.unmap(vpn)
+                assert freed == model.pop(vpn)
+                free.append(freed)
+        assert len(pt) == len(model)
+        for vpn, pfn in model.items():
+            assert pt.translate(vpn).pfn == pfn

@@ -1,0 +1,132 @@
+"""Tests for the sparse radix page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pagetable import RadixPageTable
+
+
+class TestGeometry:
+    def test_max_vpn(self):
+        pt = RadixPageTable(levels=4, bits_per_level=9)
+        assert pt.max_vpn == 512**4
+
+    def test_leaf_level_for(self):
+        pt = RadixPageTable(levels=4, bits_per_level=9)
+        assert pt.leaf_level_for(1) == 1
+        assert pt.leaf_level_for(512) == 2
+        assert pt.leaf_level_for(512 * 512) == 3
+        with pytest.raises(ValueError):
+            pt.leaf_level_for(2)  # not a radix power
+        with pytest.raises(ValueError):
+            pt.leaf_level_for(512**4)  # whole tree, no room for a leaf
+
+
+class TestMapTranslate:
+    def test_base_page_roundtrip(self):
+        pt = RadixPageTable()
+        pt.map(12345, 678)
+        t = pt.translate(12345)
+        assert t.pfn == 678
+        assert t.page_size == 1
+        assert t.levels_walked == 4
+
+    def test_unmapped_is_none(self):
+        pt = RadixPageTable()
+        assert pt.translate(1) is None
+        assert 1 not in pt
+
+    def test_huge_mapping_covers_run(self):
+        pt = RadixPageTable()
+        pt.map(1024, 2048, page_size=512)
+        for off in (0, 1, 511):
+            t = pt.translate(1024 + off)
+            assert t.pfn == 2048 + off
+            assert t.page_size == 512
+            assert t.levels_walked == 3  # one level shorter walk
+
+    def test_alignment_enforced(self):
+        pt = RadixPageTable()
+        with pytest.raises(ValueError, match="aligned"):
+            pt.map(1, 0, page_size=512)
+        with pytest.raises(ValueError, match="aligned"):
+            pt.map(512, 3, page_size=512)
+
+    def test_overlap_rejected(self):
+        pt = RadixPageTable()
+        pt.map(0, 0, page_size=512)
+        with pytest.raises(ValueError):
+            pt.map(5, 99)  # under the huge leaf
+        with pytest.raises(ValueError):
+            pt.map(0, 0, page_size=512)
+
+    def test_vpn_range_checked(self):
+        pt = RadixPageTable(levels=2, bits_per_level=4)
+        with pytest.raises(ValueError):
+            pt.map(256, 0)  # max_vpn = 16**2
+        with pytest.raises(ValueError):
+            pt.map(0, -1)
+
+
+class TestUnmap:
+    def test_unmap_then_fault(self):
+        pt = RadixPageTable()
+        pt.map(7, 9)
+        pt.unmap(7)
+        assert pt.translate(7) is None
+        assert len(pt) == 0
+
+    def test_unmap_absent_raises(self):
+        pt = RadixPageTable()
+        with pytest.raises(KeyError):
+            pt.unmap(7)
+
+    def test_node_pruning(self):
+        pt = RadixPageTable()
+        assert pt.nodes == 1
+        pt.map(0, 0)
+        nodes_with_mapping = pt.nodes
+        assert nodes_with_mapping == 4  # root + 3 interior
+        pt.unmap(0)
+        assert pt.nodes == 1  # all interior nodes pruned
+
+    def test_unmap_huge(self):
+        pt = RadixPageTable()
+        pt.map(512, 0, page_size=512)
+        pt.unmap(700)  # any covered vpn works
+        assert pt.translate(512) is None
+
+
+class TestMixedSizesProperty:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.sampled_from([1, 16])),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40)
+    def test_matches_dict_model(self, ops):
+        """Radix table behaves like a flat dict of page->frame built from the
+        same non-overlapping mapping stream."""
+        pt = RadixPageTable(levels=2, bits_per_level=4)  # max_vpn=256
+        model: dict[int, int] = {}
+        next_pfn = 0
+        for base, size in ops:
+            vpn = base - (base % size)
+            covered = range(vpn, vpn + size)
+            if any(v in model for v in covered):
+                continue
+            pfn = next_pfn - (next_pfn % size) + (size if next_pfn % size else 0)
+            pt.map(vpn, pfn, page_size=size)
+            for i, v in enumerate(covered):
+                model[v] = pfn + i
+            next_pfn = pfn + size
+        for v in range(256):
+            t = pt.translate(v)
+            if v in model:
+                assert t is not None and t.pfn == model[v]
+            else:
+                assert t is None
+        assert len(pt) <= len(model)

@@ -1,0 +1,65 @@
+"""Tests for the page walker, PWC, and nested-translation cost."""
+
+from repro.pagetable import PageWalker, RadixPageTable, nested_walk_cost
+
+
+class TestPageWalker:
+    def test_walk_counts_touches(self):
+        pt = RadixPageTable()
+        pt.map(5, 50)
+        walker = PageWalker(pt)
+        r = walker.walk(5)
+        assert r.translation.pfn == 50
+        assert r.memory_touches == 4
+        assert r.pwc_hits == 0
+
+    def test_fault_touches_full_depth(self):
+        pt = RadixPageTable()
+        walker = PageWalker(pt)
+        r = walker.walk(5)
+        assert r.translation is None
+        assert r.memory_touches == 4
+
+    def test_huge_page_shorter_walk(self):
+        pt = RadixPageTable()
+        pt.map(0, 0, page_size=512)
+        walker = PageWalker(pt)
+        assert walker.walk(100).memory_touches == 3
+
+    def test_pwc_accelerates_locality(self):
+        pt = RadixPageTable()
+        for vpn in range(16):
+            pt.map(vpn, vpn)
+        cold = PageWalker(pt)
+        warm = PageWalker(pt, pwc_entries=64)
+        for _ in range(3):
+            for vpn in range(16):
+                cold.walk(vpn)
+                warm.walk(vpn)
+        assert warm.total_touches < cold.total_touches
+        assert warm.total_pwc_hits > 0
+
+    def test_mean_touches(self):
+        pt = RadixPageTable()
+        pt.map(1, 1)
+        walker = PageWalker(pt)
+        assert walker.mean_touches == 0.0
+        walker.walk(1)
+        assert walker.mean_touches == 4.0
+
+
+class TestNestedWalkCost:
+    def test_x86_values(self):
+        # the classical 24-access worst case for 4+4 levels
+        assert nested_walk_cost(4, 4) == 24
+
+    def test_formula(self):
+        assert nested_walk_cost(1, 1) == 3
+        assert nested_walk_cost(2, 3) == 11
+
+    def test_squaring_effect(self):
+        """The paper's intro: virtualization squares miss cost — the nested
+        walk grows multiplicatively, not additively."""
+        flat = 4
+        nested = nested_walk_cost(4, 4)
+        assert nested > 2 * flat

@@ -1,0 +1,105 @@
+"""Unit tests for PageCache mechanics (capacity, stats, callbacks)."""
+
+import pytest
+
+from repro.paging import FIFOPolicy, LRUPolicy, PageCache
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PageCache(0, LRUPolicy())
+
+    def test_rejects_dirty_policy(self):
+        p = LRUPolicy()
+        p.insert(1, 0)
+        with pytest.raises(ValueError, match="start empty"):
+            PageCache(4, p)
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        cache = PageCache(2, LRUPolicy())
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_enforced(self):
+        cache = PageCache(3, LRUPolicy())
+        for i in range(10):
+            cache.access(i)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_eviction_callback(self):
+        evicted = []
+        cache = PageCache(2, FIFOPolicy(), on_evict=evicted.append)
+        for i in range(4):
+            cache.access(i)
+        assert evicted == [0, 1]
+
+    def test_accesses_property(self):
+        cache = PageCache(2, LRUPolicy())
+        for p in [1, 1, 2, 3]:
+            cache.access(p)
+        assert cache.accesses == 4
+
+
+class TestInsertRemove:
+    def test_insert_is_statless(self):
+        cache = PageCache(2, LRUPolicy())
+        cache.insert(5)
+        assert 5 in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_insert_existing_is_noop(self):
+        cache = PageCache(2, LRUPolicy())
+        cache.insert(5)
+        cache.insert(5)
+        assert len(cache) == 1
+
+    def test_insert_evicts_when_full(self):
+        evicted = []
+        cache = PageCache(1, FIFOPolicy(), on_evict=evicted.append)
+        cache.insert(1)
+        cache.insert(2)
+        assert evicted == [1]
+        assert 2 in cache
+
+    def test_remove(self):
+        cache = PageCache(2, LRUPolicy())
+        cache.insert(5)
+        cache.remove(5)
+        assert 5 not in cache
+
+    def test_remove_absent_raises(self):
+        cache = PageCache(2, LRUPolicy())
+        with pytest.raises(KeyError):
+            cache.remove(5)
+
+    def test_remove_does_not_fire_callback(self):
+        evicted = []
+        cache = PageCache(2, LRUPolicy(), on_evict=evicted.append)
+        cache.insert(1)
+        cache.remove(1)
+        assert evicted == []
+
+
+class TestStats:
+    def test_reset_stats_keeps_contents(self):
+        cache = PageCache(4, LRUPolicy())
+        for p in [1, 2, 1]:
+            cache.access(p)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0 and cache.evictions == 0
+        assert 1 in cache and 2 in cache
+
+    def test_warmup_then_measure_pattern(self):
+        """The Section 6 pattern: warm up, reset, then measure."""
+        cache = PageCache(2, LRUPolicy())
+        for p in [1, 2, 1, 2]:
+            cache.access(p)
+        cache.reset_stats()
+        for p in [1, 2, 3]:
+            cache.access(p)
+        assert cache.misses == 1  # only page 3

@@ -1,0 +1,282 @@
+"""Contract tests applied uniformly to every replacement policy, plus
+policy-specific behaviour tests for LRU/FIFO/MRU/CLOCK/LFU/Random."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import (
+    POLICIES,
+    ARCPolicy,
+    ClockPolicy,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    PageCache,
+    RandomPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+
+ALL_NAMES = sorted(POLICIES)
+
+
+@pytest.fixture(params=ALL_NAMES)
+def policy(request):
+    p = make_policy(request.param)
+    p.bind(8)
+    return p
+
+
+class TestPolicyContract:
+    """Every policy must satisfy the resident-set contract."""
+
+    def test_starts_empty(self, policy):
+        assert len(policy) == 0
+        assert 1 not in policy
+
+    def test_insert_makes_resident(self, policy):
+        policy.insert(1, 0)
+        assert 1 in policy
+        assert len(policy) == 1
+        assert list(policy.resident()) == [1]
+
+    def test_double_insert_raises(self, policy):
+        policy.insert(1, 0)
+        with pytest.raises(KeyError):
+            policy.insert(1, 1)
+
+    def test_evict_removes_some_resident(self, policy):
+        for i in range(5):
+            policy.insert(i, i)
+        victim = policy.evict()
+        assert victim in range(5)
+        assert victim not in policy
+        assert len(policy) == 4
+
+    def test_evict_empty_raises(self, policy):
+        with pytest.raises(LookupError):
+            policy.evict()
+
+    def test_remove(self, policy):
+        policy.insert(1, 0)
+        policy.insert(2, 1)
+        policy.remove(1)
+        assert 1 not in policy
+        assert 2 in policy
+
+    def test_remove_absent_raises(self, policy):
+        with pytest.raises(KeyError):
+            policy.remove(99)
+
+    def test_record_access_keeps_resident(self, policy):
+        policy.insert(1, 0)
+        policy.record_access(1, 1)
+        assert 1 in policy
+        assert len(policy) == 1
+
+    def test_drain_by_eviction(self, policy):
+        keys = set(range(6))
+        for i, k in enumerate(keys):
+            policy.insert(k, i)
+        evicted = {policy.evict() for _ in range(6)}
+        assert evicted == keys
+        assert len(policy) == 0
+
+
+class TestMakePolicy:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("belady")
+
+    def test_kwargs_forwarded(self):
+        p = make_policy("random", seed=3)
+        assert isinstance(p, RandomPolicy)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        p = LRUPolicy()
+        for i in range(3):
+            p.insert(i, i)
+        p.record_access(0, 3)  # order now 1, 2, 0
+        assert p.evict() == 1
+        assert p.evict() == 2
+        assert p.evict() == 0
+
+    def test_sleator_tarjan_sequence(self):
+        """LRU on cache size 3 over a classic sequence, fault count checked
+        against the hand-computed value."""
+        cache = PageCache(3, LRUPolicy())
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        faults = sum(0 if cache.access(p) else 1 for p in trace)
+        assert faults == 10  # textbook LRU result for this trace
+
+
+class TestFIFO:
+    def test_evicts_first_in_despite_hits(self):
+        p = FIFOPolicy()
+        for i in range(3):
+            p.insert(i, i)
+        p.record_access(0, 3)  # must not save page 0
+        assert p.evict() == 0
+
+    def test_belady_anomaly_sequence(self):
+        """FIFO exhibits Belady's anomaly: more frames can mean more faults."""
+        trace = [3, 2, 1, 0, 3, 2, 4, 3, 2, 1, 0, 4]
+
+        def faults(frames):
+            cache = PageCache(frames, FIFOPolicy())
+            return sum(0 if cache.access(p) else 1 for p in trace)
+
+        assert faults(3) == 9
+        assert faults(4) == 10  # the anomaly
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        p = MRUPolicy()
+        for i in range(3):
+            p.insert(i, i)
+        p.record_access(0, 3)
+        assert p.evict() == 0
+
+    def test_cyclic_scan_beats_lru(self):
+        """On a cyclic scan one page larger than the cache, MRU hits and LRU
+        faults on every access after warmup."""
+        n = 8
+        trace = list(range(n + 1)) * 10
+        lru = PageCache(n, LRUPolicy())
+        mru = PageCache(n, MRUPolicy())
+        lru_faults = sum(0 if lru.access(p) else 1 for p in trace)
+        mru_faults = sum(0 if mru.access(p) else 1 for p in trace)
+        assert lru_faults == len(trace)  # LRU faults always
+        assert mru_faults < len(trace) / 2
+
+
+class TestClock:
+    def test_second_chance(self):
+        p = ClockPolicy()
+        for i in range(3):
+            p.insert(i, i)
+        p.record_access(0, 3)  # page 0 gets a second chance
+        victim = p.evict()
+        assert victim != 0
+
+    def test_approximates_lru_hit_rate(self):
+        """CLOCK should land within a few percent of LRU on a skewed trace."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        trace = (rng.zipf(1.5, 6000) % 200).tolist()
+        lru = PageCache(50, LRUPolicy())
+        clk = PageCache(50, ClockPolicy())
+        lru_hits = sum(1 if lru.access(p) else 0 for p in trace)
+        clk_hits = sum(1 if clk.access(p) else 0 for p in trace)
+        assert abs(lru_hits - clk_hits) / len(trace) < 0.05
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        p = LFUPolicy()
+        p.insert("a", 0)
+        p.insert("b", 1)
+        p.record_access("a", 2)
+        p.record_access("a", 3)
+        p.insert("c", 4)
+        assert p.evict() in {"b", "c"}
+        assert p.frequency("a") == 3
+
+    def test_lru_tiebreak_within_frequency(self):
+        p = LFUPolicy()
+        p.insert("a", 0)
+        p.insert("b", 1)
+        assert p.evict() == "a"  # same freq 1; "a" is older
+
+    def test_frequency_tracking(self):
+        p = LFUPolicy()
+        p.insert("x", 0)
+        for t in range(5):
+            p.record_access("x", t + 1)
+        assert p.frequency("x") == 6
+
+    def test_remove_cleans_buckets(self):
+        p = LFUPolicy()
+        p.insert("a", 0)
+        p.record_access("a", 1)
+        p.remove("a")
+        assert len(p) == 0
+        p.insert("b", 2)
+        assert p.evict() == "b"
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        def run(seed):
+            p = RandomPolicy(seed=seed)
+            for i in range(10):
+                p.insert(i, i)
+            return [p.evict() for _ in range(10)]
+
+        assert run(5) == run(5)
+
+    def test_eviction_roughly_uniform(self):
+        counts = {k: 0 for k in range(4)}
+        for seed in range(400):
+            p = RandomPolicy(seed=seed)
+            for i in range(4):
+                p.insert(i, i)
+            counts[p.evict()] += 1
+        assert min(counts.values()) > 50  # each key expects 100
+
+
+@st.composite
+def access_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    return draw(st.lists(st.integers(min_value=0, max_value=15), min_size=n, max_size=n))
+
+
+class TestLRUAgainstReferenceModel:
+    """Property test: dict/OrderedDict LRU matches a brute-force reference."""
+
+    @given(access_sequences())
+    @settings(max_examples=60)
+    def test_matches_reference(self, trace):
+        capacity = 4
+        cache = PageCache(capacity, LRUPolicy())
+        reference: list[int] = []  # most recent last
+        for p in trace:
+            hit = cache.access(p)
+            ref_hit = p in reference
+            assert hit == ref_hit
+            if ref_hit:
+                reference.remove(p)
+            elif len(reference) >= capacity:
+                reference.pop(0)
+            reference.append(p)
+            assert set(cache.resident()) == set(reference)
+
+
+class TestStackProperty:
+    """LRU and LFU are stack algorithms: a larger cache's resident set always
+    contains a smaller cache's (no Belady anomaly)."""
+
+    @given(access_sequences())
+    @settings(max_examples=40)
+    def test_lru_inclusion(self, trace):
+        small = PageCache(3, LRUPolicy())
+        large = PageCache(6, LRUPolicy())
+        for p in trace:
+            small.access(p)
+            large.access(p)
+            assert set(small.resident()) <= set(large.resident())
+
+    @given(access_sequences())
+    @settings(max_examples=40)
+    def test_lru_fault_monotonicity(self, trace):
+        def faults(c):
+            cache = PageCache(c, LRUPolicy())
+            return sum(0 if cache.access(p) else 1 for p in trace)
+
+        assert faults(3) >= faults(5) >= faults(8)

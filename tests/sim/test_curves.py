@@ -1,0 +1,62 @@
+"""Tests for the miss-ratio-curve engine, checked against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import PhysicalHugePageMM
+from repro.sim import figure1_curves, simulate
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("warmup", [0, 2000])
+    @pytest.mark.parametrize("h", [1, 4, 32])
+    def test_exact_match_with_lru_simulator(self, h, warmup):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 4096, 8000)
+        tlb_entries, ram_pages = 32, 1024
+
+        mm = PhysicalHugePageMM(tlb_entries, ram_pages, huge_page_size=h)
+        ledger = simulate(mm, trace, warmup=warmup)
+
+        (curve,) = figure1_curves(trace, [h], warmup=warmup)
+        assert curve.tlb_misses(tlb_entries) == ledger.tlb_misses
+        assert curve.ios(ram_pages) == ledger.ios
+
+    def test_all_capacities_consistent(self):
+        rng = np.random.default_rng(1)
+        trace = rng.zipf(1.3, 6000) % 512
+        (curve,) = figure1_curves(trace, [1])
+        faults = [curve.faults(c) for c in range(1, 600)]
+        assert faults == sorted(faults, reverse=True)  # monotone in capacity
+        assert faults[-1] == len(np.unique(trace))  # only cold misses
+
+    def test_multiple_sizes(self):
+        rng = np.random.default_rng(2)
+        trace = rng.integers(0, 2048, 5000)
+        curves = figure1_curves(trace, [1, 8, 64])
+        assert [c.h for c in curves] == [1, 8, 64]
+        # bigger huge pages -> fewer distinct huge pages -> fewer TLB misses
+        misses = [c.tlb_misses(16) for c in curves]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_warmup_bounds(self):
+        with pytest.raises(ValueError):
+            figure1_curves([1, 2], [1], warmup=5)
+
+    def test_capacity_validation(self):
+        (curve,) = figure1_curves([1, 2, 1], [1])
+        with pytest.raises(ValueError):
+            curve.faults(0)
+
+
+class TestCurveSemantics:
+    def test_ios_amplification(self):
+        trace = list(range(64)) * 2
+        (c1,) = figure1_curves(trace, [8])
+        # 8 huge pages, RAM of 32 base pages = 4 huge frames: LRU cycles
+        assert c1.ios(32) == 8 * c1.faults(4)
+
+    def test_tiny_ram_floor(self):
+        trace = [0, 8, 0, 8]
+        (c,) = figure1_curves(trace, [8])
+        assert c.ios(4) == c.faults(1) * 8  # ram < h still holds one frame

@@ -1,0 +1,125 @@
+"""Tests for the physical-memory run allocator and fragmentation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import OutOfMemoryError, PhysicalMemory
+
+
+class TestBasicAllocation:
+    def test_single_frames(self):
+        mem = PhysicalMemory(8)
+        frames = [mem.allocate() for _ in range(8)]
+        assert sorted(frames) == list(range(8))
+        assert mem.free_frames == 0
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate()
+
+    def test_run_allocation(self):
+        mem = PhysicalMemory(16)
+        start = mem.allocate(8)
+        assert start == 0
+        assert mem.free_frames == 8
+        start2 = mem.allocate(8)
+        assert start2 == 8
+
+    def test_alignment(self):
+        mem = PhysicalMemory(16)
+        mem.allocate(1)  # frame 0
+        aligned = mem.allocate(4, align=4)
+        assert aligned % 4 == 0
+        assert aligned == 4  # frames 1-3 skipped
+
+    def test_free_and_reuse(self):
+        mem = PhysicalMemory(8)
+        a = mem.allocate(4)
+        mem.free(a)
+        assert mem.free_frames == 8
+        assert mem.allocate(8) == 0  # coalesced back to one run
+
+    def test_double_free_raises(self):
+        mem = PhysicalMemory(8)
+        a = mem.allocate(2)
+        mem.free(a)
+        with pytest.raises(KeyError):
+            mem.free(a)
+
+    def test_is_allocated(self):
+        mem = PhysicalMemory(8)
+        a = mem.allocate(2)
+        assert mem.is_allocated(a)
+        mem.free(a)
+        assert not mem.is_allocated(a)
+
+
+class TestFragmentation:
+    def test_external_fragmentation_blocks_runs(self):
+        """The paper's fragmentation cost: free memory exists but no run."""
+        mem = PhysicalMemory(16)
+        blocks = [mem.allocate(2) for _ in range(8)]
+        for b in blocks[::2]:  # free every other block -> 8 free, max run 2
+            mem.free(b)
+        assert mem.free_frames == 8
+        assert mem.largest_free_run() == 2
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate(4)
+        assert mem.external_fragmentation() > 0.5
+
+    def test_no_fragmentation_when_contiguous(self):
+        mem = PhysicalMemory(16)
+        a = mem.allocate(8)
+        assert mem.external_fragmentation() == 0.0
+        mem.free(a)
+        assert mem.external_fragmentation() == 0.0
+        assert mem.free_run_count() == 1
+
+    def test_full_memory_reports_zero(self):
+        mem = PhysicalMemory(4)
+        mem.allocate(4)
+        assert mem.largest_free_run() == 0
+        assert mem.external_fragmentation() == 0.0
+
+    def test_coalescing_both_sides(self):
+        mem = PhysicalMemory(12)
+        a = mem.allocate(4)
+        b = mem.allocate(4)
+        c = mem.allocate(4)
+        mem.free(a)
+        mem.free(c)
+        assert mem.free_run_count() == 2
+        mem.free(b)  # merges with both neighbours
+        assert mem.free_run_count() == 1
+        assert mem.largest_free_run() == 12
+
+
+class TestMemoryProperty:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 8)),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=50)
+    def test_accounting_invariants(self, ops):
+        """free_frames always equals frames minus live allocation total, and
+        allocations never overlap."""
+        mem = PhysicalMemory(64)
+        live: dict[int, int] = {}
+        for is_alloc, n in ops:
+            if is_alloc:
+                try:
+                    start = mem.allocate(n)
+                except OutOfMemoryError:
+                    continue
+                live[start] = n
+            elif live:
+                start = next(iter(live))
+                mem.free(start)
+                del live[start]
+        assert mem.free_frames == 64 - sum(live.values())
+        spans = sorted((s, s + n) for s, n in live.items())
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, "overlapping allocations"
+        assert mem.largest_free_run() <= mem.free_frames

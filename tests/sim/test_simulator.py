@@ -1,0 +1,71 @@
+"""Tests for the simulate() driver and the Figure 1 sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.mmu import BasePageMM
+from repro.sim import (
+    DEFAULT_HUGE_PAGE_SIZES,
+    RunRecord,
+    simulate,
+    sweep_huge_page_sizes,
+)
+
+
+class TestSimulate:
+    def test_warmup_resets_counters(self):
+        mm = BasePageMM(4, 16)
+        trace = [1, 2, 3, 1, 2, 3]
+        ledger = simulate(mm, trace, warmup=3)
+        assert ledger.accesses == 3
+        assert ledger.ios == 0  # all warm
+
+    def test_warmup_bounds_checked(self):
+        mm = BasePageMM(4, 16)
+        with pytest.raises(ValueError):
+            simulate(mm, [1, 2], warmup=5)
+        with pytest.raises(ValueError):
+            simulate(mm, [1, 2], warmup=-1)
+
+    def test_zero_warmup(self):
+        mm = BasePageMM(4, 16)
+        ledger = simulate(mm, [1, 1], warmup=0)
+        assert ledger.ios == 1
+
+
+class TestSweep:
+    def test_default_sizes_are_paper_range(self):
+        assert DEFAULT_HUGE_PAGE_SIZES == (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    def test_records_shape(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 4096, 5000)
+        records = sweep_huge_page_sizes(
+            trace, tlb_entries=32, ram_pages=1024, sizes=[1, 8, 64], warmup=1000
+        )
+        assert [r.params["h"] for r in records] == [1, 8, 64]
+        assert all(isinstance(r, RunRecord) for r in records)
+        assert all(r.ledger.accesses == 4000 for r in records)
+
+    def test_monotone_tradeoff_on_uniform_trace(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 1 << 14, 20_000)
+        records = sweep_huge_page_sizes(
+            trace, tlb_entries=16, ram_pages=1 << 11, sizes=[1, 16, 256], warmup=5000
+        )
+        ios = [r.ios for r in records]
+        misses = [r.tlb_misses for r in records]
+        assert ios[0] < ios[1] < ios[2]
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_run_record_cost(self):
+        rec = RunRecord(
+            algorithm="x",
+            ledger=__import__("repro.core", fromlist=["CostLedger"]).CostLedger(
+                ios=10, tlb_misses=100
+            ),
+            params={"h": 2},
+        )
+        assert rec.cost(0.1) == 10 + 10.0
+        assert rec.as_row()["h"] == 2
+        assert rec.as_row()["algorithm"] == "x"

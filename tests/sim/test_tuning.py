@@ -1,0 +1,52 @@
+"""Tests for the static-h tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import ATCostModel, CostLedger
+from repro.mmu import PhysicalHugePageMM
+from repro.sim import best_static_h, simulate, static_h_costs
+from repro.workloads import BimodalWorkload, UniformWorkload
+
+
+class TestStaticHCosts:
+    def test_costs_match_simulator(self):
+        wl = BimodalWorkload(1 << 14, 1 << 8)
+        trace = wl.generate(8000, seed=0)
+        sizes = [1, 8, 64]
+        costs = static_h_costs(
+            trace, tlb_entries=16, ram_pages=1 << 10, epsilon=0.05, sizes=sizes
+        )
+        model = ATCostModel(epsilon=0.05)
+        for h in sizes:
+            mm = PhysicalHugePageMM(16, 1 << 10, huge_page_size=h)
+            ledger = simulate(mm, trace)
+            assert costs[h] == pytest.approx(model.cost(ledger))
+
+    def test_best_is_argmin(self):
+        wl = BimodalWorkload(1 << 14, 1 << 8)
+        trace = wl.generate(8000, seed=1)
+        costs = static_h_costs(
+            trace, tlb_entries=16, ram_pages=1 << 10, epsilon=0.05, sizes=[1, 8, 64]
+        )
+        h, c = best_static_h(
+            trace, tlb_entries=16, ram_pages=1 << 10, epsilon=0.05, sizes=[1, 8, 64]
+        )
+        assert c == min(costs.values())
+        assert costs[h] == c
+
+    def test_epsilon_moves_the_argmin(self):
+        """The fragility claim: the optimal h depends on ε."""
+        wl = BimodalWorkload(1 << 16, 1 << 10, p_hot=0.995)
+        trace = wl.generate(20_000, seed=2)
+        kwargs = dict(tlb_entries=64, ram_pages=1 << 12, sizes=[1, 16, 256])
+        h_low, _ = best_static_h(trace, epsilon=0.001, **kwargs)
+        h_high, _ = best_static_h(trace, epsilon=0.5, **kwargs)
+        assert h_low < h_high  # cheap misses favour small pages and vice versa
+
+    def test_uniform_workload_prefers_base_pages(self):
+        trace = UniformWorkload(1 << 14).generate(10_000, seed=3)
+        h, _ = best_static_h(
+            trace, tlb_entries=16, ram_pages=1 << 10, epsilon=0.01, sizes=[1, 16, 256]
+        )
+        assert h == 1  # no locality: amplification only hurts

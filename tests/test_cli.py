@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (small, fast configurations)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.panel == "a"
+        assert args.tlb == 512
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_params(self, capsys):
+        assert main(["params", "--frames", "16384", "--w", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "iceberg" in out and "one-choice" in out and "hmax" in out
+
+    def test_epsilon(self, capsys):
+        assert main(["epsilon"]) == 0
+        out = capsys.readouterr().out
+        assert "nvme-ssd" in out and "epsilon" in out
+
+    def test_maxload_small(self, capsys):
+        assert main(["maxload", "--bins", "64", "--lambdas", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "iceberg[2]" in out
+
+    def test_policies_small(self, capsys):
+        assert main(["policies", "--capacity", "64", "--accesses", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "opt (offline)" in out and "lru" in out
+
+    def test_fig1_small(self, capsys):
+        assert (
+            main(["fig1", "--panel", "a", "--scale", "4096",
+                  "--accesses", "4000", "--tlb", "16"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out and "TLB misses" in out
+
+    def test_describe(self, capsys):
+        assert (
+            main(["describe", "--workload", "zipf", "--pages", "4096",
+                  "--accesses", "5000"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "huge_page_density" in out and "footprint" in out
+
+    def test_eq3_small(self, capsys):
+        assert (
+            main(["eq3", "--frames", "2048", "--tlb", "32",
+                  "--accesses", "5000"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "decoupled-Z" in out and "h_max" in out

@@ -1,0 +1,46 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Only the fast examples execute here (each within a few seconds); the
+longer sweeps (`hugepage_tradeoff`, `database_index`, `device_tlbs`,
+`custom_mm_algorithm`, `ballsbins_demo`) are exercised implicitly by the
+benchmark suite that covers the same code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": "decoupled Z",
+    "decoupling_internals.py": "PAGING FAILURE",
+    "virtual_memory_walkthrough.py": "nested translation",
+    "workload_analysis.py": "working-set profile",
+    "miss_ratio_curves.py": "TLB misses vs TLB entries",
+}
+
+
+@pytest.mark.parametrize("script", sorted(FAST_EXAMPLES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr}"
+    assert FAST_EXAMPLES[script] in result.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""')), (
+            f"{script.name} lacks a module docstring"
+        )
+        assert "Run:" in text or "__main__" in text or "print(" in text

@@ -1,0 +1,66 @@
+"""Unit tests for the multiply-shift hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import HashFamily, MultiplyShiftHash
+
+
+class TestMultiplyShiftHash:
+    def test_range(self):
+        h = MultiplyShiftHash(100, np.random.default_rng(0))
+        for x in range(1000):
+            assert 0 <= h(x) < 100
+
+    def test_deterministic(self):
+        h = MultiplyShiftHash(64, np.random.default_rng(7))
+        assert h(12345) == h(12345)
+
+    def test_different_seeds_differ(self):
+        h1 = MultiplyShiftHash(1 << 20, np.random.default_rng(1))
+        h2 = MultiplyShiftHash(1 << 20, np.random.default_rng(2))
+        xs = list(range(64))
+        assert [h1(x) for x in xs] != [h2(x) for x in xs]
+
+    def test_vectorized_matches_scalar(self):
+        h = MultiplyShiftHash(997, np.random.default_rng(3))
+        xs = np.arange(500, dtype=np.int64)
+        vec = h.many(xs)
+        scalar = np.array([h(int(x)) for x in xs])
+        np.testing.assert_array_equal(vec, scalar)
+
+    def test_roughly_uniform(self):
+        h = MultiplyShiftHash(16, np.random.default_rng(4))
+        counts = np.bincount(h.many(np.arange(16000)), minlength=16)
+        # each bin expects 1000; allow generous 30% deviation
+        assert counts.min() > 700 and counts.max() < 1300
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(0, np.random.default_rng(0))
+
+
+class TestHashFamily:
+    def test_k_functions(self):
+        fam = HashFamily(3, 50, seed=0)
+        assert len(fam) == 3
+        assert len(fam(123)) == 3
+
+    def test_functions_independent(self):
+        fam = HashFamily(2, 1 << 16, seed=0)
+        xs = range(200)
+        h0 = [fam[0](x) for x in xs]
+        h1 = [fam[1](x) for x in xs]
+        assert h0 != h1
+
+    def test_seed_reproducibility(self):
+        a = HashFamily(3, 1000, seed=42)
+        b = HashFamily(3, 1000, seed=42)
+        assert all(a(x) == b(x) for x in range(100))
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_all_candidates_in_range(self, x):
+        fam = HashFamily(3, 37, seed=9)
+        assert all(0 <= b < 37 for b in fam(x))

@@ -1,0 +1,95 @@
+"""Integration tests across substrates: page table ↔ decoupling scheme,
+workloads → simulator → analysis cross-checks."""
+
+import numpy as np
+
+from repro.analysis import lru_miss_curve
+from repro.core import DecouplingScheme, IcebergAllocator, TLBValueCodec
+from repro.mmu import BasePageMM
+from repro.pagetable import PageWalker, RadixPageTable
+from repro.sim import figure1_curves, simulate, sweep_huge_page_sizes
+from repro.workloads import BimodalWorkload, Graph500Workload
+
+
+class TestPageTableMirrorsDecoupling:
+    """The page table is the authoritative map the TLB caches: keeping one
+    in lockstep with the decoupling scheme must agree with f at every
+    point — the end-to-end version of eq. (4)."""
+
+    def test_translations_agree(self):
+        allocator = IcebergAllocator(256, 32, lam=4.0, seed=0)
+        codec = TLBValueCodec.for_allocator(64, allocator)
+        scheme = DecouplingScheme(allocator, codec)
+        table = RadixPageTable(levels=3, bits_per_level=4)
+
+        rng = np.random.default_rng(0)
+        active = set()
+        for step in range(600):
+            vpn = int(rng.integers(0, 512))
+            if vpn in active:
+                scheme.ram_evict(vpn)
+                table.unmap(vpn)
+                active.remove(vpn)
+            else:
+                frame = scheme.ram_insert(vpn)
+                if frame is None:
+                    scheme.ram_evict(vpn)  # drop the failed page immediately
+                    continue
+                table.map(vpn, frame)
+                active.add(vpn)
+        # every mapped page: table walk == decoding function
+        for vpn in active:
+            t = table.translate(vpn)
+            assert t is not None
+            decoded = scheme.f(vpn, scheme.psi(vpn // scheme.hmax))
+            assert t.pfn == decoded == scheme.frame_of(vpn)
+        # every unmapped page inside a touched huge page decodes to -1
+        touched_hp = {v // scheme.hmax for v in active}
+        for hpn in touched_hp:
+            for vpn in range(hpn * scheme.hmax, (hpn + 1) * scheme.hmax):
+                if vpn not in active:
+                    assert table.translate(vpn) is None
+                    assert scheme.f(vpn, scheme.psi(hpn)) == -1
+
+    def test_walker_costs_page_faults_at_full_depth(self):
+        table = RadixPageTable()
+        walker = PageWalker(table, pwc_entries=16)
+        r = walker.walk(12345)
+        assert r.translation is None
+        assert r.memory_touches <= table.levels
+
+
+class TestSimulatorVsAnalysis:
+    def test_mm_ledger_matches_stack_distances(self):
+        """BasePageMM's two LRU caches must agree with the Mattson curve."""
+        wl = BimodalWorkload(1 << 12, 1 << 8)
+        trace = wl.generate(6000, seed=1)
+        mm = BasePageMM(tlb_entries=32, ram_pages=512)
+        simulate(mm, trace)
+        curve = lru_miss_curve(trace, [32, 512])
+        assert mm.ledger.tlb_misses == curve[32]
+        assert mm.ledger.ios == curve[512]
+
+    def test_sweep_matches_curves_engine(self):
+        wl = BimodalWorkload(1 << 12, 1 << 8)
+        trace = wl.generate(6000, seed=2)
+        sizes = [1, 4, 16]
+        records = sweep_huge_page_sizes(
+            trace, tlb_entries=16, ram_pages=512, sizes=sizes, warmup=2000
+        )
+        curves = figure1_curves(trace, sizes, warmup=2000)
+        for rec, cur in zip(records, curves):
+            assert rec.tlb_misses == cur.tlb_misses(16)
+            assert rec.ios == cur.ios(512)
+
+
+class TestWorkloadToSimulatorPipeline:
+    def test_graph500_full_pipeline(self):
+        """Generate → simulate → sane ledger, end to end."""
+        wl = Graph500Workload(scale=9, edgefactor=8, graph_seed=0)
+        trace = wl.generate(4000, seed=0)
+        mm = BasePageMM(tlb_entries=16, ram_pages=wl.ram_pages(0.9))
+        ledger = simulate(mm, trace, warmup=1000)
+        assert ledger.accesses == 3000
+        assert ledger.tlb_hits + ledger.tlb_misses == 3000
+        assert 0 <= ledger.ios <= 3000

@@ -1,0 +1,82 @@
+"""Smoke matrix: every MM algorithm × every workload family.
+
+Each cell replays a small trace and asserts ledger sanity — coverage
+insurance that any (algorithm, workload) pairing a user composes through
+the public API at least runs and accounts coherently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ATCostModel
+from repro.mmu import (
+    BasePageMM,
+    DecoupledMM,
+    HybridMM,
+    NestedTranslationMM,
+    PhysicalHugePageMM,
+    THPStyleMM,
+)
+from repro.sim import simulate
+from repro.workloads import (
+    BimodalWorkload,
+    BTreeLookupWorkload,
+    Graph500Workload,
+    InterleavedWorkload,
+    MarkovPhaseWorkload,
+    RandomWalkWorkload,
+    SequentialWorkload,
+    StridedWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+RAM = 1 << 11
+TLB = 32
+N = 4000
+
+WORKLOADS = {
+    "bimodal": lambda: BimodalWorkload(1 << 13, 1 << 7),
+    "random-walk": lambda: RandomWalkWorkload(1 << 10, graph_seed=0),
+    "graph500": lambda: Graph500Workload(scale=8, edgefactor=8, graph_seed=0),
+    "zipf": lambda: ZipfWorkload(1 << 13, s=1.0),
+    "sequential": lambda: SequentialWorkload(1 << 13),
+    "strided": lambda: StridedWorkload(1 << 13, stride=7),
+    "uniform": lambda: UniformWorkload(1 << 13),
+    "btree": lambda: BTreeLookupWorkload(20_000, fanout=32, zipf_s=0.9),
+    "interleaved": lambda: InterleavedWorkload(
+        [ZipfWorkload(1 << 10, s=1.0, perm_seed=i) for i in range(2)], quantum=8
+    ),
+    "markov": lambda: MarkovPhaseWorkload(
+        [ZipfWorkload(1 << 12, s=1.1), SequentialWorkload(1 << 12)], mean_dwell=300
+    ),
+}
+
+ALGORITHMS = {
+    "base": lambda: BasePageMM(TLB, RAM),
+    "huge16": lambda: PhysicalHugePageMM(TLB, RAM, huge_page_size=16),
+    "decoupled": lambda: DecoupledMM(TLB, RAM, seed=0),
+    "hybrid4": lambda: HybridMM(TLB, RAM, chunk=4, seed=0),
+    "thp": lambda: THPStyleMM(TLB, RAM, huge_page_size=16, promote_utilization=0.75),
+    "nested": lambda: NestedTranslationMM(TLB, 64, RAM),
+}
+
+
+@pytest.mark.parametrize("wl_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("mm_name", sorted(ALGORITHMS))
+def test_matrix_cell(mm_name, wl_name):
+    trace = WORKLOADS[wl_name]().generate(N, seed=0)
+    mm = ALGORITHMS[mm_name]()
+    ledger = simulate(mm, trace, warmup=N // 4)
+
+    measured = N - N // 4
+    assert ledger.accesses == measured
+    assert ledger.tlb_hits + ledger.tlb_misses == measured
+    assert 0 <= ledger.ios  # IOs can exceed accesses via amplification
+    assert ledger.paging_failures <= measured
+    cost = ATCostModel(epsilon=0.01).cost(ledger)
+    assert cost >= 0.0
+    # a second measurement phase also accounts cleanly
+    mm.reset_stats()
+    mm.run(trace[:100])
+    assert mm.ledger.accesses == 100

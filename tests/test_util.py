@@ -1,0 +1,113 @@
+"""Unit tests for repro._util helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    ceil_div,
+    ceil_log2,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+        assert isinstance(check_positive_int(np.int64(7), "x"), int)
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="capacity"):
+            check_positive_int(-1, "capacity")
+
+
+class TestCheckInRange:
+    def test_inside(self):
+        assert check_in_range(3, "x", 0, 10) == 3
+
+    def test_boundaries(self):
+        assert check_in_range(0, "x", 0, 10) == 0
+        with pytest.raises(ValueError):
+            check_in_range(10, "x", 0, 10)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            check_in_range(1.0, "x", 0, 10)
+
+
+class TestCheckProbability:
+    def test_inclusive_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p", inclusive=False)
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p", inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1024) == 1024
+        assert next_power_of_two(1025) == 2048
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestCeilHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1024) == 10
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestAsRng:
+    def test_passes_through_generator(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_seeds_deterministically(self):
+        a = as_rng(42).integers(1 << 30)
+        b = as_rng(42).integers(1 << 30)
+        assert a == b

@@ -1,0 +1,107 @@
+"""Tests for the CoLT-style coalescing TLB."""
+
+import pytest
+
+from repro.core import FullyAssociativeAllocator, IcebergAllocator
+from repro.tlb import CoalescingTLB
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        tlb = CoalescingTLB(entries=4)
+        assert tlb.lookup(10) is None
+        tlb.fill(10, 100)
+        assert tlb.lookup(10) == 100
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_double_fill_raises(self):
+        tlb = CoalescingTLB(entries=4)
+        tlb.fill(1, 1)
+        with pytest.raises(ValueError):
+            tlb.fill(1, 2)
+
+    def test_lru_eviction_of_runs(self):
+        tlb = CoalescingTLB(entries=2, max_coalesce=4)
+        tlb.fill(0, 50)  # entry A
+        tlb.fill(10, 70)  # entry B
+        tlb.fill(20, 90)  # evicts A (LRU)
+        assert 0 not in tlb
+        assert 10 in tlb and 20 in tlb
+
+    def test_invalidate_drops_whole_run(self):
+        tlb = CoalescingTLB(entries=4)
+        tlb.fill(5, 100)
+        tlb.fill(6, 101)  # coalesced
+        tlb.invalidate(5)
+        assert 5 not in tlb and 6 not in tlb
+        with pytest.raises(KeyError):
+            tlb.invalidate(5)
+
+
+class TestCoalescing:
+    def test_forward_extension(self):
+        tlb = CoalescingTLB(entries=4, max_coalesce=8)
+        for i in range(5):
+            tlb.fill(i, 100 + i)
+        assert len(tlb) == 1  # one run entry covers all five
+        assert tlb.coverage == 5
+        assert tlb.coalesces == 4
+        for i in range(5):
+            assert tlb.lookup(i) == 100 + i
+
+    def test_backward_extension(self):
+        tlb = CoalescingTLB(entries=4)
+        tlb.fill(6, 106)
+        tlb.fill(5, 105)  # extends the run leftwards
+        assert len(tlb) == 1
+        assert tlb.lookup(5) == 105 and tlb.lookup(6) == 106
+
+    def test_non_contiguous_pfn_not_coalesced(self):
+        tlb = CoalescingTLB(entries=4)
+        tlb.fill(0, 100)
+        tlb.fill(1, 200)  # contiguous vpn, discontiguous pfn
+        assert len(tlb) == 2
+        assert tlb.coalesces == 0
+
+    def test_max_coalesce_respected(self):
+        tlb = CoalescingTLB(entries=8, max_coalesce=3)
+        for i in range(7):
+            tlb.fill(i, i)
+        assert len(tlb) == 3  # runs of 3, 3, 1
+        assert tlb.mean_run_length == pytest.approx(7 / 3)
+
+    def test_reach_multiplier(self):
+        tlb = CoalescingTLB(entries=2, max_coalesce=16)
+        for i in range(32):
+            tlb.fill(i, 1000 + i)
+        assert len(tlb) == 2
+        assert tlb.coverage == 32  # 2 tags cover 32 translations
+
+
+class TestContiguityDependence:
+    """The architectural point: coalescing reach exists only when the
+    allocator happens to produce contiguity."""
+
+    def run_through(self, allocator, n=64):
+        tlb = CoalescingTLB(entries=64, max_coalesce=16)
+        for vpn in range(n):
+            frame = allocator.allocate(vpn)
+            if frame is not None:
+                tlb.fill(vpn, frame)
+        return tlb
+
+    def test_sequential_allocation_coalesces(self):
+        tlb = self.run_through(FullyAssociativeAllocator(256))
+        assert tlb.mean_run_length > 4  # long incidental runs
+
+    def test_hashed_allocation_defeats_coalescing(self):
+        tlb = self.run_through(IcebergAllocator(256, 32, lam=4.0, seed=0))
+        assert tlb.mean_run_length < 2  # hashed placement: no contiguity
+
+    def test_decoupling_motivation(self):
+        """The contrast that motivates decoupling over coalescing: hashed
+        low-associativity allocation gives compact *encodings* without
+        needing the physical contiguity coalescing depends on."""
+        seq = self.run_through(FullyAssociativeAllocator(256))
+        hashed = self.run_through(IcebergAllocator(256, 32, lam=4.0, seed=0))
+        assert seq.mean_run_length > 2 * hashed.mean_run_length

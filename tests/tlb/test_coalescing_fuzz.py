@@ -1,0 +1,68 @@
+"""Differential fuzzing of the coalescing TLB against a flat reference.
+
+The coalescing TLB's *translations* must always agree with a plain
+dict of the fills that are still covered; only its capacity accounting
+(runs vs entries) differs from a normal TLB.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb import CoalescingTLB
+
+
+@st.composite
+def op_sequences(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["fill", "lookup", "invalidate"]),
+                st.integers(0, 30),
+            ),
+            max_size=250,
+        )
+    )
+
+
+class TestCoalescingDifferential:
+    @given(op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_translations_always_correct(self, ops):
+        """Whatever coalescing/eviction does internally, a hit must return
+        the pfn originally filled for that vpn."""
+        tlb = CoalescingTLB(entries=4, max_coalesce=4)
+        filled: dict[int, int] = {}  # vpn -> pfn as installed
+        next_pfn = 0
+        for op, vpn in ops:
+            if op == "fill":
+                if vpn in tlb:
+                    continue
+                # alternate contiguous and scattered pfns to exercise both
+                pfn = filled.get(vpn - 1, next_pfn * 7) + 1
+                tlb.fill(vpn, pfn)
+                filled[vpn] = pfn
+                next_pfn += 1
+            elif op == "lookup":
+                out = tlb.lookup(vpn)
+                if out is not None:
+                    assert out == filled[vpn], f"wrong translation for {vpn}"
+            else:
+                if vpn in tlb:
+                    tlb.invalidate(vpn)
+
+    @given(op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_structural_invariants(self, ops):
+        tlb = CoalescingTLB(entries=3, max_coalesce=5)
+        for op, vpn in ops:
+            if op == "fill" and vpn not in tlb:
+                tlb.fill(vpn, vpn + 1000)
+            elif op == "invalidate" and vpn in tlb:
+                tlb.invalidate(vpn)
+            else:
+                tlb.lookup(vpn)
+            # entries bounded; coverage consistent with run lengths
+            assert len(tlb) <= 3
+            assert tlb.coverage <= 3 * 5
+            if len(tlb):
+                assert tlb.mean_run_length * len(tlb) == tlb.coverage

@@ -1,0 +1,53 @@
+"""Tests for TLB entries and huge-page coverage arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tlb import TLBEntry, coverage_range, huge_page_of
+
+
+class TestHugePageOf:
+    def test_identity_at_base_size(self):
+        assert huge_page_of(123, 1) == 123
+
+    def test_grouping(self):
+        assert huge_page_of(0, 8) == 0
+        assert huge_page_of(7, 8) == 0
+        assert huge_page_of(8, 8) == 1
+
+    @given(st.integers(0, 2**40), st.sampled_from([1, 2, 16, 512, 1024]))
+    def test_matches_paper_r_function(self, vpn, h):
+        """r(v) = v - (v mod h); our hpn is r(v)/h."""
+        assert huge_page_of(vpn, h) * h == vpn - (vpn % h)
+
+
+class TestCoverageRange:
+    def test_base(self):
+        assert list(coverage_range(5, 1)) == [5]
+
+    def test_huge(self):
+        assert list(coverage_range(2, 4)) == [8, 9, 10, 11]
+
+
+class TestTLBEntry:
+    def test_valid(self):
+        e = TLBEntry(hpn=3, page_size=4, value=10)
+        assert e.coverage == range(12, 16)
+        assert e.covers(13)
+        assert not e.covers(16)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TLBEntry(hpn=0, page_size=3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TLBEntry(hpn=-1, page_size=2)
+        with pytest.raises(ValueError):
+            TLBEntry(hpn=0, page_size=2, value=-1)
+
+    def test_frozen(self):
+        e = TLBEntry(hpn=0, page_size=1)
+        with pytest.raises(AttributeError):
+            e.hpn = 1

@@ -1,0 +1,89 @@
+"""Tests for the two-level TLB hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.tlb import TwoLevelTLB
+
+
+class TestBasics:
+    def test_size_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TwoLevelTLB(64, 16)
+
+    def test_miss_then_both_levels_hit(self):
+        t = TwoLevelTLB(2, 8)
+        assert t.lookup(1) is None
+        t.fill(1, 100)
+        assert t.lookup(1) == 100
+        assert t.l1_hits == 1 and t.misses == 1
+
+    def test_l2_hit_promotes_to_l1(self):
+        t = TwoLevelTLB(1, 8)
+        t.fill(1, 10)
+        t.fill(2, 20)  # L1 (size 1) now holds 2 only
+        assert t.lookup(1) == 10  # L2 hit
+        assert t.l2_hits == 1
+        assert t.lookup(1) == 10  # now L1 hit
+        assert t.l1_hits == 1
+
+    def test_inclusion_on_l2_eviction(self):
+        t = TwoLevelTLB(2, 2)
+        t.fill(1, 10)
+        t.fill(2, 20)
+        t.fill(3, 30)  # L2 evicts LRU (1); inclusion removes it from L1 too
+        assert 1 not in t
+        assert t.lookup(1) is None
+        assert t.misses == 1
+
+    def test_invalidate_both_levels(self):
+        t = TwoLevelTLB(2, 8)
+        t.fill(1, 10)
+        t.invalidate(1)
+        assert t.lookup(1) is None
+
+    def test_reset_stats(self):
+        t = TwoLevelTLB(2, 8)
+        t.fill(1)
+        t.lookup(1)
+        t.reset_stats()
+        assert t.accesses == 0
+
+
+class TestEffectiveEpsilon:
+    def test_zero_before_traffic(self):
+        assert TwoLevelTLB(2, 8).effective_epsilon(0.001, 0.01) == 0.0
+
+    def test_pure_l1_hits_cost_nothing(self):
+        t = TwoLevelTLB(4, 8)
+        t.fill(1, 1)
+        for _ in range(100):
+            t.lookup(1)
+        assert t.effective_epsilon(0.001, 0.01) < 0.001
+
+    def test_hierarchy_cheaper_than_flat_small_tlb(self):
+        """The design point: a 64-entry L1 + 1024-entry L2 gets close to
+        the big TLB's miss rate at the small TLB's hit latency."""
+        rng = np.random.default_rng(0)
+        trace = (rng.zipf(1.2, 20_000) % 2048).tolist()
+        hier = TwoLevelTLB(64, 1024)
+        for hpn in trace:
+            if hier.lookup(hpn) is None:
+                hier.fill(hpn)
+        # L2 catches most of what L1 misses
+        assert hier.l2_hits > 0
+        assert hier.misses < (hier.l2_hits + hier.misses) * 0.9
+        # effective epsilon far below paying the walk on every L1 miss
+        l1_miss_cost, walk_cost = 0.0007, 0.02  # ~7 cycles vs ~200, in IO units
+        flat_worst = (hier.l2_hits + hier.misses) / hier.accesses * (
+            l1_miss_cost + walk_cost
+        )
+        assert hier.effective_epsilon(l1_miss_cost, walk_cost) < flat_worst
+
+    def test_counts_partition_accesses(self):
+        rng = np.random.default_rng(1)
+        t = TwoLevelTLB(4, 32)
+        for hpn in rng.integers(0, 100, 2000):
+            if t.lookup(int(hpn)) is None:
+                t.fill(int(hpn))
+        assert t.l1_hits + t.l2_hits + t.misses == 2000

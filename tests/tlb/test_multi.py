@@ -1,0 +1,63 @@
+"""Tests for the multi-size TLB bank."""
+
+import pytest
+
+from repro.tlb import CASCADE_LAKE_L2, MultiSizeTLB
+
+
+class TestMultiSizeTLB:
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            MultiSizeTLB({})
+        with pytest.raises(ValueError):
+            MultiSizeTLB({3: 16})
+
+    def test_lookup_routes_by_size(self):
+        tlb = MultiSizeTLB({1: 4, 8: 2})
+        tlb.fill(vpn=9, page_size=1, value=1)
+        tlb.fill(vpn=9, page_size=8, value=2)  # hpn 1 in the size-8 bank
+        assert tlb.lookup(9, 1) == 1
+        assert tlb.lookup(9, 8) == 2
+        assert tlb.lookup(15, 8) == 2  # same huge page covers vpn 15
+
+    def test_unsupported_size(self):
+        tlb = MultiSizeTLB({1: 4})
+        with pytest.raises(KeyError, match="supported sizes"):
+            tlb.lookup(0, 2)
+
+    def test_tiny_dedicated_bank_limits_coverage(self):
+        """The paper's footnote 1 / Section 7 point: a 1 GB-page TLB with 16
+        entries thrashes once more than 16 huge pages are hot."""
+        tlb = MultiSizeTLB({1: 1536, 512 * 512: 16})
+        huge = 512 * 512
+        hot = [i * huge for i in range(32)]  # 32 distinct 1GB pages
+        for _ in range(3):
+            for vpn in hot:
+                if tlb.lookup(vpn, huge) is None:
+                    tlb.fill(vpn, huge)
+        bank = tlb.bank_for(huge)
+        assert bank.misses == 3 * 32  # LRU thrash: every access misses
+
+    def test_aggregate_counters(self):
+        tlb = MultiSizeTLB({1: 2, 2: 2})
+        tlb.lookup(0, 1)
+        tlb.fill(0, 1)
+        tlb.lookup(0, 1)
+        tlb.lookup(0, 2)
+        assert tlb.accesses == 3
+        assert tlb.hits == 1
+        assert 0 < tlb.miss_rate < 1
+        tlb.reset_stats()
+        assert tlb.accesses == 0
+
+    def test_invalidate(self):
+        tlb = MultiSizeTLB({2: 2})
+        tlb.fill(4, 2, value=3)
+        tlb.invalidate(4, 2)
+        assert tlb.lookup(4, 2) is None
+
+    def test_cascade_lake_constant_shape(self):
+        assert CASCADE_LAKE_L2[1] == 1536
+        assert CASCADE_LAKE_L2[512] == 1536
+        assert CASCADE_LAKE_L2[512 * 512] == 16
+        MultiSizeTLB(CASCADE_LAKE_L2)  # constructible

@@ -1,0 +1,143 @@
+"""Tests for the fully-associative and set-associative TLB models."""
+
+import pytest
+
+from repro.paging import FIFOPolicy
+from repro.tlb import TLB, SetAssociativeTLB
+
+
+class TestTLBBasics:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=2)
+        assert tlb.lookup(10) is None
+        tlb.fill(10, value=7)
+        assert tlb.lookup(10) == 7
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_capacity_and_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 0)
+        tlb.fill(2, 0)
+        victim = tlb.fill(3, 0)
+        assert victim == 1  # LRU default
+        assert len(tlb) == 2
+        assert 1 not in tlb
+
+    def test_lru_ordering_respects_hits(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 0)
+        tlb.fill(2, 0)
+        tlb.lookup(1)  # 2 is now LRU
+        assert tlb.fill(3, 0) == 2
+
+    def test_double_fill_raises(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 0)
+        with pytest.raises(ValueError, match="already resident"):
+            tlb.fill(1, 0)
+
+    def test_update_value(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 5)
+        tlb.update(1, 9)
+        assert tlb.peek(1) == 9
+        with pytest.raises(KeyError):
+            tlb.update(2, 0)
+
+    def test_value_bits_enforced(self):
+        tlb = TLB(entries=2, value_bits=8)
+        tlb.fill(1, 255)
+        with pytest.raises(ValueError, match="w=8"):
+            tlb.fill(2, 256)
+        with pytest.raises(ValueError):
+            tlb.update(1, -1)
+
+    def test_invalidate(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 0)
+        tlb.invalidate(1)
+        assert 1 not in tlb
+        with pytest.raises(KeyError):
+            tlb.invalidate(1)
+
+    def test_peek_does_not_touch_stats(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 3)
+        assert tlb.peek(1) == 3
+        assert tlb.peek(2) is None
+        assert tlb.hits == 0 and tlb.misses == 0
+
+    def test_miss_rate(self):
+        tlb = TLB(entries=4)
+        assert tlb.miss_rate == 0.0
+        tlb.lookup(1)
+        tlb.fill(1)
+        tlb.lookup(1)
+        assert tlb.miss_rate == 0.5
+
+    def test_custom_policy(self):
+        tlb = TLB(entries=2, policy=FIFOPolicy())
+        tlb.fill(1, 0)
+        tlb.fill(2, 0)
+        tlb.lookup(1)  # FIFO ignores the hit
+        assert tlb.fill(3, 0) == 1
+
+    def test_reset_stats(self):
+        tlb = TLB(entries=2)
+        tlb.lookup(1)
+        tlb.fill(1)
+        tlb.reset_stats()
+        assert tlb.hits == 0 and tlb.misses == 0 and tlb.fills == 0
+        assert 1 in tlb
+
+
+class TestSetAssociativeTLB:
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(entries=10, associativity=4)
+
+    def test_keys_partition_into_sets(self):
+        tlb = SetAssociativeTLB(entries=8, associativity=2)  # 4 sets
+        # keys 0, 4, 8 all map to set 0; capacity 2 per set
+        tlb.fill(0)
+        tlb.fill(4)
+        tlb.fill(8)
+        assert len(tlb) == 2
+        assert 0 not in tlb  # evicted within set 0 despite global space
+
+    def test_conflict_misses_exceed_fully_associative(self):
+        """The motivating weakness of set-associativity: conflict misses."""
+        full = TLB(entries=8)
+        seta = SetAssociativeTLB(entries=8, associativity=2)
+        trace = [0, 4, 8, 12] * 50  # all collide in set 0
+        for hpn in trace:
+            if full.lookup(hpn) is None:
+                full.fill(hpn)
+            if seta.lookup(hpn) is None:
+                seta.fill(hpn)
+        assert full.misses == 4  # compulsory only
+        assert seta.misses > full.misses
+
+    def test_aggregate_stats(self):
+        tlb = SetAssociativeTLB(entries=4, associativity=2)
+        tlb.lookup(0)
+        tlb.fill(0, 9)
+        assert tlb.lookup(0) == 9
+        assert tlb.hits == 1 and tlb.misses == 1 and tlb.accesses == 2
+        assert tlb.miss_rate == 0.5
+        tlb.reset_stats()
+        assert tlb.accesses == 0
+
+    def test_update_invalidate_peek(self):
+        tlb = SetAssociativeTLB(entries=4, associativity=2)
+        tlb.fill(3, 1)
+        tlb.update(3, 2)
+        assert tlb.peek(3) == 2
+        tlb.invalidate(3)
+        assert tlb.peek(3) is None
+
+    def test_resident_iterates_all_sets(self):
+        tlb = SetAssociativeTLB(entries=4, associativity=2)
+        for k in (0, 1, 2, 3):
+            tlb.fill(k)
+        assert sorted(tlb.resident()) == [0, 1, 2, 3]

@@ -1,0 +1,132 @@
+"""Tests for bimodal, zipf, uniform, sequential, strided workloads and the
+shared power-law sampler."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BimodalWorkload,
+    SequentialWorkload,
+    StridedWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+    bounded_power_law_sampler,
+)
+
+
+class TestPowerLawSampler:
+    def test_range(self):
+        sample = bounded_power_law_sampler(100, 1.01)
+        xs = sample(10_000, np.random.default_rng(0))
+        assert xs.min() >= 0 and xs.max() < 100
+
+    def test_skew_direction(self):
+        sample = bounded_power_law_sampler(1000, 1.5)
+        xs = sample(50_000, np.random.default_rng(1))
+        assert (xs < 10).mean() > (xs >= 990).mean() * 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            bounded_power_law_sampler(10, 0.0)
+        with pytest.raises(ValueError):
+            bounded_power_law_sampler(0, 1.0)
+
+    def test_near_uniform_at_tiny_exponent(self):
+        """α = 0.01 (paper Fig 1b): exponent 1.01 is a heavy, almost
+        log-uniform tail — top item still dominates any single other item."""
+        sample = bounded_power_law_sampler(1 << 12, 1.01)
+        xs = sample(100_000, np.random.default_rng(2))
+        counts = np.bincount(xs, minlength=1 << 12)
+        assert counts[0] > counts[-1]
+
+
+class TestBimodal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimodalWorkload(10, 20)
+        with pytest.raises(ValueError):
+            BimodalWorkload(10, 5, p_hot=1.5)
+
+    def test_ranges_and_mixture(self):
+        wl = BimodalWorkload(1 << 16, 1 << 10, p_hot=0.99)
+        trace = wl.generate(50_000, seed=0)
+        assert trace.min() >= 0 and trace.max() < (1 << 16)
+        hot_frac = (trace < (1 << 10)).mean()
+        assert 0.985 < hot_frac  # 0.99 plus cold accesses that land hot
+
+    def test_paper_scaled_ratios(self):
+        wl = BimodalWorkload.paper_scaled(1 << 18)
+        assert wl.va_pages == 1 << 18
+        assert wl.hot_pages == (1 << 18) // 64
+        assert wl.ram_pages == (1 << 18) // 4
+        assert wl.p_hot == 0.9999
+
+    def test_reproducible(self):
+        wl = BimodalWorkload(1024, 64)
+        np.testing.assert_array_equal(wl.generate(100, seed=5), wl.generate(100, seed=5))
+
+
+class TestZipf:
+    def test_shuffle_scatters_hot_pages(self):
+        plain = ZipfWorkload(1 << 12, s=1.2, shuffle=False)
+        mixed = ZipfWorkload(1 << 12, s=1.2, shuffle=True)
+        t_plain = plain.generate(20_000, seed=0)
+        t_mixed = mixed.generate(20_000, seed=0)
+        # unshuffled hot pages cluster at low addresses
+        assert np.median(t_plain) < np.median(t_mixed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload(100, s=0)
+
+    def test_range(self):
+        t = ZipfWorkload(256, s=1.0).generate(5000, seed=1)
+        assert t.min() >= 0 and t.max() < 256
+
+
+class TestUniform:
+    def test_coverage(self):
+        t = UniformWorkload(64).generate(20_000, seed=0)
+        assert set(np.unique(t)) == set(range(64))
+
+
+class TestSequential:
+    def test_wraps(self):
+        t = SequentialWorkload(4, start=2).generate(6)
+        np.testing.assert_array_equal(t, [2, 3, 0, 1, 2, 3])
+
+    def test_start_validated(self):
+        with pytest.raises(ValueError):
+            SequentialWorkload(4, start=4)
+
+
+class TestStrided:
+    def test_stride_pattern(self):
+        t = StridedWorkload(100, stride=10).generate(5)
+        np.testing.assert_array_equal(t, [0, 10, 20, 30, 40])
+
+    def test_jitter_bounded(self):
+        wl = StridedWorkload(1000, stride=10, jitter=3)
+        t = wl.generate(200, seed=0)
+        assert ((t % 10) <= 3).all()
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            StridedWorkload(100, stride=4, jitter=4)
+
+    def test_defeats_huge_pages(self):
+        """Strides >= h make every access a new huge page: TLB coverage of
+        huge pages collapses while base-page IOs are identical."""
+        from repro.mmu import PhysicalHugePageMM
+
+        wl = StridedWorkload(1 << 14, stride=64)
+        trace = wl.generate(4000, seed=0)
+        h1 = PhysicalHugePageMM(8, 1 << 12, huge_page_size=1)
+        h64 = PhysicalHugePageMM(8, 1 << 12, huge_page_size=64)
+        h1.run(trace)
+        h64.run(trace)
+        assert h64.ledger.tlb_misses == h1.ledger.tlb_misses  # no coverage gain
+        # amplification at least 64x; the reduced-utilization thrash (RAM
+        # holds only P/64 huge frames for 256 distinct huge pages) makes it
+        # far worse than the bare factor
+        assert h64.ledger.ios >= 64 * h1.ledger.ios

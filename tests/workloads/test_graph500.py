@@ -1,0 +1,136 @@
+"""Tests for the Kronecker generator, BFS, and the Figure 1c trace."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import PAGE_ELEMS, Graph500Workload, KroneckerGraph
+from repro.workloads.graph500 import _expand_ranges, _first_occurrence_mask
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        out = _expand_ranges(np.array([0, 10]), np.array([3, 2]))
+        np.testing.assert_array_equal(out, [0, 1, 2, 10, 11])
+
+    def test_zero_counts_skipped(self):
+        out = _expand_ranges(np.array([5, 7, 20]), np.array([2, 0, 1]))
+        np.testing.assert_array_equal(out, [5, 6, 20])
+
+    def test_empty(self):
+        assert len(_expand_ranges(np.array([1]), np.array([0]))) == 0
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 100, 20)
+        counts = rng.integers(0, 5, 20)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(starts, counts)] or [np.empty(0)]
+        )
+        np.testing.assert_array_equal(_expand_ranges(starts, counts), expected)
+
+
+class TestFirstOccurrence:
+    def test_mask(self):
+        mask = _first_occurrence_mask(np.array([3, 1, 3, 2, 1]))
+        np.testing.assert_array_equal(mask, [True, True, False, True, False])
+
+
+class TestKroneckerGraph:
+    def test_sizes(self):
+        g = KroneckerGraph(scale=8, edgefactor=8, seed=0)
+        assert g.n_vertices == 256
+        assert len(g.xadj) == 257
+        assert g.xadj[-1] == len(g.adjncy)
+        assert g.n_edges > 0
+
+    def test_symmetric(self):
+        g = KroneckerGraph(scale=6, edgefactor=8, seed=1)
+        edges = set()
+        for u in range(g.n_vertices):
+            for e in range(g.xadj[u], g.xadj[u + 1]):
+                edges.add((u, int(g.adjncy[e])))
+        assert all((v, u) in edges for (u, v) in edges)
+
+    def test_no_self_loops_or_duplicates(self):
+        g = KroneckerGraph(scale=6, edgefactor=8, seed=2)
+        for u in range(g.n_vertices):
+            neigh = g.adjncy[g.xadj[u] : g.xadj[u + 1]].tolist()
+            assert u not in neigh
+            assert len(neigh) == len(set(neigh))
+
+    def test_power_law_degrees(self):
+        """Kronecker graphs are heavy-tailed: max degree far above mean."""
+        g = KroneckerGraph(scale=10, edgefactor=16, seed=0)
+        degrees = np.diff(g.xadj)
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_bfs_parent_validity(self):
+        g = KroneckerGraph(scale=7, edgefactor=8, seed=3)
+        root = int(np.argmax(np.diff(g.xadj)))  # a high-degree root
+        parent = g.bfs(root)
+        assert parent[root] == root
+        reached = np.nonzero(parent >= 0)[0]
+        assert len(reached) > 1
+        for v in reached:
+            if v == root:
+                continue
+            p = int(parent[v])
+            # parent edge must exist
+            assert v in g.adjncy[g.xadj[p] : g.xadj[p + 1]]
+
+    def test_bfs_levels_shortest(self):
+        """BFS distances agree with networkx shortest paths."""
+        import networkx as nx
+
+        g = KroneckerGraph(scale=6, edgefactor=8, seed=4)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.n_vertices))
+        for u in range(g.n_vertices):
+            for v in g.adjncy[g.xadj[u] : g.xadj[u + 1]]:
+                G.add_edge(u, int(v))
+        root = int(np.argmax(np.diff(g.xadj)))
+        parent = g.bfs(root)
+
+        def depth(v):
+            d = 0
+            while v != root:
+                v = int(parent[v])
+                d += 1
+            return d
+
+        lengths = nx.single_source_shortest_path_length(G, root)
+        for v in np.nonzero(parent >= 0)[0]:
+            assert depth(int(v)) == lengths[int(v)]
+
+
+class TestGraph500Workload:
+    def test_layout_disjoint(self):
+        wl = Graph500Workload(scale=8, edgefactor=8, graph_seed=0)
+        assert 0 < wl._adj_base < wl._parent_base < wl.va_pages
+
+    def test_trace_length_and_range(self):
+        wl = Graph500Workload(scale=8, edgefactor=8, graph_seed=0)
+        trace = wl.generate(5000, seed=0)
+        assert len(trace) == 5000
+        assert trace.min() >= 0 and trace.max() < wl.va_pages
+
+    def test_trace_touches_all_regions(self):
+        wl = Graph500Workload(scale=8, edgefactor=8, graph_seed=0)
+        trace = wl.generate(5000, seed=0)
+        assert (trace < wl._adj_base).any()  # xadj reads
+        assert ((trace >= wl._adj_base) & (trace < wl._parent_base)).any()
+        assert (trace >= wl._parent_base).any()  # parent probes
+
+    def test_ram_pages_pressure(self):
+        wl = Graph500Workload(scale=8, edgefactor=8)
+        assert wl.ram_pages(0.99) == int(wl.footprint_pages * 0.99)
+        assert wl.ram_pages(0.5) < wl.footprint_pages
+
+    def test_reproducible(self):
+        wl = Graph500Workload(scale=7, edgefactor=8, graph_seed=1)
+        np.testing.assert_array_equal(
+            wl.generate(2000, seed=2), wl.generate(2000, seed=2)
+        )
+
+    def test_page_elems_constant(self):
+        assert PAGE_ELEMS == 512  # 4 kB / 8-byte elements

@@ -1,0 +1,88 @@
+"""Tests for the multi-tenant interleaved workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    InterleavedWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+
+class TestConstruction:
+    def test_requires_tenants(self):
+        with pytest.raises(ValueError):
+            InterleavedWorkload([])
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            InterleavedWorkload([UniformWorkload(8)], jitter=1.0)
+
+    def test_va_is_union_of_slices(self):
+        wl = InterleavedWorkload([UniformWorkload(100), UniformWorkload(50)])
+        assert wl.va_pages == 200  # 2 slices of max(100, 50)
+
+
+class TestIsolation:
+    def test_tenants_in_disjoint_slices(self):
+        wl = InterleavedWorkload(
+            [UniformWorkload(64), UniformWorkload(64), UniformWorkload(64)],
+            quantum=8,
+        )
+        trace = wl.generate(3000, seed=0)
+        for i in range(3):
+            sl = wl.tenant_slice(i)
+            in_slice = trace[(trace >= sl.start) & (trace < sl.stop)]
+            assert len(in_slice) > 0
+        assert trace.max() < wl.va_pages
+
+    def test_round_robin_quanta(self):
+        wl = InterleavedWorkload(
+            [SequentialWorkload(16), SequentialWorkload(16)], quantum=4
+        )
+        trace = wl.generate(16, seed=0)
+        owners = (trace // 16).tolist()
+        assert owners == [0] * 4 + [1] * 4 + [0] * 4 + [1] * 4
+
+    def test_streams_regenerate_when_exhausted(self):
+        wl = InterleavedWorkload([UniformWorkload(8)], quantum=4)
+        trace = wl.generate(5000, seed=1)
+        assert len(trace) == 5000
+
+    def test_jitter_breaks_periodicity(self):
+        wl = InterleavedWorkload(
+            [SequentialWorkload(64), SequentialWorkload(64)],
+            quantum=8,
+            jitter=0.3,
+        )
+        trace = wl.generate(400, seed=2)
+        owners = (trace // 64).tolist()
+        runs = []
+        cur, length = owners[0], 0
+        for o in owners:
+            if o == cur:
+                length += 1
+            else:
+                runs.append(length)
+                cur, length = o, 1
+        assert any(r != 8 for r in runs)  # some quanta cut short
+
+
+class TestSharedTlbPressure:
+    def test_corunners_inflate_miss_rate(self):
+        """The paper's point: co-runners shrink the effective TLB."""
+        from repro.mmu import BasePageMM
+
+        def miss_rate(n_tenants):
+            wl = InterleavedWorkload(
+                [ZipfWorkload(1 << 12, s=1.1, perm_seed=i) for i in range(n_tenants)],
+                quantum=16,
+            )
+            trace = wl.generate(30_000, seed=0)
+            mm = BasePageMM(64, 1 << 14)
+            mm.run(trace)
+            return mm.ledger.tlb_misses / mm.ledger.accesses
+
+        assert miss_rate(1) < miss_rate(4)

@@ -1,0 +1,99 @@
+"""Tests for the Markov-phase workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    MarkovPhaseWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+
+class TestConstruction:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            MarkovPhaseWorkload([])
+
+    def test_transition_validated(self):
+        phases = [UniformWorkload(8), UniformWorkload(8)]
+        with pytest.raises(ValueError):
+            MarkovPhaseWorkload(phases, transition=[[1.0]])
+        with pytest.raises(ValueError):
+            MarkovPhaseWorkload(phases, transition=[[0.5, 0.4], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovPhaseWorkload(phases, transition=[[-0.5, 1.5], [0.5, 0.5]])
+
+    def test_default_transition_uniform_over_others(self):
+        wl = MarkovPhaseWorkload([UniformWorkload(8)] * 3)
+        assert np.allclose(np.diag(wl.transition), 0.0)
+        assert np.allclose(wl.transition.sum(axis=1), 1.0)
+
+    def test_single_phase(self):
+        wl = MarkovPhaseWorkload([SequentialWorkload(16)], mean_dwell=10)
+        trace = wl.generate(50, seed=0)
+        assert len(trace) == 50
+
+
+class TestGeneration:
+    def test_length_and_range(self):
+        wl = MarkovPhaseWorkload(
+            [UniformWorkload(64), UniformWorkload(128)], mean_dwell=20
+        )
+        trace = wl.generate(2000, seed=0)
+        assert len(trace) == 2000
+        assert trace.min() >= 0 and trace.max() < 128
+        assert wl.va_pages == 128
+
+    def test_schedule_recorded(self):
+        wl = MarkovPhaseWorkload(
+            [UniformWorkload(32), UniformWorkload(32)], mean_dwell=50
+        )
+        wl.generate(1000, seed=1)
+        starts = [s for s, _ in wl.last_schedule]
+        assert starts[0] == 0
+        assert starts == sorted(starts)
+        assert len(starts) > 3  # several phase visits at dwell 50 / n 1000
+
+    def test_phases_actually_alternate(self):
+        # phase 0 emits only page 0; phase 1 only page 1
+        class Constant(UniformWorkload):
+            def __init__(self, page):
+                super().__init__(page + 1)
+                self._page = page
+
+            def generate(self, n, seed=None):
+                return np.full(n, self._page, dtype=np.int64)
+
+        wl = MarkovPhaseWorkload([Constant(0), Constant(1)], mean_dwell=25)
+        trace = wl.generate(2000, seed=2)
+        assert set(np.unique(trace)) == {0, 1}
+
+    def test_reproducible(self):
+        wl = MarkovPhaseWorkload(
+            [ZipfWorkload(256, s=1.0), UniformWorkload(256)], mean_dwell=30
+        )
+        np.testing.assert_array_equal(
+            wl.generate(500, seed=3), wl.generate(500, seed=3)
+        )
+
+
+class TestPhaseShiftEffect:
+    def test_phase_changes_stress_lru(self):
+        """Working-set shifts at phase boundaries fault more than either
+        phase alone — the classical motivation for phase-aware policies."""
+        from repro.paging import LRUPolicy, PageCache
+
+        def faults(trace, cap=64):
+            cache = PageCache(cap, LRUPolicy())
+            return sum(0 if cache.access(int(p)) else 1 for p in trace)
+
+        hot_a = ZipfWorkload(4096, s=1.3, perm_seed=1)
+        hot_b = ZipfWorkload(4096, s=1.3, perm_seed=2)  # disjoint hot sets
+        phased = MarkovPhaseWorkload([hot_a, hot_b], mean_dwell=200)
+        n = 6000
+        f_a = faults(hot_a.generate(n, seed=0))
+        f_b = faults(hot_b.generate(n, seed=0))
+        f_mix = faults(phased.generate(n, seed=0))
+        assert f_mix > max(f_a, f_b)

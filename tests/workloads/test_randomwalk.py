@@ -1,0 +1,75 @@
+"""Tests for the Figure 1b random-walk workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import RandomWalkWorkload
+
+
+class TestConstruction:
+    def test_default_out_degree_logarithmic(self):
+        wl = RandomWalkWorkload(1 << 16)
+        assert wl.out_degree == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkWorkload(100, alpha=0)
+        with pytest.raises(ValueError):
+            RandomWalkWorkload(100, out_degree=0)
+
+    def test_paper_scaled(self):
+        wl = RandomWalkWorkload.paper_scaled(1 << 16)
+        assert wl.alpha == 0.01
+        assert wl.ram_pages == 1 << 15  # half the VA, as 32 GB : 64 GB
+
+
+class TestEdges:
+    def test_shape_and_range(self):
+        wl = RandomWalkWorkload(256, graph_seed=0)
+        assert wl.edges.shape == (256, wl.out_degree)
+        assert wl.edges.min() >= 0 and wl.edges.max() < 256
+
+    def test_edges_cached(self):
+        wl = RandomWalkWorkload(128)
+        assert wl.edges is wl.edges
+
+    def test_graph_seed_controls_structure(self):
+        a = RandomWalkWorkload(256, graph_seed=1).edges
+        b = RandomWalkWorkload(256, graph_seed=2).edges
+        assert not np.array_equal(a, b)
+
+    def test_pareto_skew(self):
+        """Edge destinations concentrate on low-index pages (P ∝ i^-1.01)."""
+        wl = RandomWalkWorkload(1 << 12, graph_seed=0)
+        flat = wl.edges.ravel()
+        low = (flat < (1 << 8)).mean()
+        assert low > (1 << 8) / (1 << 12) * 2  # far above uniform share
+
+
+class TestWalk:
+    def test_trace_follows_edges(self):
+        wl = RandomWalkWorkload(128, graph_seed=0)
+        trace = wl.generate(500, seed=1)
+        edges = wl.edges
+        rows = {tuple(edges[i]) for i in range(128)}
+        for cur, nxt in zip(trace, trace[1:]):
+            assert nxt in edges[cur], "walk left the edge set"
+
+    def test_reproducible(self):
+        wl = RandomWalkWorkload(128, graph_seed=0)
+        np.testing.assert_array_equal(wl.generate(200, seed=3), wl.generate(200, seed=3))
+
+    def test_walk_seed_independent_of_graph(self):
+        wl = RandomWalkWorkload(128, graph_seed=0)
+        a = wl.generate(200, seed=1)
+        b = wl.generate(200, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_visits_concentrate_like_pagerank(self):
+        """The stationary mass should favour the Pareto head."""
+        wl = RandomWalkWorkload(1 << 10, graph_seed=0)
+        trace = wl.generate(20_000, seed=0)
+        head_share = (trace < (1 << 7)).mean()
+        assert head_share > ((1 << 7) / (1 << 10)) * 1.5

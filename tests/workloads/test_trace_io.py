@@ -1,0 +1,33 @@
+"""Tests for trace save/load."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import load_trace, save_trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.npz"
+        trace = np.arange(1000, dtype=np.int64)
+        save_trace(path, trace, {"workload": "test", "seed": 3})
+        loaded, meta = load_trace(path)
+        np.testing.assert_array_equal(loaded, trace)
+        assert meta == {"workload": "test", "seed": 3}
+
+    def test_no_metadata(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(path, [1, 2, 3])
+        loaded, meta = load_trace(path)
+        np.testing.assert_array_equal(loaded, [1, 2, 3])
+        assert meta == {}
+
+    def test_rejects_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "t.npz", np.zeros((2, 2)))
+
+    def test_dtype_coerced(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(path, np.array([1, 2], dtype=np.int32))
+        loaded, _ = load_trace(path)
+        assert loaded.dtype == np.int64
