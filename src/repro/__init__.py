@@ -15,7 +15,10 @@ substrate it stands on:
   physical-huge-page, decoupled, hybrid);
 * :mod:`repro.sim` / :mod:`repro.workloads` / :mod:`repro.bench` — the
   Section 6 trace-driven simulator, the Figure 1 workloads, and the
-  benchmark harness.
+  benchmark harness;
+* :mod:`repro.obs` — observability: probe-based event tracing, interval
+  time-series metrics, and wall-clock run profiling (all zero-overhead
+  when unused).
 
 Quickstart::
 
@@ -26,6 +29,13 @@ Quickstart::
     ledger = simulate(mm, wl.generate(100_000, seed=0), warmup=50_000)
     print(ledger.as_dict())
 """
+
+import logging as _logging
+
+# Library logging convention: ship a NullHandler on the root ``repro``
+# logger so importing the package never prints; consumers (and the CLI's
+# --log-level flag) attach their own handlers.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 from .core import (
     ATCostModel,
@@ -41,6 +51,7 @@ from .core import (
     theorem3_parameters,
 )
 from .mmu import BasePageMM, DecoupledMM, HybridMM, PhysicalHugePageMM
+from .obs import IntervalMetrics, NullProbe, Probe, Timer, TraceRecorder, timed
 from .paging import PageCache, make_policy
 from .sim import simulate, sweep_huge_page_sizes
 from .tlb import TLB
@@ -74,6 +85,12 @@ __all__ = [
     "HybridMM",
     "PageCache",
     "make_policy",
+    "Probe",
+    "NullProbe",
+    "TraceRecorder",
+    "IntervalMetrics",
+    "Timer",
+    "timed",
     "TLB",
     "simulate",
     "sweep_huge_page_sizes",

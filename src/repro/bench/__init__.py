@@ -8,7 +8,13 @@ from .harness import (
     hybrid_sweep,
     simulation_theorem_experiment,
 )
-from .report import ascii_log_chart, format_figure1, format_table
+from .report import (
+    ascii_log_chart,
+    format_figure1,
+    format_metrics,
+    format_table,
+    format_throughput,
+)
 from .store import diff_records, load_records, save_records
 
 __all__ = [
@@ -20,6 +26,8 @@ __all__ = [
     "hybrid_sweep",
     "format_table",
     "format_figure1",
+    "format_metrics",
+    "format_throughput",
     "ascii_log_chart",
     "save_records",
     "load_records",

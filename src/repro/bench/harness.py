@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core import ATCostModel, huge_page_trace, paging_faults
 from ..mmu import BasePageMM, DecoupledMM, HybridMM, MemoryManagementAlgorithm
+from ..obs import IntervalMetrics, Probe, Timer, accesses_per_second
 from ..paging import LRUPolicy
 from ..sim import DEFAULT_HUGE_PAGE_SIZES, RunRecord, simulate, sweep_huge_page_sizes
 from ..workloads import BimodalWorkload, Graph500Workload, RandomWalkWorkload, Workload
@@ -60,6 +61,8 @@ def figure1_experiment(
     sizes: Sequence[int] = DEFAULT_HUGE_PAGE_SIZES,
     touched_ram_fraction: float | None = None,
     seed=0,
+    probe: Probe | None = None,
+    metrics_every: int | None = None,
 ) -> list[RunRecord]:
     """IOs and TLB misses vs huge-page size — the Figure 1 measurement.
 
@@ -71,6 +74,10 @@ def figure1_experiment(
     fraction of the trace's *touched* page count — the Figure 1c regime,
     where the paper sets the cache just below the pages the windowed trace
     actually touches (520 MB of 525 MB) while the graph is far larger.
+
+    *probe* / *metrics_every* are forwarded to
+    :func:`~repro.sim.simulator.sweep_huge_page_sizes`; every record comes
+    back stamped with its wall-clock throughput.
     """
     trace = workload.generate(n_accesses, seed=seed)
     if touched_ram_fraction is not None:
@@ -83,6 +90,8 @@ def figure1_experiment(
         ram_pages=ram_pages,
         sizes=sizes,
         warmup=warmup,
+        probe=probe,
+        metrics_every=metrics_every,
     )
 
 
@@ -91,12 +100,33 @@ def compare_algorithms(
     algorithms: dict[str, MemoryManagementAlgorithm],
     *,
     warmup: int = 0,
+    probe: Probe | None = None,
+    metrics_every: int | None = None,
 ) -> list[RunRecord]:
-    """Replay one trace through several algorithms; one record each."""
+    """Replay one trace through several algorithms; one record each.
+
+    Each record's ``params`` carries per-run throughput (``elapsed_s``,
+    ``accesses_per_s``); *probe* / *metrics_every* attach observability as
+    in :func:`~repro.sim.simulator.sweep_huge_page_sizes`.
+    """
     records = []
     for label, mm in algorithms.items():
-        ledger = simulate(mm, trace, warmup=warmup)
-        records.append(RunRecord(algorithm=label, ledger=ledger, params={}))
+        metrics = IntervalMetrics(every=metrics_every) if metrics_every else None
+        with Timer() as timer:
+            ledger = simulate(mm, trace, warmup=warmup, probe=probe, metrics=metrics)
+        records.append(
+            RunRecord(
+                algorithm=label,
+                ledger=ledger,
+                params={
+                    "elapsed_s": timer.elapsed,
+                    "accesses_per_s": accesses_per_second(
+                        ledger.accesses, timer.elapsed
+                    ),
+                },
+                metrics=metrics,
+            )
+        )
     return records
 
 

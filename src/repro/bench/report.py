@@ -11,7 +11,13 @@ from typing import Sequence
 
 from ..sim import RunRecord
 
-__all__ = ["format_table", "format_figure1", "ascii_log_chart"]
+__all__ = [
+    "format_table",
+    "format_figure1",
+    "ascii_log_chart",
+    "format_throughput",
+    "format_metrics",
+]
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
@@ -68,6 +74,38 @@ def format_figure1(records: Sequence[RunRecord], title: str = "") -> str:
     )
     parts = [title, table, chart_ios, chart_miss] if title else [table, chart_ios, chart_miss]
     return "\n\n".join(parts)
+
+
+def format_throughput(records: Sequence[RunRecord]) -> str:
+    """Per-run simulator throughput (the ``elapsed_s`` / ``accesses_per_s``
+    stamps the sweep drivers put in ``params``)."""
+    rows = []
+    for r in records:
+        row = {"algorithm": r.algorithm}
+        if "h" in r.params:
+            row["h"] = r.params["h"]
+        row["accesses"] = r.ledger.accesses
+        row["elapsed_ms"] = round(r.params.get("elapsed_s", 0.0) * 1e3, 2)
+        row["kacc/s"] = round(r.params.get("accesses_per_s", 0.0) / 1e3, 1)
+        rows.append(row)
+    return format_table(rows)
+
+
+def format_metrics(
+    windows: Sequence[dict],
+    columns: Sequence[str] = (
+        "window", "start", "end", "accesses", "ios", "tlb_misses",
+        "io_rate", "tlb_miss_rate", "working_set", "cost",
+    ),
+    max_rows: int = 24,
+) -> str:
+    """Render :class:`~repro.obs.metrics.IntervalMetrics` windows as a
+    table (evenly subsampled past *max_rows*, so long runs stay legible)."""
+    windows = list(windows)
+    if len(windows) > max_rows:
+        step = -(-len(windows) // max_rows)  # ceil division
+        windows = windows[::step]
+    return format_table(windows, columns)
 
 
 def ascii_log_chart(

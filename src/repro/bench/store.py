@@ -46,12 +46,22 @@ def load_records(path) -> dict:
     return payload
 
 
-def diff_records(old: dict, new: dict, *, key: str = "h", rel_tol: float = 0.0) -> list[dict]:
+def diff_records(
+    old: dict,
+    new: dict,
+    *,
+    key: str = "h",
+    rel_tol: float = 0.0,
+    ignore: Sequence[str] = ("elapsed_s", "accesses_per_s"),
+) -> list[dict]:
     """Compare two payloads row-by-row (matched on *key*).
 
     Returns one dict per differing metric:
     ``{"key", "metric", "old", "new", "rel_change"}``. *rel_tol* suppresses
     changes whose relative magnitude is below it (measurement noise).
+    *ignore* drops metrics entirely — by default the wall-clock timing
+    stamps the sweep drivers put in ``params``, which vary run to run and
+    say nothing about the simulated results.
     """
     old_rows = {row.get(key): row for row in old["rows"]}
     new_rows = {row.get(key): row for row in new["rows"]}
@@ -65,6 +75,8 @@ def diff_records(old: dict, new: dict, *, key: str = "h", rel_tol: float = 0.0) 
             )
             continue
         for metric in sorted(set(a) | set(b)):
+            if metric in ignore:
+                continue
             va, vb = a.get(metric), b.get(metric)
             if va == vb:
                 continue

@@ -3,33 +3,55 @@
 ``python -m repro <command>``:
 
 * ``fig1``      — the Figure 1 sweep (panel a, b, or c);
+* ``trace``     — replay a workload with probes attached; dump the event
+  and interval-metrics streams as JSONL;
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
 * ``maxload``   — balls-and-bins strategies vs theory;
 * ``policies``  — the replacement-policy zoo vs offline OPT;
 * ``params``    — Theorem 1/3 scheme parameters for a given (P, w);
 * ``epsilon``   — hardware-derived ε for the bundled device profiles.
+
+The global ``--log-level`` flag (before the subcommand) routes the
+package's loggers — silent by default, per library convention — to
+stderr at the chosen threshold.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 
 from .bench import (
     epsilon_sweep,
     figure1_experiment,
     figure1_workload,
     format_figure1,
+    format_metrics,
     format_table,
+    format_throughput,
     simulation_theorem_experiment,
 )
 
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Paging and the Address-Translation Problem' (SPAA 2021)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="emit repro.* log records to stderr at this threshold",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -40,6 +62,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--accesses", type=int, default=120_000)
     p.add_argument("--tlb", type=int, default=512)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics-out", default=None, metavar="FILE.jsonl",
+                   help="write per-window interval metrics for every sweep "
+                        "point (rows carry an extra 'h' key)")
+    p.add_argument("--window", type=_positive_int, default=None,
+                   help="metrics window in accesses (default: ~20 windows)")
+
+    p = sub.add_parser(
+        "trace",
+        help="replay one workload with probes; dump event/metrics streams",
+    )
+    p.add_argument("--panel", choices="abc", default="a")
+    p.add_argument("--scale", type=int, default=None,
+                   help="VA pages (a/b) or Kronecker scale (c)")
+    p.add_argument("--algorithm", choices=["physical", "base", "decoupled"],
+                   default="physical")
+    p.add_argument("--h", type=int, default=64,
+                   help="huge-page size for --algorithm physical")
+    p.add_argument("--accesses", type=int, default=60_000)
+    p.add_argument("--warmup-fraction", type=float, default=0.5)
+    p.add_argument("--tlb", type=int, default=512)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window", type=_positive_int, default=None,
+                   help="metrics window in accesses (default: ~20 windows)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE.jsonl",
+                   help="write the per-window metrics stream")
+    p.add_argument("--events-out", default=None, metavar="FILE.jsonl",
+                   help="write the retained event ring as JSONL")
+    p.add_argument("--ring", type=_positive_int, default=65536,
+                   help="event ring-buffer capacity")
 
     p = sub.add_parser("eq3", help="Theorem 4 / eq. (3) comparison")
     p.add_argument("--workload", choices=["bimodal", "zipf"], default="bimodal")
@@ -78,9 +129,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     handler = _HANDLERS[args.command]
     handler(args)
     return 0
+
+
+def configure_logging(level: str) -> None:
+    """Route the package's ``repro`` logger tree to stderr at *level*.
+
+    Library code never configures handlers (the root ``repro`` logger only
+    carries a ``NullHandler``); this is the CLI's opt-in sink.
+    """
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+
+
+def _default_window(measured: int) -> int:
+    """~20 windows over the measurement phase (at least 1 access each)."""
+    return max(1, measured // 20)
 
 
 # --------------------------------------------------------------- handlers
@@ -89,6 +160,9 @@ def main(argv=None) -> int:
 def _cmd_fig1(args) -> None:
     scale = args.scale if args.scale is not None else ({"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel])
     workload, ram_pages = figure1_workload(args.panel, scale, seed=args.seed)
+    metrics_every = None
+    if args.metrics_out:
+        metrics_every = args.window or _default_window(args.accesses // 2)
     records = figure1_experiment(
         workload,
         ram_pages=ram_pages,
@@ -96,8 +170,77 @@ def _cmd_fig1(args) -> None:
         n_accesses=args.accesses,
         touched_ram_fraction=0.99 if args.panel == "c" else None,
         seed=args.seed,
+        metrics_every=metrics_every,
     )
+    if args.metrics_out:
+        # Write before printing: a closed stdout pipe (| head) must not
+        # lose the data file.
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            for r in records:
+                for window in r.metrics.rows():
+                    fh.write(json.dumps({"h": r.params["h"], **window},
+                                        sort_keys=True) + "\n")
     print(format_figure1(records, title=f"Figure 1{args.panel}"))
+    print()
+    print(format_throughput(records))
+    if args.metrics_out:
+        print(f"\nper-window metrics written to {args.metrics_out}")
+
+
+def _cmd_trace(args) -> None:
+    from .mmu import BasePageMM, DecoupledMM, PhysicalHugePageMM
+    from .obs import IntervalMetrics, Timer, TraceRecorder, accesses_per_second
+    from .sim import simulate
+
+    scale = args.scale if args.scale is not None else ({"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel])
+    workload, ram_pages = figure1_workload(args.panel, scale, seed=args.seed)
+    trace = workload.generate(args.accesses, seed=args.seed)
+    warmup = int(len(trace) * args.warmup_fraction)
+    measured = len(trace) - warmup
+
+    if args.algorithm == "physical":
+        ram_h = (ram_pages // args.h) * args.h
+        if ram_h < args.h:
+            raise SystemExit(
+                f"ram_pages={ram_pages} cannot hold one huge page of h={args.h}"
+            )
+        mm = PhysicalHugePageMM(args.tlb, ram_h, huge_page_size=args.h)
+    elif args.algorithm == "base":
+        mm = BasePageMM(args.tlb, ram_pages)
+    else:
+        mm = DecoupledMM(args.tlb, ram_pages, seed=args.seed)
+
+    recorder = TraceRecorder(capacity=args.ring)
+    metrics = IntervalMetrics(every=args.window or _default_window(measured))
+    with Timer() as timer:
+        ledger = simulate(mm, trace, warmup=warmup, probe=recorder, metrics=metrics)
+
+    # Write the JSONL files before printing: a closed stdout pipe (| head)
+    # must not lose the data files.
+    events_path = recorder.to_jsonl(args.events_out) if args.events_out else None
+    metrics_path = metrics.to_jsonl(args.metrics_out) if args.metrics_out else None
+
+    throughput = accesses_per_second(ledger.accesses, timer.elapsed)
+    print(
+        f"{mm.name}: {ledger.accesses} measured accesses "
+        f"({warmup} warm-up) in {timer.elapsed * 1e3:.1f} ms "
+        f"— {throughput / 1e3:.1f} kacc/s"
+    )
+    print()
+    print(format_table([
+        {"kind": kind, "events": count}
+        for kind, count in recorder.counts.items() if count
+    ]))
+    print()
+    print(format_metrics(metrics.rows()))
+    if events_path is not None:
+        retained = len(recorder.events())
+        print(f"\n{retained} events written to {events_path}"
+              + (f" ({recorder.dropped} dropped by the ring)" if recorder.dropped else ""))
+    if metrics_path is not None:
+        print(f"{len(metrics.windows)} metric windows written to {metrics_path}")
 
 
 def _cmd_eq3(args) -> None:
@@ -236,6 +379,7 @@ def _cmd_describe(args) -> None:
 
 _HANDLERS = {
     "fig1": _cmd_fig1,
+    "trace": _cmd_trace,
     "describe": _cmd_describe,
     "eq3": _cmd_eq3,
     "maxload": _cmd_maxload,

@@ -93,6 +93,22 @@ class CostLedger:
             extra=merged_extra,
         )
 
+    def snapshot(self) -> tuple:
+        """Cheap immutable counter tuple ``(accesses, ios, tlb_misses,
+        tlb_hits, decoding_misses, paging_failures)``.
+
+        Interval-metrics collectors diff consecutive snapshots to get
+        per-window deltas without copying ``extra``.
+        """
+        return (
+            self.accesses,
+            self.ios,
+            self.tlb_misses,
+            self.tlb_hits,
+            self.decoding_misses,
+            self.paging_failures,
+        )
+
     @property
     def tlb_miss_rate(self) -> float:
         """TLB misses per translated access (0.0 before any access)."""

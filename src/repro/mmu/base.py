@@ -6,6 +6,14 @@ active set ``A``, the decoding function ``f``, and the virtual→physical map
 a :class:`~repro.core.model.CostLedger`. Concrete algorithms — base-page,
 physical-huge-page, decoupled (``Z``), hybrid — live in sibling modules and
 are interchangeable inside :mod:`repro.sim`.
+
+Every algorithm carries an optional :class:`~repro.obs.events.Probe`
+(``NULL_PROBE`` by default). With the null probe, :meth:`run` is the
+original tight loop — the hot path is unchanged. With a real probe
+attached, :meth:`run` switches to an instrumented loop that derives typed
+events (``access``, ``tlb_miss``, ``io``, ``eviction``, ``decoding_miss``)
+from per-access ledger deltas, so all algorithms are observable without
+touching their ``access`` implementations.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from ..core import CostLedger
+from ..obs.events import NULL_PROBE, Probe
 
 __all__ = ["MemoryManagementAlgorithm"]
 
@@ -25,6 +34,8 @@ class MemoryManagementAlgorithm(ABC):
 
     def __init__(self) -> None:
         self.ledger = CostLedger()
+        #: observer of this algorithm's events; NULL_PROBE means unobserved.
+        self.probe: Probe = NULL_PROBE
         #: extra-counter defaults re-seeded after every reset_stats();
         #: subclasses that keep algorithm-specific counters in
         #: ``ledger.extra`` register them here.
@@ -36,10 +47,48 @@ class MemoryManagementAlgorithm(ABC):
 
     def run(self, trace) -> CostLedger:
         """Service every request in *trace*; return this algorithm's ledger."""
+        if self.probe.enabled:
+            return self._run_probed(trace)
         access = self.access
         for vpn in trace:
             access(int(vpn))
         return self.ledger
+
+    def _run_probed(self, trace) -> CostLedger:
+        """The observed replay: emit typed events from per-access ledger
+        deltas. ``t`` is the access index within the current phase (i.e.
+        ``ledger.accesses`` at the moment the request was serviced)."""
+        ledger = self.ledger
+        probe = self.probe
+        access = self.access
+        evictions = self._eviction_count
+        for vpn in trace:
+            vpn = int(vpn)
+            misses0 = ledger.tlb_misses
+            ios0 = ledger.ios
+            dmisses0 = ledger.decoding_misses
+            ev0 = evictions()
+            access(vpn)
+            t = ledger.accesses - 1
+            probe.on_access(t, vpn)
+            if ledger.tlb_misses != misses0:
+                probe.on_tlb_miss(t, vpn)
+            if ledger.ios != ios0:
+                probe.on_io(t, vpn, ledger.ios - ios0)
+            if ledger.decoding_misses != dmisses0:
+                probe.on_decoding_miss(t, vpn)
+            ev = evictions()
+            if ev != ev0:
+                probe.on_eviction(t, ev - ev0)
+        return self.ledger
+
+    def _eviction_count(self) -> int:
+        """Monotone count of active-set evictions, for probe derivation.
+
+        Subclasses whose RAM is a counting cache override this; the default
+        (0) simply suppresses ``eviction`` events.
+        """
+        return 0
 
     def reset_stats(self) -> None:
         """Zero the ledger (the Section 6 warm-up/measure boundary); caches

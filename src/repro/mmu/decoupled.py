@@ -110,5 +110,8 @@ class DecoupledMM(MemoryManagementAlgorithm):
     def access(self, vpn: int) -> None:
         self.system.access(vpn)
 
+    def _eviction_count(self) -> int:
+        return self.system.ram.evictions
+
     def reset_stats(self) -> None:
         self.system.ledger.reset()

@@ -80,3 +80,6 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
         if not self.ram.access(hpn):
             # page-fault amplification: the whole huge page moves
             ledger.ios += self.huge_page_size
+
+    def _eviction_count(self) -> int:
+        return self.ram.evictions

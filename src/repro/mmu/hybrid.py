@@ -97,5 +97,8 @@ class HybridMM(MemoryManagementAlgorithm):
     def access(self, vpn: int) -> None:
         self.system.access(vpn // self.chunk)
 
+    def _eviction_count(self) -> int:
+        return self.system.ram.evictions
+
     def reset_stats(self) -> None:
         self.system.ledger.reset()

@@ -85,6 +85,7 @@ class THPStyleMM(MemoryManagementAlgorithm):
             promotions=0, promotion_failures=0, demotions=0, migrations=0
         )
         self.ledger.extra.update(self._extra_defaults)
+        self._evicted_units = 0
 
     # ------------------------------------------------------------------ api
 
@@ -131,6 +132,7 @@ class THPStyleMM(MemoryManagementAlgorithm):
             except OutOfMemoryError:
                 if len(self._lru) == 0:
                     raise
+                self._evicted_units += 1
                 self._release_unit(self._lru.evict())
 
     def _release_unit(self, unit: tuple[int, int]) -> None:
@@ -194,6 +196,9 @@ class THPStyleMM(MemoryManagementAlgorithm):
         ledger.extra["promotions"] += 1
 
     # ------------------------------------------------------------ diagnostics
+
+    def _eviction_count(self) -> int:
+        return self._evicted_units
 
     @property
     def promoted_regions(self) -> int:

@@ -91,6 +91,9 @@ class NestedTranslationMM(MemoryManagementAlgorithm):
         if not self.ram.access(hpn):
             ledger.ios += self.h
 
+    def _eviction_count(self) -> int:
+        return self.ram.evictions
+
     def _nested_walk(self, vpn: int) -> None:
         """Charge the 2-D walk: guest levels × (host translation + read).
 

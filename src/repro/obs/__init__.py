@@ -1,0 +1,53 @@
+"""Observability: structured event tracing, interval metrics, run profiling.
+
+Three orthogonal pieces, all optional and all zero-overhead when unused:
+
+* :mod:`repro.obs.events` — the :class:`Probe` protocol (``NullProbe``
+  default), :class:`TraceRecorder` (typed events → ring buffer → JSONL),
+  :class:`MultiProbe`;
+* :mod:`repro.obs.metrics` — :class:`IntervalMetrics`, per-window time
+  series (IO rate, TLB miss rate, working set, cost at ε) from
+  :class:`~repro.core.model.CostLedger` deltas;
+* :mod:`repro.obs.profile` — ``perf_counter`` timers, the ``@timed``
+  decorator, and throughput helpers.
+
+Attach via ``simulate(mm, trace, probe=..., metrics=...)`` or the CLI's
+``repro trace`` subcommand.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    NULL_PROBE,
+    Event,
+    MultiProbe,
+    NullProbe,
+    Probe,
+    TraceRecorder,
+)
+from .metrics import METRICS_FIELDS, IntervalMetrics
+from .profile import (
+    PROFILE,
+    ProfileRegistry,
+    Timer,
+    TimerStats,
+    accesses_per_second,
+    timed,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "Probe",
+    "NullProbe",
+    "NULL_PROBE",
+    "TraceRecorder",
+    "MultiProbe",
+    "IntervalMetrics",
+    "METRICS_FIELDS",
+    "Timer",
+    "TimerStats",
+    "ProfileRegistry",
+    "PROFILE",
+    "timed",
+    "accesses_per_second",
+]

@@ -1,0 +1,146 @@
+"""Interval time-series metrics from :class:`~repro.core.model.CostLedger`
+deltas.
+
+The paper's experiments report one (IOs, TLB misses) pair per run, but a
+single scalar hides *when* the cost is paid: a workload whose miss rate
+spikes during a phase change looks identical to one that misses uniformly.
+:class:`IntervalMetrics` closes a window every ``every`` accesses and
+records the ledger's *delta* over the window — IO rate, TLB miss rate,
+working-set size, and the ε-priced cost — so Figure-1-style runs emit
+curves instead of two scalars (cf. the time-resolved breakdowns that
+motivate Victima, arXiv:2310.04158).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .._util import check_positive_int
+from ..core import ATCostModel, CostLedger
+from .events import Probe
+
+__all__ = ["IntervalMetrics", "METRICS_FIELDS"]
+
+#: Column order of one window row (the JSONL schema).
+METRICS_FIELDS: tuple[str, ...] = (
+    "window",
+    "start",
+    "end",
+    "accesses",
+    "ios",
+    "tlb_misses",
+    "tlb_hits",
+    "decoding_misses",
+    "io_rate",
+    "tlb_miss_rate",
+    "working_set",
+    "cost",
+)
+
+
+class IntervalMetrics(Probe):
+    """Per-window time series collected while a probe-aware runner replays.
+
+    Use via ``simulate(mm, trace, metrics=IntervalMetrics(every=1000))`` or
+    the ``metrics_every=`` convenience on the sweep/bench entry points; the
+    driver binds the collector to the measurement-phase ledger and
+    finalizes the partial tail window.
+
+    Parameters
+    ----------
+    every:
+        Window length in accesses. A trace of ``n`` measured accesses
+        yields ``ceil(n / every)`` windows; the last may be short.
+    epsilon:
+        ε used to price each window's cost (``C = ios + ε·(misses + dmisses)``).
+    """
+
+    __slots__ = ("every", "model", "windows", "_ledger", "_last", "_n", "_pages")
+
+    def __init__(self, every: int = 1000, epsilon: float = 0.01) -> None:
+        self.every = check_positive_int(every, "every")
+        self.model = ATCostModel(epsilon=epsilon)
+        #: closed windows, oldest first (one dict per window; see METRICS_FIELDS).
+        self.windows: list[dict] = []
+        self._ledger: CostLedger | None = None
+        self._last: tuple = ()
+        self._n = 0
+        self._pages: set[int] = set()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def bind(self, ledger: CostLedger) -> None:
+        """Start observing *ledger* (call at the measure-phase boundary);
+        previously closed windows are kept, so one collector can span runs."""
+        self._ledger = ledger
+        self._last = ledger.snapshot()
+        self._n = 0
+        self._pages.clear()
+
+    def finalize(self) -> None:
+        """Close the partial tail window, if any accesses are pending."""
+        if self._ledger is not None and self._n % self.every:
+            self._close()
+
+    # ------------------------------------------------------------- callbacks
+
+    def on_access(self, t: int, vpn: int) -> None:
+        if self._ledger is None:
+            raise RuntimeError("IntervalMetrics.bind(ledger) must run first")
+        self._pages.add(vpn)
+        self._n += 1
+        if self._n % self.every == 0:
+            self._close()
+
+    # ------------------------------------------------------------- internals
+
+    def _close(self) -> None:
+        snap = self._ledger.snapshot()
+        accesses, ios, misses, hits, dmisses, _ = (
+            b - a for a, b in zip(self._last, snap)
+        )
+        if accesses == 0:
+            # nothing happened since the last close (e.g. repeated
+            # finalize()); never emit empty windows
+            return
+        translated = hits + misses
+        self.windows.append(
+            {
+                "window": len(self.windows),
+                "start": self._n - accesses,
+                "end": self._n,
+                "accesses": accesses,
+                "ios": ios,
+                "tlb_misses": misses,
+                "tlb_hits": hits,
+                "decoding_misses": dmisses,
+                "io_rate": ios / accesses if accesses else 0.0,
+                "tlb_miss_rate": misses / translated if translated else 0.0,
+                "working_set": len(self._pages),
+                "cost": self.model.io_cost * ios
+                + self.model.epsilon * (misses + dmisses),
+            }
+        )
+        self._last = snap
+        self._pages.clear()
+
+    # ------------------------------------------------------------------- api
+
+    def rows(self) -> list[dict]:
+        """The closed windows as flat dicts (shared column order)."""
+        return list(self.windows)
+
+    def series(self, field: str) -> list:
+        """One column across windows, e.g. ``series("tlb_miss_rate")``."""
+        if field not in METRICS_FIELDS:
+            raise KeyError(f"unknown metrics field {field!r}; see METRICS_FIELDS")
+        return [w[field] for w in self.windows]
+
+    def to_jsonl(self, path) -> Path:
+        """Write one JSON object per window (the metrics JSONL stream)."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for w in self.windows:
+                fh.write(json.dumps(w, sort_keys=True) + "\n")
+        return path

@@ -3,26 +3,34 @@
 ``simulate`` replays a trace through any memory-management algorithm with
 the paper's warm-up/measure split: the cache state persists across the
 boundary but the counters restart, so the reported IOs and TLB misses are
-steady-state, exactly as in the Figure 1 experiments.
+steady-state, exactly as in the Figure 1 experiments. A
+:class:`~repro.obs.events.Probe` and/or an
+:class:`~repro.obs.metrics.IntervalMetrics` collector can ride along —
+the replay is bit-identical with or without them.
 
 ``sweep_huge_page_sizes`` is the Figure 1 engine: one
 :class:`~repro.mmu.hugepage.PhysicalHugePageMM` run per huge-page size
 ``h ∈ {1, 2, 4, …}``, returning the (IOs, TLB misses) series the paper
-plots.
+plots, each record stamped with its wall-clock timing
+(``params["elapsed_s"]`` / ``params["accesses_per_s"]``).
 """
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core import CostLedger
 from ..mmu import MemoryManagementAlgorithm, PhysicalHugePageMM
+from ..obs import NULL_PROBE, IntervalMetrics, MultiProbe, Probe, Timer, accesses_per_second
 from ..paging import LRUPolicy, ReplacementPolicy
 from .stats import RunRecord
 
 __all__ = ["simulate", "sweep_huge_page_sizes", "DEFAULT_HUGE_PAGE_SIZES"]
+
+_log = logging.getLogger(__name__)
 
 #: The paper's sweep: h ∈ {1, 2, 4, …, 1024}.
 DEFAULT_HUGE_PAGE_SIZES: tuple[int, ...] = tuple(2**k for k in range(11))
@@ -33,18 +41,44 @@ def simulate(
     trace,
     *,
     warmup: int = 0,
+    probe: Probe | None = None,
+    metrics: IntervalMetrics | None = None,
 ) -> CostLedger:
     """Replay *trace* through *mm*; counters reset after *warmup* accesses.
+
+    With *probe* given, the warm-up and measurement phases are announced
+    via ``on_phase`` (absolute trace indices) and every serviced request
+    emits typed events. With *metrics* given, the collector is bound to the
+    measurement-phase ledger, fed every measured access, and finalized (the
+    partial tail window is closed). Neither changes the simulated costs.
 
     Returns the measurement-phase ledger (which is ``mm.ledger``).
     """
     trace = np.asarray(trace)
     if warmup < 0 or warmup > len(trace):
         raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
-    if warmup:
-        mm.run(trace[:warmup])
-        mm.reset_stats()
-    return mm.run(trace[warmup:])
+    observed = probe is not None or metrics is not None
+    try:
+        if warmup:
+            if probe is not None:
+                probe.on_phase(0, "warmup")
+                mm.probe = probe
+            mm.run(trace[:warmup])
+            mm.reset_stats()
+        if observed:
+            if probe is not None:
+                probe.on_phase(warmup, "measure")
+            if metrics is not None:
+                metrics.bind(mm.ledger)
+            attached = [p for p in (probe, metrics) if p is not None]
+            mm.probe = attached[0] if len(attached) == 1 else MultiProbe(attached)
+        ledger = mm.run(trace[warmup:])
+    finally:
+        if observed:
+            mm.probe = NULL_PROBE
+    if metrics is not None:
+        metrics.finalize()
+    return ledger
 
 
 def sweep_huge_page_sizes(
@@ -56,13 +90,23 @@ def sweep_huge_page_sizes(
     warmup: int = 0,
     tlb_policy_factory: Callable[[], ReplacementPolicy] = LRUPolicy,
     ram_policy_factory: Callable[[], ReplacementPolicy] = LRUPolicy,
+    probe: Probe | None = None,
+    metrics_every: int | None = None,
+    epsilon: float = 0.01,
 ) -> list[RunRecord]:
     """Run the Section 6 experiment: one physical-huge-page simulation per
     huge-page size, all on the same trace.
 
     Returns one :class:`~repro.sim.stats.RunRecord` per size with
-    ``params={"h": size}`` — the two Figure 1 series are
-    ``[r.ios for r in records]`` and ``[r.tlb_misses for r in records]``.
+    ``params={"h": size, "elapsed_s": ..., "accesses_per_s": ...}`` — the
+    two Figure 1 series are ``[r.ios for r in records]`` and
+    ``[r.tlb_misses for r in records]``.
+
+    With *metrics_every* set, each run gets a fresh
+    :class:`~repro.obs.metrics.IntervalMetrics` (window = *metrics_every*
+    accesses, cost priced at *epsilon*) attached as ``record.metrics``.
+    *probe*, if given, observes every run in sequence (phase events mark
+    the boundaries).
     """
     records = []
     for h in sizes:
@@ -70,6 +114,12 @@ def sweep_huge_page_sizes(
         # difference — negligible at every scale we sweep)
         ram_h = (ram_pages // h) * h
         if ram_h < h:
+            _log.warning(
+                "sweep_huge_page_sizes: skipping h=%d (ram_pages=%d holds no "
+                "whole huge frame) — the sweep returns fewer records than "
+                "len(sizes)",
+                h, ram_pages,
+            )
             continue
         mm = PhysicalHugePageMM(
             tlb_entries,
@@ -78,6 +128,23 @@ def sweep_huge_page_sizes(
             tlb_policy=tlb_policy_factory(),
             ram_policy=ram_policy_factory(),
         )
-        ledger = simulate(mm, trace, warmup=warmup)
-        records.append(RunRecord(algorithm=mm.name, ledger=ledger, params={"h": h}))
+        metrics = (
+            IntervalMetrics(every=metrics_every, epsilon=epsilon)
+            if metrics_every
+            else None
+        )
+        with Timer() as timer:
+            ledger = simulate(mm, trace, warmup=warmup, probe=probe, metrics=metrics)
+        records.append(
+            RunRecord(
+                algorithm=mm.name,
+                ledger=ledger,
+                params={
+                    "h": h,
+                    "elapsed_s": timer.elapsed,
+                    "accesses_per_s": accesses_per_second(ledger.accesses, timer.elapsed),
+                },
+                metrics=metrics,
+            )
+        )
     return records

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core import ATCostModel, CostLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import IntervalMetrics
 
 __all__ = ["RunRecord"]
 
@@ -13,14 +17,17 @@ __all__ = ["RunRecord"]
 class RunRecord:
     """One (algorithm, parameter point) measurement of a sweep.
 
-    ``params`` carries the sweep coordinates (e.g. ``{"h": 64}``); the
-    convenience accessors expose the Figure 1 series and the total cost at
-    any ε.
+    ``params`` carries the sweep coordinates (e.g. ``{"h": 64}``) plus any
+    timing stamps (``elapsed_s``, ``accesses_per_s``); ``metrics`` holds
+    the run's :class:`~repro.obs.metrics.IntervalMetrics` collector when
+    the sweep was asked for a time series. The convenience accessors
+    expose the Figure 1 series and the total cost at any ε.
     """
 
     algorithm: str
     ledger: CostLedger
     params: dict = field(default_factory=dict)
+    metrics: "IntervalMetrics | None" = None
 
     @property
     def ios(self) -> int:
@@ -35,5 +42,23 @@ class RunRecord:
         return ATCostModel(epsilon=epsilon).cost(self.ledger)
 
     def as_row(self) -> dict:
-        """Flat dict for table printing / npz export."""
-        return {"algorithm": self.algorithm, **self.params, **self.ledger.as_dict()}
+        """Flat dict for table printing / npz export.
+
+        Algorithm-specific ``ledger.extra`` counters appear as
+        ``extra_<name>`` columns so they survive serialization instead of
+        colliding with (or vanishing among) the core counters.
+        """
+        ledger = self.ledger
+        row = {
+            "algorithm": self.algorithm,
+            **self.params,
+            "accesses": ledger.accesses,
+            "ios": ledger.ios,
+            "tlb_misses": ledger.tlb_misses,
+            "tlb_hits": ledger.tlb_hits,
+            "decoding_misses": ledger.decoding_misses,
+            "paging_failures": ledger.paging_failures,
+        }
+        for key, value in ledger.extra.items():
+            row[f"extra_{key}"] = value
+        return row

@@ -57,6 +57,17 @@ class TestDiff:
         assert "ios" in noisy  # the 0.1% change is reported by default
         assert "ios" not in quiet  # ...and suppressed under the tolerance
 
+    def test_timing_stamps_ignored_by_default(self, tmp_path):
+        a, b = records({1: 10}), records({1: 10})
+        a[0].params.update(elapsed_s=0.5, accesses_per_s=1e5)
+        b[0].params.update(elapsed_s=0.9, accesses_per_s=2e5)
+        pa = load_records(save_records(tmp_path / "a.json", a))
+        pb = load_records(save_records(tmp_path / "b.json", b))
+        assert diff_records(pa, pb) == []
+        assert {d["metric"] for d in diff_records(pa, pb, ignore=())} == {
+            "elapsed_s", "accesses_per_s",
+        }
+
     def test_missing_row_flagged(self, tmp_path):
         pa, pb = self.payloads(tmp_path, {1: 10, 8: 20}, {1: 10})
         diffs = diff_records(pa, pb)

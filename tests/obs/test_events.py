@@ -1,0 +1,126 @@
+"""Tests for the probe protocol and the trace recorder."""
+
+import json
+
+import pytest
+
+from repro.mmu import BasePageMM, DecoupledMM, PhysicalHugePageMM
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_PROBE,
+    Event,
+    MultiProbe,
+    NullProbe,
+    TraceRecorder,
+)
+from repro.sim import simulate
+from repro.workloads import ZipfWorkload
+
+
+def _trace(n=6000, pages=2048, seed=0):
+    return ZipfWorkload(pages, s=0.9).generate(n, seed=seed)
+
+
+class TestNullProbe:
+    def test_disabled(self):
+        assert NullProbe.enabled is False
+        assert NULL_PROBE.enabled is False
+
+    def test_default_probe_is_null(self):
+        assert BasePageMM(8, 64).probe is NULL_PROBE
+
+    def test_ledger_parity_with_and_without_probe(self):
+        """The observed replay must be bit-identical to the plain one."""
+        trace = _trace()
+        for make in (
+            lambda: PhysicalHugePageMM(32, 1024, huge_page_size=8),
+            lambda: BasePageMM(32, 1024),
+            lambda: DecoupledMM(32, 1024, seed=0),
+        ):
+            plain, probed = make(), make()
+            l_plain = simulate(plain, trace, warmup=2000)
+            l_probed = simulate(probed, trace, warmup=2000, probe=TraceRecorder())
+            assert l_plain.as_dict() == l_probed.as_dict()
+
+    def test_plain_simulate_leaves_probe_untouched(self):
+        mm = BasePageMM(8, 64)
+        simulate(mm, _trace(200, pages=128))
+        assert mm.probe is NULL_PROBE
+
+
+class TestTraceRecorder:
+    def test_event_counts_match_ledger(self):
+        trace = _trace()
+        mm = PhysicalHugePageMM(32, 1024, huge_page_size=8)
+        rec = TraceRecorder()
+        ledger = simulate(mm, trace, probe=rec)  # no warmup: one phase
+        assert rec.counts["access"] == ledger.accesses
+        assert rec.counts["tlb_miss"] == ledger.tlb_misses
+        io_pages = sum(e.pages for e in rec.events() if e.kind == "io")
+        assert io_pages == ledger.ios
+        assert rec.counts["phase"] == 1  # "measure" only
+
+    def test_phase_events_mark_warmup_boundary(self):
+        trace = _trace(2000)
+        rec = TraceRecorder()
+        simulate(BasePageMM(16, 256), trace, warmup=500, probe=rec)
+        phases = [e for e in rec.events() if e.kind == "phase"]
+        assert [(e.label, e.t) for e in phases] == [("warmup", 0), ("measure", 500)]
+
+    def test_eviction_events_observed(self):
+        # capacity 4 over 64 hot pages: evictions are guaranteed
+        rec = TraceRecorder()
+        simulate(BasePageMM(4, 4), _trace(2000, pages=64), probe=rec)
+        assert rec.counts["eviction"] > 0
+
+    def test_ring_overflow_keeps_tail_and_exact_counts(self):
+        rec = TraceRecorder(capacity=64)
+        trace = _trace(500, pages=128)
+        simulate(BasePageMM(16, 64), trace, probe=rec)
+        assert len(rec.events()) == 64
+        assert rec.dropped == rec.total_events - 64
+        assert rec.counts["access"] == 500  # exact despite the wrap
+        # the retained events are the most recent ones
+        assert rec.events()[-1].t == 499
+
+    def test_kind_whitelist(self):
+        rec = TraceRecorder(kinds=["io", "phase"])
+        simulate(BasePageMM(16, 64), _trace(500, pages=128), probe=rec)
+        assert {e.kind for e in rec.events()} <= {"io", "phase"}
+        assert rec.counts["access"] == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(kinds=["access", "nope"])
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = TraceRecorder()
+        simulate(BasePageMM(16, 64), _trace(300, pages=128), probe=rec)
+        path = rec.to_jsonl(tmp_path / "events.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == len(rec.events())
+        for row, event in zip(rows, rec.events()):
+            assert row == event.as_dict()
+            assert row["kind"] in EVENT_KINDS
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.on_access(0, 1)
+        rec.clear()
+        assert rec.events() == [] and rec.total_events == 0
+
+
+class TestMultiProbe:
+    def test_fans_out_to_all_probes(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        multi = MultiProbe([a, b])
+        multi.on_access(3, 7)
+        multi.on_phase(0, "measure")
+        assert a.events() == b.events() == [
+            Event("access", 3, vpn=7),
+            Event("phase", 0, label="measure"),
+        ]
+
+    def test_skips_disabled_probes(self):
+        assert MultiProbe([NULL_PROBE, TraceRecorder()]).probes[0].enabled
+        assert len(MultiProbe([NULL_PROBE]).probes) == 0

@@ -1,0 +1,102 @@
+"""Tests for interval time-series metrics (window math, JSONL schema)."""
+
+import json
+
+import pytest
+
+from repro.core import CostLedger
+from repro.mmu import BasePageMM, PhysicalHugePageMM
+from repro.obs import METRICS_FIELDS, IntervalMetrics
+from repro.sim import simulate
+from repro.workloads import ZipfWorkload
+
+
+def _trace(n, pages=1024, seed=0):
+    return ZipfWorkload(pages, s=0.9).generate(n, seed=seed)
+
+
+class TestWindowMath:
+    def test_exact_multiple_has_no_empty_tail(self):
+        metrics = IntervalMetrics(every=500)
+        simulate(BasePageMM(16, 256), _trace(2000), metrics=metrics)
+        assert len(metrics.windows) == 4
+        assert [w["accesses"] for w in metrics.windows] == [500] * 4
+        assert metrics.windows[-1]["end"] == 2000
+
+    def test_partial_tail_window_is_closed(self):
+        metrics = IntervalMetrics(every=600)
+        simulate(BasePageMM(16, 256), _trace(2000), metrics=metrics)
+        assert [w["accesses"] for w in metrics.windows] == [600, 600, 600, 200]
+        assert metrics.windows[-1]["start"] == 1800
+        assert metrics.windows[-1]["end"] == 2000
+
+    def test_window_larger_than_trace(self):
+        metrics = IntervalMetrics(every=10_000)
+        simulate(BasePageMM(16, 256), _trace(700), metrics=metrics)
+        assert len(metrics.windows) == 1
+        assert metrics.windows[0]["accesses"] == 700
+
+    def test_windows_cover_measurement_phase_only(self):
+        metrics = IntervalMetrics(every=300)
+        ledger = simulate(BasePageMM(16, 256), _trace(2000), warmup=800,
+                          metrics=metrics)
+        assert sum(w["accesses"] for w in metrics.windows) == ledger.accesses == 1200
+
+    def test_deltas_sum_to_ledger_totals(self):
+        metrics = IntervalMetrics(every=137)  # deliberately ragged
+        mm = PhysicalHugePageMM(32, 1024, huge_page_size=8)
+        ledger = simulate(mm, _trace(3000), metrics=metrics)
+        for field in ("accesses", "ios", "tlb_misses", "tlb_hits", "decoding_misses"):
+            assert sum(w[field] for w in metrics.windows) == getattr(ledger, field)
+
+    def test_rates_and_working_set(self):
+        metrics = IntervalMetrics(every=250)
+        simulate(BasePageMM(8, 64), _trace(1000, pages=512), metrics=metrics)
+        for w in metrics.windows:
+            assert w["io_rate"] == w["ios"] / w["accesses"]
+            assert 1 <= w["working_set"] <= w["accesses"]
+            assert 0.0 <= w["tlb_miss_rate"] <= 1.0
+
+    def test_cost_prices_epsilon(self):
+        metrics = IntervalMetrics(every=100, epsilon=0.5)
+        simulate(BasePageMM(8, 64), _trace(400, pages=512), metrics=metrics)
+        for w in metrics.windows:
+            assert w["cost"] == pytest.approx(
+                w["ios"] + 0.5 * (w["tlb_misses"] + w["decoding_misses"])
+            )
+
+
+class TestApi:
+    def test_unbound_on_access_raises(self):
+        with pytest.raises(RuntimeError):
+            IntervalMetrics().on_access(0, 1)
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntervalMetrics(every=0)
+
+    def test_series_and_rows(self):
+        metrics = IntervalMetrics(every=100)
+        simulate(BasePageMM(8, 64), _trace(350, pages=512), metrics=metrics)
+        assert metrics.series("accesses") == [100, 100, 100, 50]
+        assert [set(r) for r in metrics.rows()] == [set(METRICS_FIELDS)] * 4
+        with pytest.raises(KeyError):
+            metrics.series("nope")
+
+    def test_manual_bind_and_finalize(self):
+        ledger = CostLedger()
+        metrics = IntervalMetrics(every=2)
+        metrics.bind(ledger)
+        for vpn in (1, 2, 3):
+            ledger.accesses += 1
+            metrics.on_access(ledger.accesses - 1, vpn)
+        metrics.finalize()
+        metrics.finalize()  # idempotent: no second empty tail
+        assert [w["accesses"] for w in metrics.windows] == [2, 1]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        metrics = IntervalMetrics(every=100)
+        simulate(BasePageMM(8, 64), _trace(300, pages=512), metrics=metrics)
+        path = metrics.to_jsonl(tmp_path / "metrics.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == metrics.rows()
