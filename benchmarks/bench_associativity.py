@@ -9,7 +9,6 @@ The table reports paging failures during a fill to 90% occupancy for each
 (strategy, B) point; the B=1 row reproduces the ~(1/e − δ)·P failure mass.
 """
 
-import math
 
 from repro.bench import format_table
 from repro.core import GreedyAllocator, IcebergAllocator, OneChoiceAllocator

@@ -11,7 +11,6 @@ costs on the same trace:
 * flushing vs ASID-tagged TLBs under multi-tenant interleaving.
 """
 
-import numpy as np
 
 from repro.bench import format_table
 from repro.tlb import (
@@ -38,7 +37,6 @@ def _run_plain(tlb, trace):
 
 def run_geometry():
     rows = []
-    rng = np.random.default_rng(0)
     trace = ZipfWorkload(1 << 12, s=1.1).generate(N, seed=0)
 
     # --- associativity sweep

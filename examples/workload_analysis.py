@@ -16,7 +16,6 @@ Before picking RAM sizes, TLB reach, or an h_max, characterize the trace:
 Run:  python examples/workload_analysis.py
 """
 
-import numpy as np
 
 from repro.analysis import (
     competitive_ratio,

@@ -6,6 +6,10 @@ from .harness import (
     figure1_experiment,
     figure1_workload,
     hybrid_sweep,
+    make_base_mm,
+    make_decoupled_mm,
+    make_hybrid_mm,
+    make_physical_mm,
     simulation_theorem_experiment,
 )
 from .report import (
@@ -15,6 +19,7 @@ from .report import (
     format_table,
     format_throughput,
 )
+from .smoke import bench_sweep, machine_info, save_bench
 from .store import diff_records, load_records, save_records
 
 __all__ = [
@@ -24,6 +29,13 @@ __all__ = [
     "epsilon_sweep",
     "simulation_theorem_experiment",
     "hybrid_sweep",
+    "make_base_mm",
+    "make_physical_mm",
+    "make_decoupled_mm",
+    "make_hybrid_mm",
+    "bench_sweep",
+    "machine_info",
+    "save_bench",
     "format_table",
     "format_figure1",
     "format_metrics",

@@ -3,19 +3,38 @@
 Each function is a *library* entry point — the ``benchmarks/`` scripts call
 these with paper-shaped parameters and print the resulting tables, so the
 same experiment can also be run programmatically at any scale.
+
+Every sweep here accepts ``jobs=``: the grid cells are sharded across
+worker processes by :mod:`repro.sim.parallel`, with results identical to
+the serial run. Algorithm construction goes through the module-level
+``make_*_mm`` factories (or any other picklable zero-argument callable) so
+the specs survive the trip into a ``ProcessPoolExecutor`` worker.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from functools import partial
+from typing import Sequence
 
 import numpy as np
 
-from ..core import ATCostModel, huge_page_trace, paging_faults
-from ..mmu import BasePageMM, DecoupledMM, HybridMM, MemoryManagementAlgorithm
-from ..obs import IntervalMetrics, Probe, Timer, accesses_per_second
+from ..core import ATCostModel, huge_page_trace
+from ..mmu import (
+    BasePageMM,
+    DecoupledMM,
+    HybridMM,
+    MemoryManagementAlgorithm,
+    PhysicalHugePageMM,
+)
+from ..obs import Probe
 from ..paging import LRUPolicy
-from ..sim import DEFAULT_HUGE_PAGE_SIZES, RunRecord, simulate, sweep_huge_page_sizes
+from ..sim import (
+    DEFAULT_HUGE_PAGE_SIZES,
+    RunRecord,
+    SimTask,
+    run_records,
+    sweep_huge_page_sizes,
+)
 from ..workloads import BimodalWorkload, Graph500Workload, RandomWalkWorkload, Workload
 
 __all__ = [
@@ -25,7 +44,65 @@ __all__ = [
     "epsilon_sweep",
     "simulation_theorem_experiment",
     "hybrid_sweep",
+    "make_base_mm",
+    "make_physical_mm",
+    "make_decoupled_mm",
+    "make_hybrid_mm",
 ]
+
+
+# ------------------------------------------------------- picklable factories
+#
+# Module-level factory builders (never lambdas/closures): the partials they
+# return pickle by reference to these functions, so a grid spec built from
+# them survives ProcessPoolExecutor dispatch regardless of start method.
+
+
+def make_base_mm(tlb_entries: int, ram_pages: int):
+    """Picklable zero-arg factory for :class:`~repro.mmu.BasePageMM`."""
+    return partial(BasePageMM, tlb_entries, ram_pages)
+
+
+def make_physical_mm(tlb_entries: int, ram_pages: int, huge_page_size: int):
+    """Picklable zero-arg factory for :class:`~repro.mmu.PhysicalHugePageMM`
+    (RAM rounded down to whole huge frames)."""
+    ram_h = (ram_pages // huge_page_size) * huge_page_size
+    return partial(
+        PhysicalHugePageMM, tlb_entries, ram_h, huge_page_size=huge_page_size
+    )
+
+
+def make_decoupled_mm(tlb_entries: int, ram_pages: int, **kwargs):
+    """Picklable zero-arg factory for :class:`~repro.mmu.DecoupledMM`."""
+    return partial(DecoupledMM, tlb_entries, ram_pages, **kwargs)
+
+
+def make_hybrid_mm(tlb_entries: int, ram_pages: int, chunk: int, **kwargs):
+    """Picklable zero-arg factory for :class:`~repro.mmu.HybridMM`."""
+    return partial(HybridMM, tlb_entries, ram_pages, chunk, **kwargs)
+
+
+def _prebuilt_mm(mm: MemoryManagementAlgorithm) -> MemoryManagementAlgorithm:
+    """Identity factory wrapping an already-constructed algorithm.
+
+    Serially this hands back the caller's instance (today's semantics: the
+    caller can inspect it after the run); in a worker the instance arrives
+    as a pickled copy, so the parent's object stays untouched.
+    """
+    return mm
+
+
+def _as_factory(mm):
+    if isinstance(mm, MemoryManagementAlgorithm):
+        return partial(_prebuilt_mm, mm)
+    if callable(mm):
+        return mm
+    raise TypeError(
+        f"expected a MemoryManagementAlgorithm or a zero-arg factory, got {mm!r}"
+    )
+
+
+# ---------------------------------------------------------------- experiments
 
 
 def figure1_workload(which: str, scale_pages: int = 1 << 18, seed=0):
@@ -63,6 +140,8 @@ def figure1_experiment(
     seed=0,
     probe: Probe | None = None,
     metrics_every: int | None = None,
+    jobs: int | None = 1,
+    task_timeout: float | None = None,
 ) -> list[RunRecord]:
     """IOs and TLB misses vs huge-page size — the Figure 1 measurement.
 
@@ -75,7 +154,7 @@ def figure1_experiment(
     where the paper sets the cache just below the pages the windowed trace
     actually touches (520 MB of 525 MB) while the graph is far larger.
 
-    *probe* / *metrics_every* are forwarded to
+    *probe* / *metrics_every* / *jobs* / *task_timeout* are forwarded to
     :func:`~repro.sim.simulator.sweep_huge_page_sizes`; every record comes
     back stamped with its wall-clock throughput.
     """
@@ -92,42 +171,45 @@ def figure1_experiment(
         warmup=warmup,
         probe=probe,
         metrics_every=metrics_every,
+        jobs=jobs,
+        task_timeout=task_timeout,
     )
 
 
 def compare_algorithms(
     trace,
-    algorithms: dict[str, MemoryManagementAlgorithm],
+    algorithms: dict,
     *,
     warmup: int = 0,
     probe: Probe | None = None,
     metrics_every: int | None = None,
+    jobs: int | None = 1,
+    task_timeout: float | None = None,
 ) -> list[RunRecord]:
     """Replay one trace through several algorithms; one record each.
 
-    Each record's ``params`` carries per-run throughput (``elapsed_s``,
+    *algorithms* maps record label → algorithm instance or picklable
+    zero-arg factory (see the ``make_*_mm`` helpers). Each record's
+    ``params`` carries per-run throughput (``elapsed_s``,
     ``accesses_per_s``); *probe* / *metrics_every* attach observability as
-    in :func:`~repro.sim.simulator.sweep_huge_page_sizes`.
+    in :func:`~repro.sim.simulator.sweep_huge_page_sizes` (serial-only).
+
+    With ``jobs != 1`` the algorithms run concurrently; instances are then
+    copied into the workers, so the caller's objects keep their pre-run
+    state (serially they are mutated in place, as always).
     """
-    records = []
-    for label, mm in algorithms.items():
-        metrics = IntervalMetrics(every=metrics_every) if metrics_every else None
-        with Timer() as timer:
-            ledger = simulate(mm, trace, warmup=warmup, probe=probe, metrics=metrics)
-        records.append(
-            RunRecord(
-                algorithm=label,
-                ledger=ledger,
-                params={
-                    "elapsed_s": timer.elapsed,
-                    "accesses_per_s": accesses_per_second(
-                        ledger.accesses, timer.elapsed
-                    ),
-                },
-                metrics=metrics,
-            )
-        )
-    return records
+    tasks = [
+        SimTask(key=i, mm_factory=_as_factory(mm), algorithm=label, warmup=warmup)
+        for i, (label, mm) in enumerate(algorithms.items())
+    ]
+    return run_records(
+        tasks,
+        trace=np.asarray(trace),
+        jobs=jobs,
+        probe=probe,
+        metrics_every=metrics_every,
+        task_timeout=task_timeout,
+    )
 
 
 def epsilon_sweep(
@@ -135,6 +217,10 @@ def epsilon_sweep(
     epsilons: Sequence[float] = (0.001, 0.01, 0.1),
 ) -> list[dict]:
     """Total cost ``C`` of each record at each ε — the crossover table.
+
+    Pure post-processing: the records typically come from
+    :func:`compare_algorithms` (which parallelizes with ``jobs=``); pricing
+    the ledgers is a few multiplications and stays in-process.
 
     Returns rows ``{"algorithm", "epsilon", "cost"}`` sorted by ε then cost.
     """
@@ -159,6 +245,7 @@ def simulation_theorem_experiment(
     physical_h: int | None = None,
     w: int = 64,
     seed=0,
+    jobs: int | None = 1,
 ) -> dict:
     """Eq. (3) end to end: Z versus its own ingredients and both pure
     strategies.
@@ -176,21 +263,28 @@ def simulation_theorem_experiment(
     Returns a dict with the three records, the reference counts, and Z's
     measured slack against the eq. (3) right-hand side.
     """
-    from ..mmu import PhysicalHugePageMM  # local import to avoid cycle noise
-
     trace = workload.generate(n_accesses, seed=seed)
     warmup = int(len(trace) * warmup_fraction)
 
-    z = DecoupledMM(tlb_entries, ram_pages, w=w, scheme="iceberg", seed=seed)
+    # one probe instance in the parent to read the derived parameters;
+    # the grid itself is described by picklable factories
+    z_factory = make_decoupled_mm(
+        tlb_entries, ram_pages, w=w, scheme="iceberg", seed=seed
+    )
+    z = z_factory()
     if physical_h is None:
         physical_h = z.hmax
-    base = BasePageMM(tlb_entries, ram_pages)
-    huge = PhysicalHugePageMM(
-        tlb_entries, (ram_pages // physical_h) * physical_h, huge_page_size=physical_h
-    )
     records = compare_algorithms(
-        trace, {"decoupled-Z": z, "base-page": base, f"physical-h{physical_h}": huge},
+        trace,
+        {
+            "decoupled-Z": z_factory,
+            "base-page": make_base_mm(tlb_entries, ram_pages),
+            f"physical-h{physical_h}": make_physical_mm(
+                tlb_entries, ram_pages, physical_h
+            ),
+        },
         warmup=warmup,
+        jobs=jobs,
     )
 
     measured = trace[warmup:]
@@ -222,6 +316,11 @@ def _warmed_faults(trace: np.ndarray, warmup: int, capacity: int) -> int:
     return cache.misses
 
 
+def _hybrid_coverage(mm: HybridMM) -> dict:
+    """Stamp callback: record the chunk's TLB-entry coverage ``q``."""
+    return {"coverage": mm.coverage}
+
+
 def hybrid_sweep(
     workload: Workload,
     *,
@@ -232,21 +331,28 @@ def hybrid_sweep(
     chunks: Sequence[int] = (1, 2, 4, 8, 16),
     w: int = 64,
     seed=0,
+    jobs: int | None = 1,
+    task_timeout: float | None = None,
 ) -> list[RunRecord]:
-    """Section 8 hybrid ablation: coverage and IO cost vs chunk size."""
+    """Section 8 hybrid ablation: coverage and IO cost vs chunk size.
+
+    Each chunk size is an independent cell, sharded across workers with
+    ``jobs != 1``; records carry ``{"chunk", "coverage"}`` plus the runner's
+    timing stamps.
+    """
     trace = workload.generate(n_accesses, seed=seed)
     warmup = int(len(trace) * warmup_fraction)
-    records = []
-    for chunk in chunks:
-        if ram_pages % chunk:
-            continue
-        mm = HybridMM(tlb_entries, ram_pages, chunk, w=w, seed=seed)
-        ledger = simulate(mm, trace, warmup=warmup)
-        records.append(
-            RunRecord(
-                algorithm=mm.name,
-                ledger=ledger,
-                params={"chunk": chunk, "coverage": mm.coverage},
-            )
+    tasks = [
+        SimTask(
+            key=i,
+            mm_factory=make_hybrid_mm(tlb_entries, ram_pages, chunk, w=w, seed=seed),
+            params={"chunk": chunk},
+            warmup=warmup,
+            stamp=_hybrid_coverage,
         )
-    return records
+        for i, chunk in enumerate(chunks)
+        if ram_pages % chunk == 0
+    ]
+    return run_records(
+        tasks, trace=trace, jobs=jobs, task_timeout=task_timeout
+    )

@@ -1,0 +1,127 @@
+"""``repro bench``: a reproducible sweep benchmark with machine provenance.
+
+One fixed Figure-1-shaped sweep (bimodal workload, paper cache ratios) run
+through :func:`~repro.sim.simulator.sweep_huge_page_sizes` at a chosen
+``jobs`` level, summarized as a ``BENCH_sweep.json`` payload:
+
+* ``machine`` — CPU count, Python and numpy versions, platform string, so
+  trajectory files are comparable across machines;
+* ``config`` — the exact grid (two payloads are comparable iff equal);
+* ``rows`` — one flat row per sweep cell (simulated counters + per-task
+  timing stamps);
+* ``wall_elapsed_s`` / ``accesses_per_s`` — end-to-end sweep throughput,
+  the number the CI perf-regression gate (``tools/check_bench.py``) tracks.
+
+The ``--smoke`` grid is sized for CI (a couple of seconds); the full grid
+is the paper's eleven sizes at 4× the accesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import Timer, accesses_per_second
+from ..sim import DEFAULT_HUGE_PAGE_SIZES, RunRecord, sweep_huge_page_sizes
+from ..workloads import BimodalWorkload
+
+__all__ = ["BENCH_FORMAT", "bench_sweep", "machine_info", "save_bench"]
+
+BENCH_FORMAT = 1
+
+#: CI-sized grid: finishes in seconds even on a small runner.
+SMOKE_CONFIG: dict = {
+    "scale_pages": 1 << 16,
+    "accesses": 60_000,
+    "tlb_entries": 256,
+    "sizes": (1, 4, 16, 64, 256),
+    "seed": 0,
+}
+
+#: The paper-shaped grid for local trajectory tracking.
+FULL_CONFIG: dict = {
+    "scale_pages": 1 << 18,
+    "accesses": 240_000,
+    "tlb_entries": 1024,
+    "sizes": DEFAULT_HUGE_PAGE_SIZES,
+    "seed": 0,
+}
+
+
+def machine_info() -> dict:
+    """Provenance stamped into every payload: enough to judge whether two
+    trajectory files were measured on comparable hardware/software."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+    }
+
+
+def bench_sweep(
+    *,
+    smoke: bool = False,
+    jobs: int | None = 1,
+    seed: int | None = None,
+    accesses: int | None = None,
+) -> tuple[list[RunRecord], dict]:
+    """Run the benchmark sweep; return ``(records, payload)``.
+
+    The payload is JSON-ready (see module docstring). *seed* / *accesses*
+    override the preset grid — overriding makes the payload incomparable to
+    baselines recorded with the preset, which the config check catches.
+    """
+    cfg = dict(SMOKE_CONFIG if smoke else FULL_CONFIG)
+    if seed is not None:
+        cfg["seed"] = seed
+    if accesses is not None:
+        cfg["accesses"] = accesses
+
+    workload = BimodalWorkload.paper_scaled(cfg["scale_pages"])
+    trace = workload.generate(cfg["accesses"], seed=cfg["seed"])
+    warmup = len(trace) // 2
+    with Timer() as wall:
+        records = sweep_huge_page_sizes(
+            trace,
+            tlb_entries=cfg["tlb_entries"],
+            ram_pages=workload.ram_pages,
+            sizes=cfg["sizes"],
+            warmup=warmup,
+            jobs=jobs,
+        )
+    total_accesses = sum(r.ledger.accesses for r in records)
+    payload = {
+        "format": BENCH_FORMAT,
+        "kind": "bench_sweep",
+        "smoke": smoke,
+        "jobs": jobs,
+        "machine": machine_info(),
+        "config": {
+            "scale_pages": cfg["scale_pages"],
+            "accesses": cfg["accesses"],
+            "tlb_entries": cfg["tlb_entries"],
+            "sizes": [int(h) for h in cfg["sizes"]],
+            "seed": cfg["seed"],
+            "warmup": warmup,
+            "ram_pages": workload.ram_pages,
+        },
+        "wall_elapsed_s": wall.elapsed,
+        "total_accesses": total_accesses,
+        "accesses_per_s": accesses_per_second(total_accesses, wall.elapsed),
+        "rows": [r.as_row() for r in records],
+    }
+    return records, payload
+
+
+def save_bench(payload: dict, path) -> Path:
+    """Write a bench payload as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -2,7 +2,11 @@
 
 ``python -m repro <command>``:
 
-* ``fig1``      — the Figure 1 sweep (panel a, b, or c);
+* ``fig1``      — the Figure 1 sweep (panel a, b, or c; ``--jobs`` shards
+  the sizes across worker processes);
+* ``bench``     — the fixed benchmark sweep; writes ``BENCH_sweep.json``
+  (machine info + per-cell counters + throughput) for
+  ``tools/check_bench.py`` to gate regressions against;
 * ``trace``     — replay a workload with probes attached; dump the event
   and interval-metrics streams as JSONL;
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
@@ -20,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+from functools import partial
 
 from .bench import (
     epsilon_sweep,
@@ -39,6 +44,14 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
+def _jobs(text: str) -> int:
+    """``--jobs N``: worker processes; 0 means all CPUs."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (0 = all CPUs), got {text}")
     return value
 
 
@@ -67,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "point (rows carry an extra 'h' key)")
     p.add_argument("--window", type=_positive_int, default=None,
                    help="metrics window in accesses (default: ~20 windows)")
+    p.add_argument("--jobs", type=_jobs, default=1,
+                   help="worker processes for the sweep (0 = all CPUs; "
+                        "metrics/probes force 1)")
+
+    p = sub.add_parser(
+        "bench",
+        help="fixed benchmark sweep; writes BENCH_sweep.json for the CI gate",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized grid (seconds) instead of the full grid")
+    p.add_argument("--jobs", type=_jobs, default=1,
+                   help="worker processes for the sweep (0 = all CPUs)")
+    p.add_argument("--out", default="BENCH_sweep.json", metavar="FILE.json",
+                   help="payload path (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the preset seed (payload becomes "
+                        "incomparable to preset baselines)")
+    p.add_argument("--accesses", type=int, default=None,
+                   help="override the preset trace length (same caveat)")
 
     p = sub.add_parser(
         "trace",
@@ -171,6 +203,7 @@ def _cmd_fig1(args) -> None:
         touched_ram_fraction=0.99 if args.panel == "c" else None,
         seed=args.seed,
         metrics_every=metrics_every,
+        jobs=args.jobs,
     )
     if args.metrics_out:
         # Write before printing: a closed stdout pipe (| head) must not
@@ -187,6 +220,24 @@ def _cmd_fig1(args) -> None:
     print(format_throughput(records))
     if args.metrics_out:
         print(f"\nper-window metrics written to {args.metrics_out}")
+
+
+def _cmd_bench(args) -> None:
+    from .bench import bench_sweep, format_throughput, save_bench
+
+    records, payload = bench_sweep(
+        smoke=args.smoke, jobs=args.jobs, seed=args.seed, accesses=args.accesses
+    )
+    # Write before printing: a closed stdout pipe (| head) must not lose
+    # the payload the CI gate consumes.
+    path = save_bench(payload, args.out)
+    print(format_throughput(records))
+    print(
+        f"\n{payload['total_accesses']} measured accesses over "
+        f"{len(records)} sweep cells in {payload['wall_elapsed_s'] * 1e3:.1f} ms "
+        f"(jobs={args.jobs}) — {payload['accesses_per_s'] / 1e3:.1f} kacc/s end-to-end"
+    )
+    print(f"payload written to {path}")
 
 
 def _cmd_trace(args) -> None:
@@ -357,13 +408,15 @@ def _cmd_describe(args) -> None:
         ZipfWorkload,
     )
 
+    # partials, not lambdas: these factories stay picklable, so they can be
+    # handed to the parallel runner as-is
     factories = {
-        "bimodal": lambda: BimodalWorkload.paper_scaled(args.pages),
-        "zipf": lambda: ZipfWorkload(args.pages, s=1.0),
-        "uniform": lambda: UniformWorkload(args.pages),
-        "sequential": lambda: SequentialWorkload(args.pages),
-        "random-walk": lambda: RandomWalkWorkload(args.pages, graph_seed=args.seed),
-        "btree": lambda: BTreeLookupWorkload(args.pages, fanout=64, zipf_s=0.9),
+        "bimodal": partial(BimodalWorkload.paper_scaled, args.pages),
+        "zipf": partial(ZipfWorkload, args.pages, s=1.0),
+        "uniform": partial(UniformWorkload, args.pages),
+        "sequential": partial(SequentialWorkload, args.pages),
+        "random-walk": partial(RandomWalkWorkload, args.pages, graph_seed=args.seed),
+        "btree": partial(BTreeLookupWorkload, args.pages, fanout=64, zipf_s=0.9),
     }
     wl = factories[args.workload]()
     trace = wl.generate(args.accesses, seed=args.seed)
@@ -379,6 +432,7 @@ def _cmd_describe(args) -> None:
 
 _HANDLERS = {
     "fig1": _cmd_fig1,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "describe": _cmd_describe,
     "eq3": _cmd_eq3,

@@ -1,7 +1,16 @@
-"""Trace-driven simulator: driver, physical-memory model, run statistics."""
+"""Trace-driven simulator: driver, parallel runner, physical-memory model,
+run statistics."""
 
 from .curves import HugePageCurves, figure1_curves
 from .memory import OutOfMemoryError, PhysicalMemory
+from .parallel import (
+    SimTask,
+    TaskResult,
+    resolve_jobs,
+    run_records,
+    run_tasks,
+    spawn_seeds,
+)
 from .simulator import DEFAULT_HUGE_PAGE_SIZES, simulate, sweep_huge_page_sizes
 from .stats import RunRecord
 from .tuning import best_static_h, static_h_costs
@@ -13,6 +22,12 @@ __all__ = [
     "sweep_huge_page_sizes",
     "DEFAULT_HUGE_PAGE_SIZES",
     "RunRecord",
+    "SimTask",
+    "TaskResult",
+    "run_tasks",
+    "run_records",
+    "spawn_seeds",
+    "resolve_jobs",
     "figure1_curves",
     "HugePageCurves",
     "best_static_h",

@@ -12,20 +12,24 @@ the replay is bit-identical with or without them.
 :class:`~repro.mmu.hugepage.PhysicalHugePageMM` run per huge-page size
 ``h ∈ {1, 2, 4, …}``, returning the (IOs, TLB misses) series the paper
 plots, each record stamped with its wall-clock timing
-(``params["elapsed_s"]`` / ``params["accesses_per_s"]``).
+(``params["elapsed_s"]`` / ``params["accesses_per_s"]``). With
+``jobs != 1`` the sizes run concurrently through
+:mod:`repro.sim.parallel`; the records are identical to the serial run.
 """
 
 from __future__ import annotations
 
 import logging
+from functools import partial
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core import CostLedger
 from ..mmu import MemoryManagementAlgorithm, PhysicalHugePageMM
-from ..obs import NULL_PROBE, IntervalMetrics, MultiProbe, Probe, Timer, accesses_per_second
+from ..obs import NULL_PROBE, IntervalMetrics, MultiProbe, Probe
 from ..paging import LRUPolicy, ReplacementPolicy
+from .parallel import SimTask, run_records
 from .stats import RunRecord
 
 __all__ = ["simulate", "sweep_huge_page_sizes", "DEFAULT_HUGE_PAGE_SIZES"]
@@ -81,6 +85,23 @@ def simulate(
     return ledger
 
 
+def _build_hugepage_mm(
+    tlb_entries: int,
+    ram_pages: int,
+    huge_page_size: int,
+    tlb_policy_factory: Callable[[], ReplacementPolicy],
+    ram_policy_factory: Callable[[], ReplacementPolicy],
+) -> PhysicalHugePageMM:
+    """Module-level (hence picklable) factory for one sweep cell."""
+    return PhysicalHugePageMM(
+        tlb_entries,
+        ram_pages,
+        huge_page_size=huge_page_size,
+        tlb_policy=tlb_policy_factory(),
+        ram_policy=ram_policy_factory(),
+    )
+
+
 def sweep_huge_page_sizes(
     trace,
     *,
@@ -93,6 +114,8 @@ def sweep_huge_page_sizes(
     probe: Probe | None = None,
     metrics_every: int | None = None,
     epsilon: float = 0.01,
+    jobs: int | None = 1,
+    task_timeout: float | None = None,
 ) -> list[RunRecord]:
     """Run the Section 6 experiment: one physical-huge-page simulation per
     huge-page size, all on the same trace.
@@ -107,11 +130,22 @@ def sweep_huge_page_sizes(
     accesses, cost priced at *epsilon*) attached as ``record.metrics``.
     *probe*, if given, observes every run in sequence (phase events mark
     the boundaries).
+
+    *jobs* shards the sizes across worker processes (``None``/``0`` = all
+    CPUs) via :func:`repro.sim.parallel.run_tasks`; the records are
+    identical to the serial run. Probes and metrics are serial-only, so
+    requesting them forces ``jobs=1``. *task_timeout* (seconds, parallel
+    only) bounds each cell; a timed-out or crashed cell is retried once and
+    then dropped with an error log, like an infeasible size.
     """
-    records = []
-    for h in sizes:
+    trace = np.asarray(trace)
+    # policy factories are invoked in the worker, so both the factories and
+    # the policies they build must be picklable for jobs != 1
+    tasks = []
+    for i, h in enumerate(sizes):
         # round RAM down to a whole number of huge frames (a ≤h-page
         # difference — negligible at every scale we sweep)
+        h = int(h)
         ram_h = (ram_pages // h) * h
         if ram_h < h:
             _log.warning(
@@ -121,30 +155,27 @@ def sweep_huge_page_sizes(
                 h, ram_pages,
             )
             continue
-        mm = PhysicalHugePageMM(
-            tlb_entries,
-            ram_h,
-            huge_page_size=h,
-            tlb_policy=tlb_policy_factory(),
-            ram_policy=ram_policy_factory(),
-        )
-        metrics = (
-            IntervalMetrics(every=metrics_every, epsilon=epsilon)
-            if metrics_every
-            else None
-        )
-        with Timer() as timer:
-            ledger = simulate(mm, trace, warmup=warmup, probe=probe, metrics=metrics)
-        records.append(
-            RunRecord(
-                algorithm=mm.name,
-                ledger=ledger,
-                params={
-                    "h": h,
-                    "elapsed_s": timer.elapsed,
-                    "accesses_per_s": accesses_per_second(ledger.accesses, timer.elapsed),
-                },
-                metrics=metrics,
+        tasks.append(
+            SimTask(
+                key=i,
+                mm_factory=partial(
+                    _build_hugepage_mm,
+                    tlb_entries,
+                    ram_h,
+                    h,
+                    tlb_policy_factory,
+                    ram_policy_factory,
+                ),
+                params={"h": h},
+                warmup=warmup,
             )
         )
-    return records
+    return run_records(
+        tasks,
+        trace=trace,
+        jobs=jobs,
+        probe=probe,
+        metrics_every=metrics_every,
+        epsilon=epsilon,
+        task_timeout=task_timeout,
+    )

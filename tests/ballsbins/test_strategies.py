@@ -1,7 +1,6 @@
 """Tests for the placement strategies, including the load-bound behaviour
 that Section 4 of the paper relies on."""
 
-import numpy as np
 import pytest
 
 from repro.ballsbins import (

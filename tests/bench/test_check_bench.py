@@ -1,0 +1,159 @@
+"""Tests for the CI perf-regression gate (tools/check_bench.py).
+
+The gate is a stdlib-only script outside the package, so it is loaded by
+file path rather than imported from ``repro``.
+"""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_bench.py"
+_spec = importlib.util.spec_from_file_location("check_bench", _TOOL)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _payload(tput=100_000.0, numpy_version="2.0.0"):
+    return {
+        "format": 1,
+        "kind": "bench_sweep",
+        "machine": {"numpy": numpy_version, "cpu_count": 4},
+        "config": {"sizes": [1, 8], "seed": 0, "accesses": 1000},
+        "accesses_per_s": tput,
+        "rows": [
+            {
+                "algorithm": "physical",
+                "h": 1,
+                "accesses": 1000,
+                "ios": 40,
+                "tlb_misses": 200,
+                "tlb_hits": 800,
+                "decoding_misses": 0,
+                "paging_failures": 0,
+            },
+            {
+                "algorithm": "physical",
+                "h": 8,
+                "accesses": 1000,
+                "ios": 25,
+                "tlb_misses": 90,
+                "tlb_hits": 910,
+                "decoding_misses": 0,
+                "paging_failures": 0,
+            },
+        ],
+    }
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        code, messages = check_bench.compare(_payload(), _payload())
+        assert code == check_bench.OK
+        assert any("counters identical" in m for m in messages)
+
+    def test_faster_run_passes(self):
+        code, _ = check_bench.compare(_payload(100_000), _payload(250_000))
+        assert code == check_bench.OK
+
+    def test_throughput_regression_fails(self):
+        code, messages = check_bench.compare(
+            _payload(100_000), _payload(60_000), tolerance=0.25
+        )
+        assert code == check_bench.REGRESSION
+        assert any(m.startswith("FAIL throughput") for m in messages)
+
+    def test_small_dip_within_tolerance_passes(self):
+        code, _ = check_bench.compare(
+            _payload(100_000), _payload(80_000), tolerance=0.25
+        )
+        assert code == check_bench.OK
+
+    def test_counter_drift_is_a_mismatch(self):
+        new = _payload()
+        new["rows"][1]["ios"] += 1
+        code, messages = check_bench.compare(_payload(), new)
+        assert code == check_bench.MISMATCH
+        assert any("ios changed" in m for m in messages)
+
+    def test_missing_cell_is_a_mismatch(self):
+        new = _payload()
+        del new["rows"][1]
+        code, _ = check_bench.compare(_payload(), new)
+        assert code == check_bench.MISMATCH
+
+    def test_config_change_is_a_mismatch(self):
+        new = _payload()
+        new["config"]["seed"] = 1
+        code, messages = check_bench.compare(_payload(), new)
+        assert code == check_bench.MISMATCH
+        assert any("configs differ" in m and "seed" in m for m in messages)
+
+    def test_numpy_skew_skips_counters_in_auto_mode(self):
+        new = _payload(numpy_version="2.4.0")
+        new["rows"][0]["ios"] += 5  # would be a mismatch on same numpy
+        code, messages = check_bench.compare(_payload(), new, counters="auto")
+        assert code == check_bench.OK
+        assert any("skipping counter comparison" in m for m in messages)
+
+    def test_counters_always_overrides_numpy_skew(self):
+        new = _payload(numpy_version="2.4.0")
+        new["rows"][0]["ios"] += 5
+        code, _ = check_bench.compare(_payload(), new, counters="always")
+        assert code == check_bench.MISMATCH
+
+    def test_counters_never_disables_the_check(self):
+        new = _payload()
+        new["rows"][0]["ios"] += 5
+        code, _ = check_bench.compare(_payload(), new, counters="never")
+        assert code == check_bench.OK
+
+    def test_zero_baseline_throughput_skips_the_gate(self):
+        code, messages = check_bench.compare(_payload(0.0), _payload(50.0))
+        assert code == check_bench.OK
+        assert any("skipping the gate" in m for m in messages)
+
+    def test_regression_does_not_mask_mismatch(self):
+        new = _payload(10_000.0)  # huge slowdown *and* counter drift
+        new["rows"][0]["tlb_misses"] += 1
+        code, _ = check_bench.compare(_payload(), new)
+        assert code == check_bench.MISMATCH  # correctness outranks speed
+
+    def test_compare_does_not_mutate_inputs(self):
+        base, new = _payload(), _payload(60_000)
+        base_copy, new_copy = copy.deepcopy(base), copy.deepcopy(new)
+        check_bench.compare(base, new)
+        assert base == base_copy and new == new_copy
+
+
+class TestMain:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_codes_via_cli(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _payload())
+        good = self._write(tmp_path / "good.json", _payload(99_000))
+        slow = self._write(tmp_path / "slow.json", _payload(10_000))
+        assert check_bench.main([base, good]) == check_bench.OK
+        assert check_bench.main([base, slow]) == check_bench.REGRESSION
+        assert (
+            check_bench.main([base, slow, "--tolerance", "0.95"]) == check_bench.OK
+        )
+
+    def test_malformed_payload_is_a_mismatch(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _payload())
+        bad = self._write(tmp_path / "bad.json", {"kind": "something-else"})
+        assert check_bench.main([base, bad]) == check_bench.MISMATCH
+        assert check_bench.main([base, str(tmp_path / "absent.json")]) == (
+            check_bench.MISMATCH
+        )
+
+    def test_load_payload_validates_kind(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "bench_sweep", "format": 99}))
+        with pytest.raises(ValueError, match="format-1"):
+            check_bench.load_payload(str(path))

@@ -76,6 +76,21 @@ class TestCompareAndSweep:
         assert {r.algorithm for r in records} == {"a", "b"}
         assert all(r.ledger.accesses == 3000 for r in records)
 
+    def test_compare_algorithms_parallel_matches_serial(self):
+        from repro.bench import diff_records, make_base_mm
+
+        rng = np.random.default_rng(2)
+        trace = rng.integers(0, 512, 4000)
+        grid = {"a": make_base_mm(8, 128), "b": make_base_mm(16, 128)}
+        serial = compare_algorithms(trace, grid, warmup=1000, jobs=1)
+        parallel = compare_algorithms(trace, grid, warmup=1000, jobs=2)
+        def as_payload(recs):
+            return {"rows": [r.as_row() for r in recs]}
+
+        assert diff_records(
+            as_payload(serial), as_payload(parallel), key="algorithm"
+        ) == []
+
     def test_epsilon_sweep_sorted(self):
         rng = np.random.default_rng(1)
         trace = rng.integers(0, 512, 3000)

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core import (
     NOT_PRESENT,
     DecouplingScheme,
-    FullyAssociativeAllocator,
     IcebergAllocator,
     OneChoiceAllocator,
     TLBValueCodec,

@@ -1,6 +1,5 @@
 """Property tests for HybridMM and the ψ-update callback path."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ fixes (sweep skip warning, extra_* columns, logging hygiene)."""
 import json
 import logging
 
-import pytest
 
 from repro.bench import compare_algorithms
 from repro.cli import main

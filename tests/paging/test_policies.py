@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.paging import (
     POLICIES,
-    ARCPolicy,
     ClockPolicy,
     FIFOPolicy,
     LFUPolicy,
@@ -15,7 +14,6 @@ from repro.paging import (
     MRUPolicy,
     PageCache,
     RandomPolicy,
-    TwoQPolicy,
     make_policy,
 )
 

@@ -1,0 +1,265 @@
+"""Tests for the parallel experiment runner (repro.sim.parallel).
+
+The determinism contract: ``jobs=4`` must produce RunRecord series
+identical to ``jobs=1`` (same seeds -> same IOs / TLB misses), with only
+the wall-clock stamps (``elapsed_s`` / ``accesses_per_s``) allowed to
+differ — exactly the fields ``diff_records`` ignores by default.
+
+The crash helpers must live at module level (never closures) so they
+pickle across the process boundary.
+"""
+
+import os
+import signal
+import time
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.bench import diff_records, make_base_mm
+from repro.mmu import BasePageMM
+from repro.sim import (
+    SimTask,
+    TaskResult,
+    resolve_jobs,
+    run_records,
+    run_tasks,
+    spawn_seeds,
+    sweep_huge_page_sizes,
+)
+
+POSIX_TIMERS = hasattr(signal, "setitimer")
+
+
+def _payload(records):
+    """Shape a record list like a saved result file, for diff_records."""
+    return {"rows": [r.as_row() for r in records]}
+
+
+class CrashOnce:
+    """MM factory that hard-kills its worker the first time it is called.
+
+    A marker file (not in-memory state: worker processes are disposable)
+    distinguishes the first call from the retry.
+    """
+
+    def __init__(self, marker, tlb=8, ram=64):
+        self.marker = str(marker)
+        self.tlb = tlb
+        self.ram = ram
+
+    def __call__(self):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write("crashed")
+            os._exit(1)  # hard crash: no exception, no cleanup
+        return BasePageMM(self.tlb, self.ram)
+
+
+class CrashAlways:
+    """MM factory that kills its worker on every call."""
+
+    def __call__(self):
+        os._exit(1)
+
+
+class RaiseOnce:
+    """MM factory that raises (a plain exception) the first time."""
+
+    def __init__(self, marker, tlb=8, ram=64):
+        self.marker = str(marker)
+        self.tlb = tlb
+        self.ram = ram
+
+    def __call__(self):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write("raised")
+            raise RuntimeError("transient failure")
+        return BasePageMM(self.tlb, self.ram)
+
+
+class SleepForever:
+    """MM factory that out-sleeps any reasonable task timeout."""
+
+    def __call__(self):
+        time.sleep(60)
+        return BasePageMM(8, 64)  # pragma: no cover
+
+
+def _trace(n=4000, pages=1 << 12, seed=0):
+    return np.random.default_rng(seed).integers(0, pages, n)
+
+
+def _grid(n=6, tlb=16, ram=512):
+    return [
+        SimTask(mm_factory=make_base_mm(tlb, ram), key=i, params={"h": i}, warmup=100)
+        for i in range(n)
+    ]
+
+
+class TestDeterminism:
+    def test_sweep_parallel_matches_serial(self):
+        trace = _trace(6000, 1 << 13, seed=2)
+        kwargs = dict(tlb_entries=32, ram_pages=1 << 11, sizes=[1, 8, 64], warmup=1000)
+        serial = sweep_huge_page_sizes(trace, jobs=1, **kwargs)
+        parallel = sweep_huge_page_sizes(trace, jobs=4, **kwargs)
+        assert diff_records(_payload(serial), _payload(parallel)) == []
+        # and the timing stamps exist on both paths
+        for rec in serial + parallel:
+            assert rec.params["elapsed_s"] > 0
+            assert rec.params["accesses_per_s"] > 0
+
+    def test_run_tasks_order_and_keys(self):
+        results = run_tasks(_grid(5), trace=_trace(), jobs=4, chunksize=2)
+        assert [r.key for r in results] == [0, 1, 2, 3, 4]
+        assert all(isinstance(r, TaskResult) and r.ok for r in results)
+        assert all(r.attempts == 1 for r in results)
+
+    def test_run_records_matches_serial_grid(self):
+        trace = _trace(5000)
+        serial = run_records(_grid(6), trace=trace, jobs=1)
+        pooled = run_records(_grid(6), trace=trace, jobs=3, chunksize=1)
+        assert diff_records(_payload(serial), _payload(pooled)) == []
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [SimTask(mm_factory=make_base_mm(8, 64), key=7) for _ in range(2)]
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks(tasks, trace=_trace(100))
+
+    def test_metrics_force_serial_fallback(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.sim.parallel"):
+            records = run_records(
+                _grid(2), trace=_trace(1000), jobs=4, metrics_every=200
+            )
+        assert "serial-only" in caplog.text
+        assert all(rec.metrics is not None for rec in records)
+
+
+class TestSeeds:
+    def test_spawn_seeds_reproducible_and_distinct(self):
+        a = spawn_seeds(123, 8)
+        assert a == spawn_seeds(123, 8)
+        assert len(set(a)) == 8
+        assert a != spawn_seeds(124, 8)
+
+    def test_spawn_seeds_edge_cases(self):
+        assert spawn_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) == resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestFaultTolerance:
+    def test_worker_crash_is_retried_and_recovers(self, tmp_path):
+        tasks = [
+            SimTask(mm_factory=CrashOnce(tmp_path / "crash"), key=0, warmup=10),
+            SimTask(mm_factory=make_base_mm(8, 64), key=1, warmup=10),
+        ]
+        results = run_tasks(tasks, trace=_trace(500), jobs=2, chunksize=1)
+        assert [r.key for r in results] == [0, 1]
+        assert results[0].ok and results[0].attempts == 2
+        assert results[1].ok  # the innocent neighbour survives
+
+    def test_permanent_crash_fails_only_its_cell(self):
+        tasks = [
+            SimTask(mm_factory=CrashAlways(), key=0, warmup=10),
+            SimTask(mm_factory=make_base_mm(8, 64), key=1, warmup=10),
+        ]
+        results = run_tasks(tasks, trace=_trace(500), jobs=2, chunksize=1)
+        assert not results[0].ok
+        assert "crash" in results[0].error
+        assert results[0].attempts == 2  # initial + one retry
+        assert results[1].ok
+        # run_records drops the dead cell, keeps the rest
+        records = run_records(tasks, trace=_trace(500), jobs=2, chunksize=1)
+        assert len(records) == 1
+
+    def test_exception_is_retried_in_serial_and_pooled(self, tmp_path):
+        for jobs, marker in ((1, "serial"), (2, "pooled")):
+            task = SimTask(
+                mm_factory=RaiseOnce(tmp_path / marker), key=0, warmup=10
+            )
+            (result,) = run_tasks([task], trace=_trace(500), jobs=jobs)
+            assert result.ok and result.attempts == 2
+
+    def test_exhausted_retries_surface_the_error(self):
+        def boom():
+            raise RuntimeError("always broken")
+
+        (result,) = run_tasks(
+            [SimTask(mm_factory=boom, key=0)], trace=_trace(100), jobs=1, retries=1
+        )
+        assert not result.ok
+        assert "always broken" in result.error
+        assert result.attempts == 2
+
+    @pytest.mark.skipif(not POSIX_TIMERS, reason="needs signal.setitimer")
+    def test_task_timeout_marks_cell_failed(self):
+        tasks = [
+            SimTask(mm_factory=SleepForever(), key=0),
+            SimTask(mm_factory=make_base_mm(8, 64), key=1, warmup=10),
+        ]
+        results = run_tasks(
+            tasks, trace=_trace(500), jobs=2, chunksize=1,
+            task_timeout=0.3, retries=0,
+        )
+        assert not results[0].ok
+        assert "timed out" in results[0].error
+        assert results[1].ok
+
+
+class TestPerTaskTraces:
+    def test_task_trace_overrides_shared(self):
+        hot = np.zeros(400, dtype=np.int64)  # one page: almost no IOs
+        cold = np.arange(400, dtype=np.int64)  # all distinct: all IOs
+        tasks = [
+            SimTask(mm_factory=make_base_mm(8, 1 << 10), key=0, trace=hot),
+            SimTask(mm_factory=make_base_mm(8, 1 << 10), key=1, trace=cold),
+        ]
+        for jobs in (1, 2):
+            recs = run_records(tasks, jobs=jobs)
+            assert recs[0].ios == 1
+            assert recs[1].ios == 400
+
+    def test_missing_trace_is_an_error_not_a_crash(self):
+        (result,) = run_tasks(
+            [SimTask(mm_factory=make_base_mm(8, 64), key=0)], jobs=1, retries=0
+        )
+        assert not result.ok
+        assert "no trace" in result.error
+
+    def test_stamp_adds_params(self):
+        task = SimTask(
+            mm_factory=make_base_mm(8, 64),
+            key=0,
+            params={"h": 1},
+            stamp=_stamp_name,
+        )
+        for jobs in (1, 2):
+            (rec,) = run_records([task], trace=_trace(300), jobs=jobs)
+            assert rec.params["h"] == 1
+            assert rec.params["mm_name"] == "base-page"
+
+
+def _stamp_name(mm):
+    return {"mm_name": mm.name}
+
+
+class TestPicklability:
+    def test_partial_factories_pickle(self):
+        import pickle
+
+        for factory in (
+            make_base_mm(8, 64),
+            partial(BasePageMM, 8, 64),
+            CrashAlways(),
+        ):
+            clone = pickle.loads(pickle.dumps(factory))
+            assert callable(clone)

@@ -1,9 +1,8 @@
 """Tests for the static-h tuner."""
 
-import numpy as np
 import pytest
 
-from repro.core import ATCostModel, CostLedger
+from repro.core import ATCostModel
 from repro.mmu import PhysicalHugePageMM
 from repro.sim import best_static_h, simulate, static_h_costs
 from repro.workloads import BimodalWorkload, UniformWorkload

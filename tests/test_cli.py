@@ -1,5 +1,7 @@
 """Tests for the command-line interface (small, fast configurations)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -14,6 +16,19 @@ class TestParser:
         args = build_parser().parse_args(["fig1"])
         assert args.panel == "a"
         assert args.tlb == 512
+        assert args.jobs == 1
+
+    def test_jobs_flag(self):
+        assert build_parser().parse_args(["fig1", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(["fig1", "--jobs", "0"]).jobs == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--jobs", "-1"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.smoke is False
+        assert args.jobs == 1
+        assert args.out == "BENCH_sweep.json"
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -56,6 +71,30 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "huge_page_density" in out and "footprint" in out
+
+    def test_fig1_parallel_small(self, capsys):
+        assert (
+            main(["fig1", "--panel", "a", "--scale", "4096",
+                  "--accesses", "4000", "--tlb", "16", "--jobs", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out
+
+    def test_bench_smoke_writes_payload(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--smoke", "--accesses", "6000",
+                     "--out", "out.json"]) == 0
+        out = capsys.readouterr().out
+        assert "kacc/s end-to-end" in out and "out.json" in out
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["kind"] == "bench_sweep"
+        assert payload["format"] == 1
+        assert payload["smoke"] is True
+        assert payload["machine"]["cpu_count"] >= 1
+        assert payload["machine"]["python"]
+        assert payload["config"]["accesses"] == 6000
+        assert len(payload["rows"]) == len(payload["config"]["sizes"])
+        assert payload["accesses_per_s"] > 0
 
     def test_eq3_small(self, capsys):
         assert (

@@ -9,7 +9,6 @@ import importlib
 import re
 from pathlib import Path
 
-import pytest
 
 ROOT = Path(__file__).parent.parent
 DOC_FILES = [ROOT / "DESIGN.md", ROOT / "docs" / "THEORY.md", ROOT / "docs" / "API.md",

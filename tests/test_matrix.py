@@ -5,7 +5,6 @@ insurance that any (algorithm, workload) pairing a user composes through
 the public API at least runs and accounts coherently.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import ATCostModel

@@ -6,7 +6,6 @@ unit tests check only pointwise.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

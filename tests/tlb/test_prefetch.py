@@ -57,7 +57,6 @@ class TestWorkloadEffects:
 
     def test_scan_loves_prefetch(self):
         trace = np.arange(4000) % 1024  # sequential, bigger than the TLB
-        plain = self.run(trace, degree=1)  # degree irrelevant for baseline
         baseline = TLB(64)
         for hpn in trace:
             if baseline.lookup(int(hpn)) is None:

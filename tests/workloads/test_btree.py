@@ -62,9 +62,6 @@ class TestGeneration:
 
     def test_vectorized_matches_scalar_paths(self):
         wl = BTreeLookupWorkload(n_keys=500, fanout=8, zipf_s=0, shuffle_keys=False)
-        rng = np.random.default_rng(0)
-        keys = rng.integers(0, 500, 20)
-
         class Fixed(BTreeLookupWorkload):
             pass
 

@@ -1,7 +1,6 @@
 """Tests for the Kronecker generator, BFS, and the Figure 1c trace."""
 
 import numpy as np
-import pytest
 
 from repro.workloads import PAGE_ELEMS, Graph500Workload, KroneckerGraph
 from repro.workloads.graph500 import _expand_ranges, _first_occurrence_mask

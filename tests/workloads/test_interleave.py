@@ -1,6 +1,5 @@
 """Tests for the multi-tenant interleaved workload."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import (

@@ -1,6 +1,5 @@
 """Tests for the Figure 1b random-walk workload."""
 
-import math
 
 import numpy as np
 import pytest
@@ -53,7 +52,6 @@ class TestWalk:
         wl = RandomWalkWorkload(128, graph_seed=0)
         trace = wl.generate(500, seed=1)
         edges = wl.edges
-        rows = {tuple(edges[i]) for i in range(128)}
         for cur, nxt in zip(trace, trace[1:]):
             assert nxt in edges[cur], "walk left the edge set"
 

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare a fresh ``BENCH_sweep.json`` against the
+committed baseline.
+
+Usage::
+
+    python tools/check_bench.py benchmarks/baselines/BENCH_sweep.json \\
+        BENCH_sweep.json --tolerance 0.25
+
+Two checks, two exit codes:
+
+* **exit 2 — correctness / comparability.** The configs (grid, seed) must
+  match, and the simulated counters (accesses, ios, tlb_misses, ...) of
+  every (algorithm, h) cell must be identical — they are deterministic
+  given the grid. Counter checking is skipped (with a note) when the two
+  payloads were produced by different numpy versions, whose random streams
+  are not guaranteed identical (``--counters always`` overrides, and
+  ``--counters never`` disables).
+* **exit 1 — throughput regression.** The end-to-end ``accesses_per_s``
+  may not drop more than ``--tolerance`` (fraction) below the baseline.
+  One aggregate number, not per-cell timings, to stay tolerant of runner
+  noise; improvements and same-speed runs pass.
+
+Stdlib-only on purpose: the gate runs before (and independent of) the
+package itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Simulated (deterministic) counters compared cell by cell.
+COUNTER_FIELDS = (
+    "accesses",
+    "ios",
+    "tlb_misses",
+    "tlb_hits",
+    "decoding_misses",
+    "paging_failures",
+)
+
+OK, REGRESSION, MISMATCH = 0, 1, 2
+
+
+def load_payload(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("kind") != "bench_sweep" or payload.get("format") != 1:
+        raise ValueError(f"{path}: not a format-1 bench_sweep payload")
+    return payload
+
+
+def _cell_key(row: dict) -> tuple:
+    return (row.get("algorithm"), row.get("h"))
+
+
+def compare(
+    baseline: dict,
+    new: dict,
+    *,
+    tolerance: float = 0.25,
+    counters: str = "auto",
+) -> tuple[int, list[str]]:
+    """Compare payloads; return ``(exit_code, messages)``."""
+    messages: list[str] = []
+    code = OK
+
+    if baseline["config"] != new["config"]:
+        changed = sorted(
+            k
+            for k in set(baseline["config"]) | set(new["config"])
+            if baseline["config"].get(k) != new["config"].get(k)
+        )
+        return MISMATCH, [
+            f"FAIL configs differ ({', '.join(changed)}): the runs are not "
+            "comparable — regenerate the baseline with "
+            "`python -m repro bench` and commit it"
+        ]
+
+    check_counters = counters == "always" or (
+        counters == "auto"
+        and baseline["machine"].get("numpy") == new["machine"].get("numpy")
+    )
+    if counters == "auto" and not check_counters:
+        messages.append(
+            "note: skipping counter comparison — numpy "
+            f"{baseline['machine'].get('numpy')} (baseline) vs "
+            f"{new['machine'].get('numpy')} (new); random streams may differ"
+        )
+
+    if check_counters:
+        old_rows = {_cell_key(r): r for r in baseline["rows"]}
+        new_rows = {_cell_key(r): r for r in new["rows"]}
+        for key in sorted(set(old_rows) | set(new_rows), key=str):
+            a, b = old_rows.get(key), new_rows.get(key)
+            if a is None or b is None:
+                code = MISMATCH
+                messages.append(
+                    f"FAIL cell {key}: present only in "
+                    f"{'new run' if a is None else 'baseline'}"
+                )
+                continue
+            for metric in COUNTER_FIELDS:
+                if a.get(metric) != b.get(metric):
+                    code = MISMATCH
+                    messages.append(
+                        f"FAIL cell {key}: {metric} changed "
+                        f"{a.get(metric)} -> {b.get(metric)} (deterministic "
+                        "counter; a code change altered simulated behaviour)"
+                    )
+        if code == OK:
+            messages.append(
+                f"ok: {len(new['rows'])} cells, all simulated counters identical"
+            )
+
+    old_tput, new_tput = baseline["accesses_per_s"], new["accesses_per_s"]
+    if old_tput <= 0:
+        messages.append("note: baseline throughput is 0; skipping the gate")
+        return code, messages
+    change = new_tput / old_tput - 1.0
+    line = (
+        f"throughput: {old_tput / 1e3:.1f} -> {new_tput / 1e3:.1f} kacc/s "
+        f"({change:+.1%}, tolerance -{tolerance:.0%})"
+    )
+    if change < -tolerance:
+        code = max(code, REGRESSION)
+        messages.append(f"FAIL {line}")
+    else:
+        messages.append(f"ok: {line}")
+    return code, messages
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_sweep.json")
+    parser.add_argument("new", help="freshly measured BENCH_sweep.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional throughput drop (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--counters", choices=["auto", "always", "never"], default="auto",
+        help="compare deterministic counters: auto = only when numpy "
+             "versions match (default), always, never",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_payload(args.baseline)
+        new = load_payload(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"FAIL {exc}", file=sys.stderr)
+        return MISMATCH
+    code, messages = compare(
+        baseline, new, tolerance=args.tolerance, counters=args.counters
+    )
+    for line in messages:
+        print(line)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
