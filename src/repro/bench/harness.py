@@ -185,6 +185,7 @@ def compare_algorithms(
     metrics_every: int | None = None,
     jobs: int | None = 1,
     task_timeout: float | None = None,
+    validate: bool = False,
 ) -> list[RunRecord]:
     """Replay one trace through several algorithms; one record each.
 
@@ -197,9 +198,17 @@ def compare_algorithms(
     With ``jobs != 1`` the algorithms run concurrently; instances are then
     copied into the workers, so the caller's objects keep their pre-run
     state (serially they are mutated in place, as always).
+    ``validate=True`` audits every run with the :mod:`repro.check`
+    invariant oracle (identical costs).
     """
     tasks = [
-        SimTask(key=i, mm_factory=_as_factory(mm), algorithm=label, warmup=warmup)
+        SimTask(
+            key=i,
+            mm_factory=_as_factory(mm),
+            algorithm=label,
+            warmup=warmup,
+            validate=validate,
+        )
         for i, (label, mm) in enumerate(algorithms.items())
     ]
     return run_records(

@@ -1,0 +1,60 @@
+"""Cross-validation subsystem: invariant oracle + differential checker.
+
+Two independent correctness layers over the simulators (see
+``docs/TESTING.md``):
+
+* :mod:`repro.check.oracle` — :class:`ValidatingMM` replays every access
+  under an :class:`InvariantOracle` that audits the paper's structural
+  invariants (TLB/RAM capacities, decode-consistency ``f = φ``, bucket
+  loads ``≤ B``, ``φ``-stability) and raises a structured
+  :class:`InvariantViolation` on the first break;
+* :mod:`repro.check.differential` — replay two algorithms (or one
+  algorithm vs a recorded golden run) on the same trace and report the
+  first per-access event divergence.
+
+Entry points: ``simulate(..., validate=True)``,
+``SimTask(validate=True)`` for sharded grids, and the ``repro check``
+CLI/CI sweep (:func:`check_grid`).
+"""
+
+from .differential import (
+    ROW_FIELDS,
+    DiffReport,
+    Divergence,
+    StreamTap,
+    diff_against_golden,
+    diff_mms,
+    first_divergence,
+    load_golden,
+    record_stream,
+    save_golden,
+)
+from .oracle import InvariantOracle, InvariantViolation, ValidatingMM
+from .runner import (
+    WORKLOAD_NAMES,
+    CheckCell,
+    CheckReport,
+    check_grid,
+    format_check_report,
+)
+
+__all__ = [
+    "InvariantOracle",
+    "InvariantViolation",
+    "ValidatingMM",
+    "ROW_FIELDS",
+    "StreamTap",
+    "Divergence",
+    "DiffReport",
+    "record_stream",
+    "first_divergence",
+    "diff_mms",
+    "save_golden",
+    "load_golden",
+    "diff_against_golden",
+    "WORKLOAD_NAMES",
+    "CheckCell",
+    "CheckReport",
+    "check_grid",
+    "format_check_report",
+]

@@ -1,0 +1,291 @@
+"""Differential checker: compare two runs event-by-event, not just in total.
+
+Aggregate counters can agree by accident; per-access event streams cannot.
+The differential harness replays the same trace through two memory
+managers (or one manager and a recorded *golden* run) and reports the
+**first divergence** between their per-access event rows — the exact
+access index and field where behaviour split, which is where debugging
+starts.
+
+The tap rides the :class:`~repro.obs.events.Probe` protocol, so the
+differential path reuses the observability layer's instrumented replay:
+no hot-path changes, zero overhead when no comparison is running, and the
+streams being compared are exactly what ``repro trace`` exports.
+
+Each access folds into one :data:`ROW_FIELDS` tuple
+``(t, vpn, tlb_misses, io_pages, decoding_misses, evicted_units)`` —
+the chargeable events of the cost model, bucketed by the access that
+caused them. Golden runs serialize these rows as JSONL
+(:func:`save_golden` / :func:`load_golden`) so a known-good stream can be
+pinned in version control and future refactors diffed against it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..mmu.base import MemoryManagementAlgorithm
+from ..obs.events import Probe
+
+__all__ = [
+    "ROW_FIELDS",
+    "StreamTap",
+    "Divergence",
+    "DiffReport",
+    "record_stream",
+    "first_divergence",
+    "diff_mms",
+    "save_golden",
+    "load_golden",
+    "diff_against_golden",
+]
+
+#: One row per access: the access coordinates plus every chargeable event
+#: it triggered. ``t`` restarts at the warm-up boundary (phase-local index).
+ROW_FIELDS: tuple[str, ...] = (
+    "t",
+    "vpn",
+    "tlb_misses",
+    "io_pages",
+    "decoding_misses",
+    "evicted_units",
+)
+
+#: golden-file format version (bumped on any row-shape change).
+GOLDEN_FORMAT = 1
+
+
+class StreamTap(Probe):
+    """Fold the typed event stream into one row per access.
+
+    The instrumented runner emits ``on_access`` first, then any
+    ``tlb_miss`` / ``io`` / ``decoding_miss`` / ``eviction`` events for the
+    same access, so the tap simply accumulates into the latest row. Phase
+    boundaries are kept aside (``phases``) and excluded from comparison —
+    two runs may legitimately label phases at different absolute indices.
+    """
+
+    __slots__ = ("rows", "phases")
+
+    def __init__(self) -> None:
+        self.rows: list[list[int]] = []
+        self.phases: list[tuple[int, str]] = []
+
+    def on_access(self, t: int, vpn: int) -> None:
+        self.rows.append([t, vpn, 0, 0, 0, 0])
+
+    def on_tlb_miss(self, t: int, vpn: int) -> None:
+        self.rows[-1][2] += 1
+
+    def on_io(self, t: int, vpn: int, pages: int) -> None:
+        self.rows[-1][3] += pages
+
+    def on_decoding_miss(self, t: int, vpn: int) -> None:
+        self.rows[-1][4] += 1
+
+    def on_eviction(self, t: int, count: int) -> None:
+        self.rows[-1][5] += count
+
+    def on_phase(self, t: int, name: str) -> None:
+        self.phases.append((t, name))
+
+    def as_tuples(self) -> list[tuple[int, ...]]:
+        """The recorded rows as immutable tuples (comparison/serialization)."""
+        return [tuple(row) for row in self.rows]
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """The first point where two event streams disagree.
+
+    ``index`` is the position in the row lists (trace order). ``fields``
+    names the row components that differ (``("length",)`` when one stream
+    simply ends first, in which case the shorter side's row is ``None``).
+    """
+
+    index: int
+    fields: tuple[str, ...]
+    left: tuple[int, ...] | None
+    right: tuple[int, ...] | None
+
+    def describe(self) -> str:
+        if self.fields == ("length",):
+            side = "left" if self.left is None else "right"
+            return f"streams differ in length: {side} stream ends at row {self.index}"
+        parts = []
+        for name in self.fields:
+            i = ROW_FIELDS.index(name)
+            parts.append(f"{name}: {self.left[i]} vs {self.right[i]}")
+        return f"first divergence at row {self.index}: " + ", ".join(parts)
+
+
+@dataclass(slots=True)
+class DiffReport:
+    """Outcome of a differential run: both streams plus their first split."""
+
+    left_name: str
+    right_name: str
+    left_rows: list[tuple[int, ...]]
+    right_rows: list[tuple[int, ...]]
+    divergence: Divergence | None
+    #: fields actually compared (a subset of :data:`ROW_FIELDS`).
+    compared: tuple[str, ...] = field(default=ROW_FIELDS)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        head = f"{self.left_name} vs {self.right_name}"
+        if self.divergence is None:
+            return f"{head}: {len(self.left_rows)} rows, streams identical"
+        return f"{head}: {self.divergence.describe()}"
+
+
+def record_stream(
+    mm: MemoryManagementAlgorithm, trace, *, warmup: int = 0
+) -> list[tuple[int, ...]]:
+    """Replay *trace* through *mm* with a :class:`StreamTap`; return the rows.
+
+    Only the measurement phase is recorded (the tap is attached after the
+    warm-up replay), matching how every sweep reports costs.
+    """
+    from ..sim.simulator import simulate  # local import: sim imports check lazily
+
+    tap = StreamTap()
+    if warmup:
+        mm.run(trace[:warmup])
+        mm.reset_stats()
+    simulate(mm, trace[warmup:], probe=tap)
+    return tap.as_tuples()
+
+
+def first_divergence(
+    left_rows,
+    right_rows,
+    *,
+    fields: tuple[str, ...] | None = None,
+) -> Divergence | None:
+    """Find the first row where the two streams disagree (``None`` = never).
+
+    *fields* restricts the comparison to a subset of :data:`ROW_FIELDS` —
+    e.g. ``("t", "vpn", "tlb_misses")`` to compare TLB behaviour while
+    allowing IO behaviour to differ.
+    """
+    if fields is None:
+        indices = tuple(range(len(ROW_FIELDS)))
+        names = ROW_FIELDS
+    else:
+        unknown = set(fields) - set(ROW_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown row fields: {sorted(unknown)}")
+        names = tuple(fields)
+        indices = tuple(ROW_FIELDS.index(name) for name in names)
+    n = min(len(left_rows), len(right_rows))
+    for i in range(n):
+        lrow, rrow = tuple(left_rows[i]), tuple(right_rows[i])
+        bad = tuple(
+            name for name, j in zip(names, indices) if lrow[j] != rrow[j]
+        )
+        if bad:
+            return Divergence(i, bad, lrow, rrow)
+    if len(left_rows) != len(right_rows):
+        longer_left = len(left_rows) > len(right_rows)
+        return Divergence(
+            n,
+            ("length",),
+            tuple(left_rows[n]) if longer_left else None,
+            tuple(right_rows[n]) if not longer_left else None,
+        )
+    return None
+
+
+def diff_mms(
+    left: MemoryManagementAlgorithm,
+    right: MemoryManagementAlgorithm,
+    trace,
+    *,
+    warmup: int = 0,
+    fields: tuple[str, ...] | None = None,
+) -> DiffReport:
+    """Replay *trace* through both algorithms; report the first divergence.
+
+    Both replays share the identical trace (and warm-up split), so any
+    divergence is behavioural, not environmental.
+    """
+    left_rows = record_stream(left, trace, warmup=warmup)
+    right_rows = record_stream(right, trace, warmup=warmup)
+    return DiffReport(
+        left_name=left.name,
+        right_name=right.name,
+        left_rows=left_rows,
+        right_rows=right_rows,
+        divergence=first_divergence(left_rows, right_rows, fields=fields),
+        compared=tuple(fields) if fields is not None else ROW_FIELDS,
+    )
+
+
+def save_golden(path, rows, *, algorithm: str, meta: dict | None = None) -> Path:
+    """Pin an event stream as a golden JSONL file.
+
+    Line 1 is a header object (format version, algorithm, row schema, any
+    *meta* the caller wants to stamp — trace parameters, seed); every
+    following line is one row array.
+    """
+    path = Path(path)
+    header = {
+        "format": GOLDEN_FORMAT,
+        "kind": "golden_stream",
+        "algorithm": algorithm,
+        "fields": list(ROW_FIELDS),
+        **(meta or {}),
+    }
+    with path.open("w") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            fh.write(json.dumps(list(row)) + "\n")
+    return path
+
+
+def load_golden(path) -> tuple[dict, list[tuple[int, ...]]]:
+    """Load a golden stream; returns ``(header, rows)``."""
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty golden file")
+        header = json.loads(header_line)
+        if header.get("kind") != "golden_stream":
+            raise ValueError(f"{path}: not a golden stream file")
+        if header.get("format") != GOLDEN_FORMAT:
+            raise ValueError(
+                f"{path}: golden format {header.get('format')} "
+                f"(this reader understands {GOLDEN_FORMAT})"
+            )
+        if header.get("fields") != list(ROW_FIELDS):
+            raise ValueError(f"{path}: golden row schema does not match {ROW_FIELDS}")
+        rows = [tuple(json.loads(line)) for line in fh if line.strip()]
+    return header, rows
+
+
+def diff_against_golden(
+    mm: MemoryManagementAlgorithm,
+    trace,
+    golden_path,
+    *,
+    warmup: int = 0,
+    fields: tuple[str, ...] | None = None,
+) -> DiffReport:
+    """Replay *trace* through *mm* and diff it against a recorded golden run."""
+    header, golden_rows = load_golden(golden_path)
+    rows = record_stream(mm, trace, warmup=warmup)
+    return DiffReport(
+        left_name=mm.name,
+        right_name=f"golden:{header.get('algorithm', '?')}",
+        left_rows=rows,
+        right_rows=golden_rows,
+        divergence=first_divergence(rows, golden_rows, fields=fields),
+        compared=tuple(fields) if fields is not None else ROW_FIELDS,
+    )

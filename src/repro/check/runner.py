@@ -1,0 +1,273 @@
+"""Validated grid sweeps: every registered algorithm × workload, audited.
+
+:func:`check_grid` is the engine behind ``repro check`` and the CI
+validation gate: it replays a seeded workload grid through every
+registered memory-management algorithm (``repro.mmu.MM_NAMES``) under the
+invariant oracle and reports, per cell, whether the run survived. Cells
+ride :class:`~repro.sim.SimTask` with ``validate=True``, so the grid
+shards across worker processes exactly like any other sweep
+(``jobs != 1``), and a violated invariant fails only its own cell.
+
+With ``measure_overhead=True`` the same grid additionally runs once
+*unvalidated* and the report carries the wall-clock ratio — the number the
+acceptance bar "validation ≤ 3× unvalidated" is checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Sequence
+
+from .._util import check_positive_int
+from ..mmu import MM_NAMES, make_mm
+from ..obs import Timer
+from ..sim.parallel import SimTask, run_tasks, spawn_seeds
+from ..workloads import (
+    BimodalWorkload,
+    MarkovPhaseWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "CheckCell",
+    "CheckReport",
+    "check_grid",
+    "format_check_report",
+]
+
+#: smoke-grid defaults (sized for CI: the full validated grid in seconds).
+SMOKE_SCALE_PAGES = 1 << 14
+SMOKE_ACCESSES = 20_000
+
+
+def _make_bimodal(scale_pages: int):
+    return BimodalWorkload.paper_scaled(scale_pages)
+
+
+def _make_zipf(scale_pages: int):
+    return ZipfWorkload(scale_pages, s=1.0)
+
+
+def _make_uniform(scale_pages: int):
+    return UniformWorkload(scale_pages)
+
+
+def _make_markov(scale_pages: int):
+    return MarkovPhaseWorkload(
+        [ZipfWorkload(scale_pages, s=1.0), UniformWorkload(scale_pages)],
+        mean_dwell=500,
+    )
+
+
+_WORKLOADS = {
+    "bimodal": _make_bimodal,
+    "zipf": _make_zipf,
+    "uniform": _make_uniform,
+    "markov": _make_markov,
+}
+
+#: workload axis of the validation grid, in deterministic order.
+WORKLOAD_NAMES: tuple[str, ...] = tuple(sorted(_WORKLOADS))
+
+
+@dataclass(frozen=True, slots=True)
+class CheckCell:
+    """One validated grid cell: did (algorithm, workload) survive the oracle?"""
+
+    algorithm: str
+    workload: str
+    ok: bool
+    error: str | None = None
+    accesses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def invariant(self) -> str | None:
+        """The violated invariant's name, parsed from the failure (if any)."""
+        if self.error is None or not self.error.startswith("InvariantViolation: "):
+            return None
+        return self.error.removeprefix("InvariantViolation: ").split(" ", 1)[0]
+
+
+@dataclass(slots=True)
+class CheckReport:
+    """Outcome of one validated grid sweep."""
+
+    cells: list[CheckCell]
+    config: dict = field(default_factory=dict)
+    wall_elapsed_s: float = 0.0
+    #: wall-clock of the identical unvalidated grid (measure_overhead only).
+    baseline_elapsed_s: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def violations(self) -> list[CheckCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    @property
+    def overhead(self) -> float | None:
+        """Validated / unvalidated wall-clock ratio (``None`` if unmeasured)."""
+        if self.baseline_elapsed_s is None or self.baseline_elapsed_s <= 0:
+            return None
+        return self.wall_elapsed_s / self.baseline_elapsed_s
+
+
+def _grid_tasks(
+    names: Sequence[str],
+    workload_names: Sequence[str],
+    *,
+    scale_pages: int,
+    accesses: int,
+    tlb_entries: int,
+    seed: int,
+    warmup: int,
+    validate: bool,
+    deep_every: int | None,
+) -> tuple[list[SimTask], list[tuple[str, str]]]:
+    """One task per (workload, algorithm); each cell carries its own trace."""
+    # one independent child seed per cell: trace generation and any
+    # algorithm-internal randomness (hashed buckets) never share streams
+    cell_seeds = spawn_seeds(seed, len(workload_names) * (1 + len(names)))
+    seeds = iter(cell_seeds)
+    tasks: list[SimTask] = []
+    coords: list[tuple[str, str]] = []
+    for wl_name in workload_names:
+        workload = _WORKLOADS[wl_name](scale_pages)
+        trace = workload.generate(accesses, seed=next(seeds))
+        ram_pages = getattr(workload, "ram_pages", None) or max(64, scale_pages // 4)
+        for mm_name in names:
+            tasks.append(
+                SimTask(
+                    key=len(tasks),
+                    mm_factory=partial(
+                        make_mm, mm_name, tlb_entries, ram_pages, seed=next(seeds)
+                    ),
+                    algorithm=mm_name,
+                    params={"workload": wl_name},
+                    warmup=warmup,
+                    trace=trace,
+                    validate=validate,
+                    deep_every=deep_every,
+                )
+            )
+            coords.append((mm_name, wl_name))
+    return tasks, coords
+
+
+def check_grid(
+    names: Sequence[str] | None = None,
+    workloads: Sequence[str] | None = None,
+    *,
+    scale_pages: int = SMOKE_SCALE_PAGES,
+    accesses: int = SMOKE_ACCESSES,
+    tlb_entries: int = 256,
+    seed: int = 0,
+    warmup_fraction: float = 0.5,
+    deep_every: int | None = None,
+    jobs: int | None = 1,
+    measure_overhead: bool = False,
+) -> CheckReport:
+    """Run the validated cross-product grid; return a :class:`CheckReport`.
+
+    *names* defaults to every registered algorithm, *workloads* to
+    :data:`WORKLOAD_NAMES`. Each cell replays ``accesses`` requests
+    (``warmup_fraction`` of them warming the caches) under the invariant
+    oracle; a cell whose run violates an invariant is reported with the
+    violation message, and the other cells are unaffected.
+    """
+    names = list(names) if names is not None else list(MM_NAMES)
+    workload_names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    unknown = set(workload_names) - set(_WORKLOADS)
+    if unknown:
+        raise ValueError(
+            f"unknown workloads: {sorted(unknown)}; known: {', '.join(WORKLOAD_NAMES)}"
+        )
+    check_positive_int(accesses, "accesses")
+    if not 0 <= warmup_fraction < 1:
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    warmup = int(accesses * warmup_fraction)
+
+    grid = dict(
+        scale_pages=scale_pages,
+        accesses=accesses,
+        tlb_entries=tlb_entries,
+        seed=seed,
+        warmup=warmup,
+    )
+    tasks, coords = _grid_tasks(
+        names, workload_names, validate=True, deep_every=deep_every, **grid
+    )
+
+    with Timer() as wall:
+        # retries=0: an invariant violation is deterministic — retrying it
+        # would only double the time to the same red cell
+        results = run_tasks(tasks, jobs=jobs, retries=0)
+    cells = []
+    for result, (mm_name, wl_name) in zip(results, coords):
+        if result.ok:
+            cells.append(
+                CheckCell(
+                    algorithm=mm_name,
+                    workload=wl_name,
+                    ok=True,
+                    accesses=result.record.ledger.accesses,
+                    elapsed_s=result.record.params.get("elapsed_s", 0.0),
+                )
+            )
+        else:
+            cells.append(
+                CheckCell(
+                    algorithm=mm_name, workload=wl_name, ok=False, error=result.error
+                )
+            )
+    report = CheckReport(
+        cells=cells,
+        config={
+            **grid,
+            "deep_every": deep_every,
+            "algorithms": names,
+            "workloads": workload_names,
+        },
+        wall_elapsed_s=wall.elapsed,
+    )
+
+    if measure_overhead:
+        base_tasks, _ = _grid_tasks(
+            names, workload_names, validate=False, deep_every=None, **grid
+        )
+        with Timer() as base_wall:
+            run_tasks(base_tasks, jobs=jobs, retries=0)
+        report.baseline_elapsed_s = base_wall.elapsed
+    return report
+
+
+def format_check_report(report: CheckReport) -> str:
+    """Human-readable summary: one line per cell, violations spelled out."""
+    lines = []
+    for cell in report.cells:
+        status = "ok" if cell.ok else "FAIL"
+        timing = f"{cell.elapsed_s * 1e3:7.1f} ms" if cell.ok else " " * 10
+        lines.append(
+            f"  {status:4s} {cell.algorithm:20s} {cell.workload:10s} {timing}"
+        )
+        if not cell.ok:
+            lines.append(f"       {cell.error}")
+    n_bad = len(report.violations)
+    verdict = (
+        f"{len(report.cells)} cells validated, 0 violations"
+        if report.ok
+        else f"{n_bad}/{len(report.cells)} cells violated an invariant"
+    )
+    lines.append(f"{verdict} in {report.wall_elapsed_s:.2f} s")
+    if report.overhead is not None:
+        lines.append(
+            f"validation overhead: {report.overhead:.2f}x "
+            f"(unvalidated grid: {report.baseline_elapsed_s:.2f} s)"
+        )
+    return "\n".join(lines)

@@ -9,6 +9,8 @@
   ``tools/check_bench.py`` to gate regressions against;
 * ``trace``     — replay a workload with probes attached; dump the event
   and interval-metrics streams as JSONL;
+* ``check``     — validated sweep: every registered algorithm × workload
+  under the invariant oracle; non-zero exit on any violation;
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
 * ``maxload``   — balls-and-bins strategies vs theory;
 * ``policies``  — the replacement-policy zoo vs offline OPT;
@@ -124,6 +126,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ring", type=_positive_int, default=65536,
                    help="event ring-buffer capacity")
 
+    p = sub.add_parser(
+        "check",
+        help="validated sweep: every algorithm × workload under the "
+             "invariant oracle (exit 1 on any violation)",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized grid (seconds) — currently the default grid")
+    p.add_argument("--scale", type=_positive_int, default=None,
+                   help="VA pages per workload (default: smoke size)")
+    p.add_argument("--accesses", type=_positive_int, default=None,
+                   help="trace length per cell (default: smoke size)")
+    p.add_argument("--tlb", type=_positive_int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithms", nargs="+", default=None, metavar="NAME",
+                   help="subset of registered algorithms (default: all)")
+    p.add_argument("--workloads", nargs="+", default=None, metavar="NAME",
+                   help="subset of grid workloads (default: all)")
+    p.add_argument("--deep-every", type=_positive_int, default=None,
+                   help="oracle deep-sweep cadence in accesses")
+    p.add_argument("--jobs", type=_jobs, default=1,
+                   help="worker processes for the grid (0 = all CPUs)")
+    p.add_argument("--overhead", action="store_true",
+                   help="also run the grid unvalidated and report the "
+                        "validation wall-clock ratio")
+
     p = sub.add_parser("eq3", help="Theorem 4 / eq. (3) comparison")
     p.add_argument("--workload", choices=["bimodal", "zipf"], default="bimodal")
     p.add_argument("--frames", type=int, default=1 << 16)
@@ -164,8 +191,9 @@ def main(argv=None) -> int:
     if args.log_level is not None:
         configure_logging(args.log_level)
     handler = _HANDLERS[args.command]
-    handler(args)
-    return 0
+    # handlers return None (success) or a process exit code (``check``
+    # returns 1 when a cell violated an invariant)
+    return int(handler(args) or 0)
 
 
 def configure_logging(level: str) -> None:
@@ -292,6 +320,25 @@ def _cmd_trace(args) -> None:
               + (f" ({recorder.dropped} dropped by the ring)" if recorder.dropped else ""))
     if metrics_path is not None:
         print(f"{len(metrics.windows)} metric windows written to {metrics_path}")
+
+
+def _cmd_check(args) -> int:
+    from .check import check_grid, format_check_report
+    from .check.runner import SMOKE_ACCESSES, SMOKE_SCALE_PAGES
+
+    report = check_grid(
+        args.algorithms,
+        args.workloads,
+        scale_pages=args.scale or SMOKE_SCALE_PAGES,
+        accesses=args.accesses or SMOKE_ACCESSES,
+        tlb_entries=args.tlb,
+        seed=args.seed,
+        deep_every=args.deep_every,
+        jobs=args.jobs,
+        measure_overhead=args.overhead,
+    )
+    print(format_check_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_eq3(args) -> None:
@@ -434,6 +481,7 @@ _HANDLERS = {
     "fig1": _cmd_fig1,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "check": _cmd_check,
     "describe": _cmd_describe,
     "eq3": _cmd_eq3,
     "maxload": _cmd_maxload,

@@ -182,6 +182,51 @@ class IcebergHashTable:
     def keys(self) -> Iterator:
         return iter(self._level_of)
 
+    def check_invariants(self) -> None:
+        """Structural self-check (used by :mod:`repro.check` deep sweeps).
+
+        Asserts the directory and the yards agree exactly: every directory
+        entry points at a slot that really holds its key, every occupied
+        slot is claimed by exactly one directory entry, per-bin ``used``
+        counters match the slots, and each key's hashed bin choices cover
+        its recorded bin (placement honoured the hash functions).
+        """
+        claimed: set[tuple[int, int, int]] = set()
+        for key, where in self._level_of.items():
+            if where[0] == 3:
+                assert key in self._overflow, f"level-3 key {key!r} missing from overflow"
+                continue
+            level, b, slot = where
+            yard = self._front if level == 1 else self._back
+            assert yard[b].keys[slot] == key, (
+                f"directory says {key!r} is at L{level}[{b}][{slot}], "
+                f"slot holds {yard[b].keys[slot]!r}"
+            )
+            if level == 1:
+                assert b == self._h_front[0](hash(key)), (
+                    f"key {key!r} sits in front bin {b}, not its hashed bin"
+                )
+            else:
+                choices = {h(hash(key)) for h in self._h_back.functions}
+                assert b in choices, (
+                    f"key {key!r} sits in back bin {b}, outside its choices {choices}"
+                )
+            claimed.add((level, b, slot))
+        for level, yard in ((1, self._front), (2, self._back)):
+            for b, bin_ in enumerate(yard):
+                occupied = [i for i, k in enumerate(bin_.keys) if k is not _EMPTY]
+                assert bin_.used == len(occupied), (
+                    f"L{level}[{b}] used={bin_.used} but {len(occupied)} slots occupied"
+                )
+                for i in occupied:
+                    assert (level, b, i) in claimed, (
+                        f"orphan slot L{level}[{b}][{i}] holds {bin_.keys[i]!r} "
+                        "with no directory entry"
+                    )
+        assert len(self._overflow) == sum(
+            1 for w in self._level_of.values() if w[0] == 3
+        ), "overflow size disagrees with the directory"
+
     # ------------------------------------------------------------ internals
 
     def _write(self, where, key, value) -> None:

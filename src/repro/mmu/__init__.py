@@ -7,17 +7,19 @@
 * :class:`HybridMM` — the Section 8 hybrid of both.
 """
 
-from .base import MemoryManagementAlgorithm
+from .base import MemoryManagementAlgorithm, MMInspector
 from .classical import BasePageMM
 from .decoupled import DecoupledMM
 from .hugepage import PhysicalHugePageMM
 from .hybrid import HybridMM
+from .registry import MM_BUILDERS, MM_NAMES, make_mm, mm_factory
 from .thp import THPStyleMM
 from .virtualized import NestedTranslationMM
 from .writeback import WritebackHugePageMM
 
 __all__ = [
     "MemoryManagementAlgorithm",
+    "MMInspector",
     "BasePageMM",
     "PhysicalHugePageMM",
     "DecoupledMM",
@@ -25,4 +27,8 @@ __all__ = [
     "THPStyleMM",
     "NestedTranslationMM",
     "WritebackHugePageMM",
+    "MM_BUILDERS",
+    "MM_NAMES",
+    "make_mm",
+    "mm_factory",
 ]

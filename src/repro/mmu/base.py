@@ -23,7 +23,81 @@ from abc import ABC, abstractmethod
 from ..core import CostLedger
 from ..obs.events import NULL_PROBE, Probe
 
-__all__ = ["MemoryManagementAlgorithm"]
+__all__ = ["MemoryManagementAlgorithm", "MMInspector"]
+
+
+class MMInspector:
+    """Read-through state-inspection surface for the invariant oracle.
+
+    :mod:`repro.check` drives this interface to cross-validate an
+    algorithm's bookkeeping against the paper's structural invariants
+    (Sections 2–3: ``T``, ``A``, ``φ``, ``f``). Every query reads *live*
+    MM state — an inspector is built once per run, not per access.
+
+    The base class models nothing: a ``None`` return (or a ``None``
+    capacity) marks the facet "not modeled by this algorithm", and the
+    oracle skips the corresponding invariant instead of failing. Each
+    algorithm overrides :meth:`MemoryManagementAlgorithm.inspector` to
+    return a subclass exposing whatever structure it really maintains.
+    """
+
+    #: TLB capacity ``ℓ`` in entries (None = unbounded/unmodeled).
+    tlb_capacity: int | None = None
+    #: RAM capacity in *base pages* (``P``, or ``(1−δ)P·h`` for decoupled
+    #: schemes whose replacement units cover several pages).
+    ram_page_capacity: int | None = None
+    #: every per-access IO delta must be a multiple of this (h, io_unit, …).
+    io_quantum: int = 1
+    #: hard per-access IO ceiling, when the algorithm has one.
+    max_io_per_access: int | None = None
+
+    def __init__(self, mm: "MemoryManagementAlgorithm") -> None:
+        self.mm = mm
+
+    # ------------------------------------------------------------ occupancy
+
+    def tlb_entries(self) -> int | None:
+        """Resident TLB entries ``|T|``."""
+        return None
+
+    def ram_pages_resident(self) -> int | None:
+        """Base pages currently held by the active set ``A``."""
+        return None
+
+    def evictions(self) -> int:
+        """Monotone count of active-set evictions."""
+        return self.mm._eviction_count()
+
+    # ------------------------------------------------ per-page translation
+
+    def tlb_covers(self, vpn: int) -> bool | None:
+        """Is the TLB unit covering *vpn* resident (``r(v) ∈ T``)?"""
+        return None
+
+    def models_placement(self) -> bool:
+        """Does this algorithm maintain an explicit ``(φ, f)`` pair?"""
+        return False
+
+    def frame_of(self, vpn: int) -> int | None:
+        """``φ(v)`` — the frame backing *vpn* (None: unplaced/unmodeled)."""
+        return None
+
+    def decode(self, vpn: int) -> int | None:
+        """``f(v, ψ(r(v)))`` through the *stored* encoding (None = −1)."""
+        return None
+
+    def is_failed(self, vpn: int) -> bool:
+        """Is *vpn* in the failure set ``F``?"""
+        return False
+
+    # ------------------------------------------------------------ structure
+
+    def bucket_occupancy(self) -> tuple[int, int] | None:
+        """``(max bucket load, bucket capacity B)`` for bucketed allocators."""
+        return None
+
+    def deep_check(self) -> None:
+        """Full structural self-check; raises AssertionError on breakage."""
 
 
 class MemoryManagementAlgorithm(ABC):
@@ -89,6 +163,15 @@ class MemoryManagementAlgorithm(ABC):
         (0) simply suppresses ``eviction`` events.
         """
         return 0
+
+    def inspector(self) -> MMInspector:
+        """The state-inspection surface :mod:`repro.check` validates through.
+
+        The base surface models nothing (the oracle then only checks
+        per-access ledger coherence); subclasses return a specialized
+        :class:`MMInspector` exposing their ``T``/``A``/``φ``/``f`` state.
+        """
+        return MMInspector(self)
 
     def reset_stats(self) -> None:
         """Zero the ledger (the Section 6 warm-up/measure boundary); caches

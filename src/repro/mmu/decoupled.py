@@ -21,14 +21,68 @@ from ..core import (
     theorem3_parameters,
 )
 from ..paging import LRUPolicy, ReplacementPolicy
-from .base import MemoryManagementAlgorithm
+from .base import MemoryManagementAlgorithm, MMInspector
 
-__all__ = ["DecoupledMM"]
+__all__ = ["DecoupledMM", "DecoupledSystemInspector"]
 
 _PARAMETERS = {
     "iceberg": theorem3_parameters,
     "one-choice": theorem1_parameters,
 }
+
+
+class DecoupledSystemInspector(MMInspector):
+    """Oracle surface for any :class:`~repro.core.simulation.DecoupledSystem`
+    wrapper (plain decoupling and the Section 8 hybrid).
+
+    *unit* is the base pages per system "page" (1 for decoupling, the chunk
+    size for the hybrid); requests arrive in base-page space and are mapped
+    to system units exactly as the owning algorithm maps them.
+    """
+
+    def __init__(self, mm: MemoryManagementAlgorithm, system, unit: int = 1) -> None:
+        super().__init__(mm)
+        self.system = system
+        self.unit = unit
+        self.tlb_capacity = system.tlb.entries
+        self.ram_page_capacity = system.ram.capacity * unit
+        self.io_quantum = system.io_unit
+        self.max_io_per_access = system.io_unit
+
+    def tlb_entries(self) -> int:
+        return len(self.system.tlb)
+
+    def ram_pages_resident(self) -> int:
+        return len(self.system.ram) * self.unit
+
+    def tlb_covers(self, vpn: int) -> bool:
+        return (vpn // self.unit) // self.system.hmax in self.system.tlb
+
+    def models_placement(self) -> bool:
+        return True
+
+    def frame_of(self, vpn: int) -> int | None:
+        return self.system.scheme.frame_of(vpn // self.unit)
+
+    def decode(self, vpn: int) -> int | None:
+        scheme = self.system.scheme
+        page = vpn // self.unit
+        frame = scheme.f(page, scheme.psi(page // scheme.hmax))
+        return None if frame < 0 else frame
+
+    def is_failed(self, vpn: int) -> bool:
+        return self.system.scheme.is_failed(vpn // self.unit)
+
+    def bucket_occupancy(self) -> tuple[int, int] | None:
+        allocator = self.system.scheme.allocator
+        if hasattr(allocator, "max_bucket_load"):
+            return allocator.max_bucket_load, allocator.bucket_size
+        return None
+
+    def deep_check(self) -> None:
+        self.system.check_invariants()
+        self.system.tlb.check_invariants()
+        self.system.ram.check_invariants()
 
 
 class DecoupledMM(MemoryManagementAlgorithm):
@@ -113,5 +167,5 @@ class DecoupledMM(MemoryManagementAlgorithm):
     def _eviction_count(self) -> int:
         return self.system.ram.evictions
 
-    def reset_stats(self) -> None:
-        self.system.ledger.reset()
+    def inspector(self) -> MMInspector:
+        return DecoupledSystemInspector(self, self.system)

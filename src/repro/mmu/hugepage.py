@@ -20,9 +20,34 @@ from __future__ import annotations
 
 from .._util import check_positive_int, is_power_of_two
 from ..paging import LRUPolicy, PageCache, ReplacementPolicy
-from .base import MemoryManagementAlgorithm
+from .base import MemoryManagementAlgorithm, MMInspector
 
 __all__ = ["PhysicalHugePageMM"]
+
+
+class _PhysicalInspector(MMInspector):
+    """Oracle surface for the Section 6 simulator: two counting caches over
+    huge-page numbers; no explicit ``(φ, f)`` pair to validate."""
+
+    def __init__(self, mm: "PhysicalHugePageMM") -> None:
+        super().__init__(mm)
+        self.tlb_capacity = mm.tlb.capacity
+        self.ram_page_capacity = mm.ram.capacity * mm.huge_page_size
+        self.io_quantum = mm.huge_page_size
+        self.max_io_per_access = mm.huge_page_size
+
+    def tlb_entries(self) -> int:
+        return len(self.mm.tlb)
+
+    def ram_pages_resident(self) -> int:
+        return len(self.mm.ram) * self.mm.huge_page_size
+
+    def tlb_covers(self, vpn: int) -> bool:
+        return (vpn // self.mm.huge_page_size) in self.mm.tlb
+
+    def deep_check(self) -> None:
+        self.mm.tlb.check_invariants()
+        self.mm.ram.check_invariants()
 
 
 class PhysicalHugePageMM(MemoryManagementAlgorithm):
@@ -83,3 +108,6 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
 
     def _eviction_count(self) -> int:
         return self.ram.evictions
+
+    def inspector(self) -> MMInspector:
+        return _PhysicalInspector(self)

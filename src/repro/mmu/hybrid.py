@@ -26,7 +26,8 @@ from ..core import (
     theorem3_parameters,
 )
 from ..paging import LRUPolicy, ReplacementPolicy
-from .base import MemoryManagementAlgorithm
+from .base import MemoryManagementAlgorithm, MMInspector
+from .decoupled import DecoupledSystemInspector
 
 __all__ = ["HybridMM"]
 
@@ -100,5 +101,5 @@ class HybridMM(MemoryManagementAlgorithm):
     def _eviction_count(self) -> int:
         return self.system.ram.evictions
 
-    def reset_stats(self) -> None:
-        self.system.ledger.reset()
+    def inspector(self) -> MMInspector:
+        return DecoupledSystemInspector(self, self.system, unit=self.chunk)

@@ -26,12 +26,51 @@ from __future__ import annotations
 from .._util import check_positive_int, is_power_of_two
 from ..paging import LRUPolicy, PageCache
 from ..sim.memory import OutOfMemoryError, PhysicalMemory
-from .base import MemoryManagementAlgorithm
+from .base import MemoryManagementAlgorithm, MMInspector
 
 __all__ = ["THPStyleMM"]
 
 _BASE = 0  # unit-key tags
 _HUGE = 1
+
+
+class _THPInspector(MMInspector):
+    """Oracle surface for promotion-based management: a real frame space
+    bounds the active set; mapping units (base or promoted) fill the TLB."""
+
+    def __init__(self, mm: "THPStyleMM") -> None:
+        super().__init__(mm)
+        self.tlb_capacity = mm.tlb.capacity
+        self.ram_page_capacity = mm.memory.frames
+        self._seen_promotions = mm.ledger.extra["promotions"]
+
+    def tlb_entries(self) -> int:
+        return len(self.mm.tlb)
+
+    def ram_pages_resident(self) -> int:
+        return self.mm.resident_pages
+
+    def tlb_covers(self, vpn: int) -> bool | None:
+        mm = self.mm
+        # called once per access, so comparing the promotions counter to the
+        # value at the previous call isolates "a promotion happened on THIS
+        # access" without touching the model
+        promotions = mm.ledger.extra["promotions"]
+        promoted_now = promotions != self._seen_promotions
+        self._seen_promotions = promotions
+        region = vpn // mm.h
+        unit = (_HUGE, region) if region in mm._promoted else (_BASE, vpn)
+        if unit in mm.tlb:
+            return True
+        # a promotion during this very access drops the triggering page's
+        # base entry without installing the huge one (as after a
+        # khugepaged-style collapse, whose TLB flush makes the next touch
+        # re-fault) — the only access whose coverage is legitimately void
+        return None if promoted_now else False
+
+    def deep_check(self) -> None:
+        self.mm.check_invariants()
+        self.mm.tlb.check_invariants()
 
 
 class THPStyleMM(MemoryManagementAlgorithm):
@@ -199,6 +238,9 @@ class THPStyleMM(MemoryManagementAlgorithm):
 
     def _eviction_count(self) -> int:
         return self._evicted_units
+
+    def inspector(self) -> MMInspector:
+        return _THPInspector(self)
 
     @property
     def promoted_regions(self) -> int:

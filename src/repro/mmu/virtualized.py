@@ -20,9 +20,36 @@ from __future__ import annotations
 
 from .._util import check_positive_int, is_power_of_two
 from ..paging import LRUPolicy, PageCache
-from .base import MemoryManagementAlgorithm
+from .base import MemoryManagementAlgorithm, MMInspector
 
 __all__ = ["NestedTranslationMM"]
+
+
+class _NestedInspector(MMInspector):
+    """Oracle surface for two-dimensional translation: the combined TLB and
+    host RAM behave like the Section 6 simulator; the nested TLB is an
+    additional bounded cache."""
+
+    def __init__(self, mm: "NestedTranslationMM") -> None:
+        super().__init__(mm)
+        self.tlb_capacity = mm.tlb.capacity
+        self.ram_page_capacity = mm.ram.capacity * mm.h
+        self.io_quantum = mm.h
+        self.max_io_per_access = mm.h
+
+    def tlb_entries(self) -> int:
+        return len(self.mm.tlb)
+
+    def ram_pages_resident(self) -> int:
+        return len(self.mm.ram) * self.mm.h
+
+    def tlb_covers(self, vpn: int) -> bool:
+        return (vpn // self.mm.h) in self.mm.tlb
+
+    def deep_check(self) -> None:
+        self.mm.tlb.check_invariants()
+        self.mm.nested_tlb.check_invariants()
+        self.mm.ram.check_invariants()
 
 
 class NestedTranslationMM(MemoryManagementAlgorithm):
@@ -93,6 +120,9 @@ class NestedTranslationMM(MemoryManagementAlgorithm):
 
     def _eviction_count(self) -> int:
         return self.ram.evictions
+
+    def inspector(self) -> MMInspector:
+        return _NestedInspector(self)
 
     def _nested_walk(self, vpn: int) -> None:
         """Charge the 2-D walk: guest levels × (host translation + read).

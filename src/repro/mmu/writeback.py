@@ -18,9 +18,21 @@ from __future__ import annotations
 
 from .._util import as_rng, check_probability
 from ..paging import ReplacementPolicy
-from .hugepage import PhysicalHugePageMM
+from .base import MMInspector
+from .hugepage import PhysicalHugePageMM, _PhysicalInspector
 
 __all__ = ["WritebackHugePageMM"]
+
+
+class _WritebackInspector(_PhysicalInspector):
+    """Physical-huge-page surface plus the write-back invariant: only
+    resident units can be dirty (an evicted unit must have been flushed)."""
+
+    def deep_check(self) -> None:
+        super().deep_check()
+        mm = self.mm
+        stray = mm._dirty - set(mm.ram.resident())
+        assert not stray, f"dirty units not resident (missed flush): {sorted(stray)[:8]}"
 
 
 class WritebackHugePageMM(PhysicalHugePageMM):
@@ -70,6 +82,9 @@ class WritebackHugePageMM(PhysicalHugePageMM):
             self._dirty.remove(hpn)
             self.ledger.extra["writeback_ios"] += self.huge_page_size
             self.ledger.extra["writebacks"] += 1
+
+    def inspector(self) -> MMInspector:
+        return _WritebackInspector(self)
 
     @property
     def dirty_units(self) -> int:

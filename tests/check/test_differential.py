@@ -1,0 +1,144 @@
+"""Differential-checker tests: parity pins, divergence pins, golden runs.
+
+The parity pins encode *why* the paper's constructions are comparable:
+
+* decoupling at ``h_max = 1`` degenerates to classical base-page paging —
+  same TLB keys, same LRU, same capacities — so the per-access streams
+  must match exactly (given the allocator placed every page);
+* the Section 8 hybrid at chunk 1 *is* plain decoupling, bit for bit;
+* physical huge pages at ``h > 1`` must diverge from base pages — if the
+  differential harness cannot see that, it is not looking.
+"""
+
+import pytest
+
+from repro.check import (
+    ROW_FIELDS,
+    diff_against_golden,
+    diff_mms,
+    first_divergence,
+    load_golden,
+    record_stream,
+    save_golden,
+)
+from repro.mmu import BasePageMM, DecoupledMM, HybridMM, PhysicalHugePageMM
+from repro.workloads import UniformWorkload, ZipfWorkload
+
+TLB = 64
+
+
+class TestParityPins:
+    def test_decoupled_hmax1_matches_base_page(self):
+        """At h_max = 1 decoupling's TLB behaviour equals classical paging's;
+        with zero paging failures the IO stream matches too."""
+        z = DecoupledMM(TLB, 4096, hmax=1, seed=0)
+        # same RAM budget the scheme actually grants itself: (1-δ)P pages
+        base = BasePageMM(TLB, z.params.max_pages)
+        trace = UniformWorkload(512).generate(6000, seed=1)
+        report = diff_mms(base, z, trace, warmup=1000)
+        assert z.ledger.paging_failures == 0, "pin assumes a failure-free run"
+        assert report.identical, report.describe()
+        assert len(report.left_rows) == 5000
+
+    def test_decoupled_hmax1_tlb_parity_survives_failures(self):
+        """Even when the allocator fails placements (dense working set),
+        the TLB-facing fields still match base-page paging exactly —
+        failures cost IOs, never TLB behaviour."""
+        z = DecoupledMM(TLB, 1024, hmax=1, seed=3)
+        base = BasePageMM(TLB, z.params.max_pages)
+        trace = ZipfWorkload(1 << 12, s=0.6).generate(6000, seed=3)
+        report = diff_mms(
+            base, z, trace, warmup=1000, fields=("t", "vpn", "tlb_misses")
+        )
+        assert report.identical, report.describe()
+
+    def test_hybrid_chunk1_is_plain_decoupling(self):
+        trace = ZipfWorkload(1 << 12, s=1.0).generate(5000, seed=5)
+        hybrid = HybridMM(TLB, 2048, 1, seed=9)
+        plain = DecoupledMM(TLB, 2048, seed=9)
+        report = diff_mms(hybrid, plain, trace, warmup=500)
+        assert report.identical, report.describe()
+
+    def test_huge_pages_must_diverge_from_base_pages(self):
+        trace = ZipfWorkload(1 << 12, s=1.0).generate(4000, seed=2)
+        base = BasePageMM(TLB, 1024)
+        huge = PhysicalHugePageMM(TLB, 1024, huge_page_size=16)
+        report = diff_mms(base, huge, trace)
+        assert not report.identical
+        # the split is behavioural (TLB reach / IO amplification), and the
+        # report pinpoints the first differing access, not just "differs"
+        assert report.divergence.fields != ("length",)
+        assert "first divergence at row" in report.describe()
+
+
+class TestFirstDivergence:
+    ROW_A = (0, 7, 1, 1, 0, 0)
+
+    def test_identical_streams(self):
+        assert first_divergence([self.ROW_A], [self.ROW_A]) is None
+
+    def test_field_mismatch_is_located(self):
+        other = (0, 7, 1, 2, 0, 0)
+        div = first_divergence([self.ROW_A, self.ROW_A], [self.ROW_A, other])
+        assert div.index == 1
+        assert div.fields == ("io_pages",)
+        assert "io_pages: 1 vs 2" in div.describe()
+
+    def test_length_mismatch(self):
+        div = first_divergence([self.ROW_A, self.ROW_A], [self.ROW_A])
+        assert div.index == 1
+        assert div.fields == ("length",)
+        assert div.right is None
+
+    def test_field_subset_ignores_other_columns(self):
+        other = (0, 7, 1, 99, 0, 0)  # io differs, tlb agrees
+        assert (
+            first_divergence([self.ROW_A], [other], fields=("t", "vpn", "tlb_misses"))
+            is None
+        )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            first_divergence([self.ROW_A], [self.ROW_A], fields=("nope",))
+
+
+class TestGoldenRuns:
+    def _trace(self):
+        return ZipfWorkload(1 << 10, s=1.0).generate(2000, seed=4)
+
+    def test_roundtrip_and_self_diff(self, tmp_path):
+        trace = self._trace()
+        rows = record_stream(BasePageMM(TLB, 512), trace, warmup=500)
+        path = save_golden(
+            tmp_path / "base.jsonl", rows, algorithm="base-page", meta={"seed": 4}
+        )
+        header, loaded = load_golden(path)
+        assert header["algorithm"] == "base-page"
+        assert header["seed"] == 4
+        assert header["fields"] == list(ROW_FIELDS)
+        assert loaded == rows
+        report = diff_against_golden(BasePageMM(TLB, 512), trace, path, warmup=500)
+        assert report.identical, report.describe()
+        assert report.right_name == "golden:base-page"
+
+    def test_tampered_golden_is_detected(self, tmp_path):
+        trace = self._trace()
+        rows = record_stream(BasePageMM(TLB, 512), trace)
+        tampered = list(rows)
+        victim = list(tampered[37])
+        victim[2] ^= 1  # flip the tlb_miss bit of one access
+        tampered[37] = tuple(victim)
+        path = save_golden(tmp_path / "bad.jsonl", tampered, algorithm="base-page")
+        report = diff_against_golden(BasePageMM(TLB, 512), trace, path)
+        assert not report.identical
+        assert report.divergence.index == 37
+        assert report.divergence.fields == ("tlb_misses",)
+
+    def test_rejects_non_golden_files(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"kind": "bench_sweep"}\n')
+        with pytest.raises(ValueError, match="not a golden stream"):
+            load_golden(path)
+        (tmp_path / "empty.jsonl").write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_golden(tmp_path / "empty.jsonl")

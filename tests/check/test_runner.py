@@ -1,0 +1,79 @@
+"""Validated-grid runner tests: green grids, red cells, CLI exit codes."""
+
+import pytest
+
+from repro.check import check_grid, format_check_report
+from repro.check import runner as runner_mod
+from repro.cli import main
+from repro.mmu import MM_NAMES, BasePageMM
+
+GRID = dict(scale_pages=1 << 10, accesses=1200, tlb_entries=32, seed=0)
+
+
+class TestCheckGrid:
+    def test_small_grid_is_clean(self):
+        report = check_grid(["base-page", "decoupled"], ["zipf"], **GRID)
+        assert report.ok
+        assert [c.algorithm for c in report.cells] == ["base-page", "decoupled"]
+        assert all(c.workload == "zipf" for c in report.cells)
+        assert all(c.accesses == 600 for c in report.cells)  # half warmed up
+        assert report.config["algorithms"] == ["base-page", "decoupled"]
+        assert report.overhead is None  # not measured by default
+        assert "0 violations" in format_check_report(report)
+
+    def test_defaults_cover_every_registered_algorithm(self):
+        report = check_grid(workloads=["uniform"], **GRID)
+        assert sorted({c.algorithm for c in report.cells}) == sorted(MM_NAMES)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workloads"):
+            check_grid(["base-page"], ["laundry"], **GRID)
+
+    def test_violating_cell_is_reported_not_raised(self, monkeypatch):
+        class BrokenMM(BasePageMM):
+            def access(self, vpn):
+                super().access(vpn)
+                self.ledger.tlb_hits += 1  # double-counts every request
+
+        def broken_make_mm(name, tlb_entries, ram_pages, *, seed=None):
+            return BrokenMM(tlb_entries, ram_pages)
+
+        monkeypatch.setattr(runner_mod, "make_mm", broken_make_mm)
+        report = check_grid(["base-page"], ["zipf"], **GRID)
+        assert not report.ok
+        (cell,) = report.violations
+        assert cell.invariant == "ledger-coherence"
+        assert "InvariantViolation" in cell.error
+        assert "FAIL" in format_check_report(report)
+
+    def test_overhead_is_measured_when_asked(self):
+        report = check_grid(["base-page"], ["zipf"], measure_overhead=True, **GRID)
+        assert report.baseline_elapsed_s is not None
+        assert report.overhead > 0
+        assert "validation overhead" in format_check_report(report)
+
+
+class TestCheckCLI:
+    ARGS = [
+        "check", "--algorithms", "base-page", "--workloads", "zipf",
+        "--scale", "1024", "--accesses", "1200", "--tlb", "32",
+    ]
+
+    def test_clean_grid_exits_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+        assert "base-page" in out
+
+    def test_violation_exits_one(self, capsys, monkeypatch):
+        class BrokenMM(BasePageMM):
+            def access(self, vpn):
+                super().access(vpn)
+                self.ledger.ios += 1  # phantom IO on every access is legal…
+                self.ledger.accesses += 1  # …but double-counting is not
+
+        monkeypatch.setattr(
+            runner_mod, "make_mm", lambda *a, **k: BrokenMM(32, 256)
+        )
+        assert main(self.ARGS) == 1
+        assert "FAIL" in capsys.readouterr().out

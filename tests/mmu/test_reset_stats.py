@@ -1,12 +1,17 @@
 """Regression tests: reset_stats must re-seed algorithm-specific counters.
 
 A warm-up/measure run of THP under promotion pressure once raised KeyError
-because CostLedger.reset() cleared the extra dict; this pins the fix.
+because CostLedger.reset() cleared the extra dict; this pins the fix. The
+parametrized audit below extends the pin to *every* registered algorithm —
+a subclass that overrides ``reset_stats`` (or forgets to register its
+extras in ``_extra_defaults``) gets caught the moment it is registered.
 """
 
-from repro.mmu import NestedTranslationMM, THPStyleMM
+import pytest
+
+from repro.mmu import MM_NAMES, NestedTranslationMM, THPStyleMM, make_mm
 from repro.sim import simulate
-from repro.workloads import BTreeLookupWorkload
+from repro.workloads import BTreeLookupWorkload, ZipfWorkload
 
 
 class TestResetReseedsExtras:
@@ -34,3 +39,38 @@ class TestResetReseedsExtras:
         ledger = simulate(mm, trace, warmup=10_000)
         mm.check_invariants()
         assert ledger.accesses == 10_000
+
+
+@pytest.mark.parametrize("name", MM_NAMES)
+class TestEveryAlgorithmResetsCleanly:
+    """Registry-wide audit of the warm-up/measure boundary."""
+
+    def _run(self, mm, seed):
+        mm.run(ZipfWorkload(1 << 10, s=1.0).generate(600, seed=seed))
+
+    def test_reset_zeroes_ledger_and_reseeds_extras(self, name):
+        mm = make_mm(name, 32, 256, seed=0)
+        ledger = mm.ledger
+        defaults = dict(mm._extra_defaults)
+        self._run(mm, seed=1)
+        assert ledger.accesses == 600
+        mm.reset_stats()
+        # the ledger object must survive the reset (wrappers, metrics and
+        # the decoupled system all hold references into it)
+        assert mm.ledger is ledger
+        snap = ledger.as_dict()
+        assert snap["accesses"] == 0
+        assert snap["ios"] == 0
+        assert snap["tlb_misses"] == 0
+        assert snap["tlb_hits"] == 0
+        assert snap["decoding_misses"] == 0
+        assert snap["paging_failures"] == 0
+        assert ledger.extra == defaults
+
+    def test_second_phase_runs_without_keyerrors(self, name):
+        mm = make_mm(name, 32, 256, seed=0)
+        self._run(mm, seed=1)
+        mm.reset_stats()
+        self._run(mm, seed=2)  # algorithm-specific extras must be writable
+        assert mm.ledger.accesses == 600
+        assert set(mm.ledger.extra) >= set(mm._extra_defaults)

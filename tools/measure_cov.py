@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Measure line coverage of ``src/repro`` without pytest-cov.
+
+CI runs the real thing (``pytest --cov=repro --cov-fail-under=N``); this
+tool exists to *choose and re-verify N* in environments where pytest-cov
+is not installed. It approximates coverage.py with a ``sys.settrace``
+tracer:
+
+* the denominator is every executable line in ``src/repro`` (walking each
+  compiled module's code objects via ``co_lines``);
+* the numerator is every line hit while the tier-1 suite runs in-process;
+* a file whose lines are all hit stops being traced (saturation), so the
+  slowdown decays as the suite warms up.
+
+Caveats (all make the reported number *conservative*): subprocess workers
+(parallel-runner tests) are not traced, and lines only reachable in other
+Python versions count against the total. Pick the CI floor a few points
+below this tool's output.
+
+Usage: PYTHONPATH=src python tools/measure_cov.py [pytest args...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set[int]:
+    """All line numbers carrying instructions in *path* (incl. nested code)."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        c = stack.pop()
+        lines.update(line for _, _, line in c.co_lines() if line is not None)
+        stack.extend(k for k in c.co_consts if isinstance(k, type(code)))
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    targets: dict[str, set[int]] = {}
+    seen: dict[str, set[int]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        targets[str(path)] = executable_lines(path)
+        seen[str(path)] = set()
+
+    resolved: dict[str, str | None] = {}  # co_filename -> canonical target key
+    saturated: set[str] = set()
+
+    def canon(co_filename: str) -> str | None:
+        key = resolved.get(co_filename, False)
+        if key is not False:
+            return key
+        absolute = os.path.abspath(co_filename)
+        key = absolute if absolute in targets else None
+        resolved[co_filename] = key
+        return key
+
+    def local_tracer(frame, event, arg):
+        if event == "line":
+            key = canon(frame.f_code.co_filename)
+            if key is not None and key not in saturated:
+                hits = seen[key]
+                hits.add(frame.f_lineno)
+                if len(hits & targets[key]) >= len(targets[key]):
+                    saturated.add(key)
+        return local_tracer
+
+    def global_tracer(frame, event, arg):
+        if event != "call":
+            return None
+        key = canon(frame.f_code.co_filename)
+        if key is None or key in saturated:
+            return None
+        return local_tracer
+
+    import pytest
+
+    threading.settrace(global_tracer)
+    sys.settrace(global_tracer)
+    try:
+        exit_code = pytest.main(argv or ["-q", "tests"])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest exited {exit_code}; coverage below reflects a partial run")
+
+    rows = []
+    total_hit = total_lines = 0
+    for key, lines in sorted(targets.items()):
+        hit = len(seen[key] & lines)
+        total_hit += hit
+        total_lines += len(lines)
+        if lines:
+            rows.append((hit / len(lines), hit, len(lines), key))
+    rows.sort()
+    print("\nleast-covered files:")
+    for frac, hit, n, key in rows[:15]:
+        print(f"  {frac * 100:5.1f}%  {hit:4d}/{n:<4d}  {os.path.relpath(key, REPO)}")
+    pct = 100.0 * total_hit / total_lines if total_lines else 0.0
+    print(f"\nTOTAL: {total_hit}/{total_lines} lines = {pct:.2f}%")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
