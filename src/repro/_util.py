@@ -17,7 +17,25 @@ __all__ = [
     "ceil_div",
     "ceil_log2",
     "as_rng",
+    "as_int_list",
 ]
+
+
+def as_int_list(trace) -> list:
+    """Materialize *trace* as a list of plain Python ints — the hot-loop
+    contract (see ``docs/API.md``).
+
+    Numpy arrays convert in one C-level ``tolist()`` call, which is what
+    makes the per-access loops cheap: iterating an ndarray directly boxes a
+    fresh ``np.int64`` per element and every downstream dict probe pays its
+    slower ``__hash__``. Lists whose elements are already ints pass through
+    unchanged (no copy); anything else is converted element-wise once.
+    """
+    if isinstance(trace, np.ndarray):
+        return trace.tolist()
+    if isinstance(trace, list) and all(type(v) is int for v in trace):
+        return trace
+    return [int(v) for v in trace]
 
 
 def check_positive_int(value: int, name: str) -> int:

@@ -19,6 +19,7 @@ from .report import (
     format_table,
     format_throughput,
 )
+from .hotloop import HOTLOOP_CONFIG, bench_hotloop, key_stream
 from .smoke import bench_sweep, machine_info, save_bench
 from .store import diff_records, load_records, save_records
 
@@ -34,6 +35,9 @@ __all__ = [
     "make_decoupled_mm",
     "make_hybrid_mm",
     "bench_sweep",
+    "bench_hotloop",
+    "key_stream",
+    "HOTLOOP_CONFIG",
     "machine_info",
     "save_bench",
     "format_table",

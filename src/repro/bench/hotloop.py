@@ -1,0 +1,171 @@
+"""``repro bench --hotloop``: per-component hot-loop microbenchmarks.
+
+The sweep benchmark (:mod:`repro.bench.smoke`) measures end-to-end
+throughput; when it regresses, this module answers *which layer* got
+slower. Each component is timed on its own fixed key stream:
+
+* ``tlb`` — :class:`~repro.tlb.TLB` lookup + demand fill;
+* ``cache:<policy>`` — :class:`~repro.paging.PageCache.access` under every
+  registered replacement policy;
+* ``mm:<name>`` — ``run()`` for every registry algorithm.
+
+Key streams come from a tiny in-module LCG (not numpy), so every counter
+in the payload is reproducible across numpy versions and the CI gate
+(``tools/check_bench.py``) can always compare them exactly. The payload
+(``BENCH_hotloop.json``) mirrors the sweep payload's shape: ``machine`` +
+``config`` provenance, one row per component with ``ops_per_s`` and its
+deterministic counters, and a single aggregate (``geomean_ops_per_s``)
+for the throughput gate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..mmu import MM_NAMES, make_mm
+from ..obs import Timer, accesses_per_second
+from ..paging import POLICIES, PageCache, make_policy
+from ..tlb import TLB
+from .smoke import BENCH_FORMAT, machine_info
+
+__all__ = ["HOTLOOP_CONFIG", "bench_hotloop", "key_stream"]
+
+#: Fixed microbenchmark shape; two payloads are comparable iff equal.
+HOTLOOP_CONFIG: dict = {
+    "ops": 100_000,  # keys per tlb/cache component
+    "mm_accesses": 50_000,  # trace length per mm component
+    "universe": 1 << 14,  # key universe (pages)
+    "hot_universe": 1 << 9,  # the hot subset (fits every component) ...
+    "hot_percent": 90,  # ... receiving this share of accesses
+    "tlb_entries": 1024,  # tlb component capacity
+    "cache_pages": 1024,  # cache component capacity
+    "mm_tlb_entries": 256,  # registry-MM tlb size
+    "mm_ram_pages": 4096,  # registry-MM ram size
+    "seed": 0,
+}
+
+
+def key_stream(
+    n: int,
+    universe: int,
+    hot_universe: int,
+    hot_percent: int,
+    seed: int = 0,
+) -> list[int]:
+    """A deterministic skewed key stream from a 64-bit LCG.
+
+    *hot_percent* of the keys land in ``[0, hot_universe)``, the rest are
+    uniform over ``[0, universe)``. Pure Python on purpose: unlike numpy
+    random streams, the output is identical on every numpy version, so
+    the gate can always compare the resulting counters bit-for-bit.
+    """
+    mask = (1 << 64) - 1
+    state = (seed * 0x9E3779B97F4A7C15 + 1) & mask
+    keys = []
+    append = keys.append
+    for _ in range(n):
+        state = (state * 6364136223846793005 + 1442695040888963407) & mask
+        r = state >> 33
+        if r % 100 < hot_percent:
+            append((r >> 7) % hot_universe)
+        else:
+            append((r >> 7) % universe)
+    return keys
+
+
+def _time_loop(fn, keys) -> tuple[float, int]:
+    """Run ``fn(key)`` over *keys* under the wall timer."""
+    with Timer() as t:
+        for k in keys:
+            fn(k)
+    return t.elapsed, len(keys)
+
+
+def _row(component: str, ops: int, elapsed: float, counters: dict) -> dict:
+    return {
+        "component": component,
+        "ops": ops,
+        "elapsed_s": elapsed,
+        "ops_per_s": accesses_per_second(ops, elapsed),
+        "counters": counters,
+    }
+
+
+def _bench_tlb(keys, cfg) -> dict:
+    tlb = TLB(entries=cfg["tlb_entries"])
+    lookup, fill = tlb.lookup, tlb.fill
+
+    def access(hpn):
+        if lookup(hpn) is None:
+            fill(hpn)
+
+    elapsed, ops = _time_loop(access, keys)
+    counters = {"hits": tlb.hits, "misses": tlb.misses, "fills": tlb.fills}
+    return _row("tlb", ops, elapsed, counters)
+
+
+def _bench_cache(name: str, keys, cfg) -> dict:
+    kwargs = {"seed": cfg["seed"]} if name == "random" else {}
+    cache = PageCache(cfg["cache_pages"], make_policy(name, **kwargs))
+    elapsed, ops = _time_loop(cache.access, keys)
+    counters = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+    }
+    return _row(f"cache:{name}", ops, elapsed, counters)
+
+
+def _bench_mm(name: str, trace, cfg) -> dict:
+    mm = make_mm(name, cfg["mm_tlb_entries"], cfg["mm_ram_pages"], seed=cfg["seed"])
+    with Timer() as t:
+        ledger = mm.run(trace)
+    counters = {
+        "accesses": ledger.accesses,
+        "ios": ledger.ios,
+        "tlb_hits": ledger.tlb_hits,
+        "tlb_misses": ledger.tlb_misses,
+    }
+    return _row(f"mm:{name}", len(trace), t.elapsed, counters)
+
+
+def bench_hotloop(*, seed: int | None = None) -> tuple[list[dict], dict]:
+    """Run every component microbenchmark; return ``(rows, payload)``.
+
+    *seed* overrides the preset stream seed — overriding makes the payload
+    incomparable to baselines recorded with the preset, which the gate's
+    config check catches.
+    """
+    cfg = dict(HOTLOOP_CONFIG)
+    if seed is not None:
+        cfg["seed"] = seed
+
+    keys = key_stream(
+        cfg["ops"], cfg["universe"], cfg["hot_universe"], cfg["hot_percent"],
+        seed=cfg["seed"],
+    )
+    trace = keys[: cfg["mm_accesses"]]
+
+    rows: list[dict] = []
+    with Timer() as wall:
+        rows.append(_bench_tlb(keys, cfg))
+        for name in sorted(POLICIES):
+            rows.append(_bench_cache(name, keys, cfg))
+        for name in MM_NAMES:
+            rows.append(_bench_mm(name, trace, cfg))
+
+    # geometric mean: a 2x regression in one component moves the aggregate
+    # the same amount whether the component is fast or slow in absolute terms
+    geomean = math.exp(
+        sum(math.log(r["ops_per_s"]) for r in rows) / len(rows)
+    )
+    payload = {
+        "format": BENCH_FORMAT,
+        "kind": "bench_hotloop",
+        "machine": machine_info(),
+        "config": cfg,
+        "wall_elapsed_s": wall.elapsed,
+        "geomean_ops_per_s": geomean,
+        "rows": rows,
+    }
+    return rows, payload

@@ -92,10 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--smoke", action="store_true",
                    help="CI-sized grid (seconds) instead of the full grid")
+    p.add_argument("--hotloop", action="store_true",
+                   help="per-component microbenchmarks (TLB, PageCache per "
+                        "policy, each MM) instead of the sweep; writes "
+                        "BENCH_hotloop.json (--smoke/--jobs/--accesses do "
+                        "not apply)")
     p.add_argument("--jobs", type=_jobs, default=1,
                    help="worker processes for the sweep (0 = all CPUs)")
-    p.add_argument("--out", default="BENCH_sweep.json", metavar="FILE.json",
-                   help="payload path (default: %(default)s)")
+    p.add_argument("--out", default=None, metavar="FILE.json",
+                   help="payload path (default: BENCH_sweep.json, or "
+                        "BENCH_hotloop.json with --hotloop)")
     p.add_argument("--seed", type=int, default=None,
                    help="override the preset seed (payload becomes "
                         "incomparable to preset baselines)")
@@ -253,17 +259,35 @@ def _cmd_fig1(args) -> None:
 def _cmd_bench(args) -> None:
     from .bench import bench_sweep, format_throughput, save_bench
 
+    if args.hotloop:
+        return _cmd_bench_hotloop(args)
     records, payload = bench_sweep(
         smoke=args.smoke, jobs=args.jobs, seed=args.seed, accesses=args.accesses
     )
     # Write before printing: a closed stdout pipe (| head) must not lose
     # the payload the CI gate consumes.
-    path = save_bench(payload, args.out)
+    path = save_bench(payload, args.out or "BENCH_sweep.json")
     print(format_throughput(records))
     print(
         f"\n{payload['total_accesses']} measured accesses over "
         f"{len(records)} sweep cells in {payload['wall_elapsed_s'] * 1e3:.1f} ms "
         f"(jobs={args.jobs}) — {payload['accesses_per_s'] / 1e3:.1f} kacc/s end-to-end"
+    )
+    print(f"payload written to {path}")
+
+
+def _cmd_bench_hotloop(args) -> None:
+    from .bench import bench_hotloop, format_table, save_bench
+
+    rows, payload = bench_hotloop(seed=args.seed)
+    path = save_bench(payload, args.out or "BENCH_hotloop.json")
+    print(format_table([
+        {"component": r["component"], "kops_per_s": f"{r['ops_per_s'] / 1e3:.1f}"}
+        for r in rows
+    ]))
+    print(
+        f"\n{len(rows)} components in {payload['wall_elapsed_s'] * 1e3:.1f} ms "
+        f"— geomean {payload['geomean_ops_per_s'] / 1e3:.1f} kops/s"
     )
     print(f"payload written to {path}")
 

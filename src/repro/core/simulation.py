@@ -22,7 +22,7 @@ directly against independently-run ``X`` and ``Y``.
 
 from __future__ import annotations
 
-from .._util import check_positive_int
+from .._util import as_int_list, check_positive_int
 from ..paging import PageCache, ReplacementPolicy
 from ..tlb import TLB
 from .decoupling import DecouplingScheme
@@ -128,8 +128,8 @@ class DecoupledSystem:
     def run(self, trace) -> CostLedger:
         """Service every request in *trace*; return the ledger."""
         access = self.access
-        for vpn in trace:
-            access(int(vpn))
+        for vpn in as_int_list(trace):
+            access(vpn)
         return self.ledger
 
     # ------------------------------------------------------------ internals

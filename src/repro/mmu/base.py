@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from .._util import as_int_list
 from ..core import CostLedger
 from ..obs.events import NULL_PROBE, Probe
 
-__all__ = ["MemoryManagementAlgorithm", "MMInspector"]
+__all__ = ["MemoryManagementAlgorithm", "MMInspector", "as_int_list"]
 
 
 class MMInspector:
@@ -120,12 +121,18 @@ class MemoryManagementAlgorithm(ABC):
         """Service one virtual-page request, charging costs to the ledger."""
 
     def run(self, trace) -> CostLedger:
-        """Service every request in *trace*; return this algorithm's ledger."""
+        """Service every request in *trace*; return this algorithm's ledger.
+
+        The trace is materialized as plain Python ints once up front
+        (:func:`as_int_list`), so ``access`` implementations may assume
+        exact ints and skip per-element ``int()`` boxing — the hot-loop
+        contract documented in ``docs/API.md``.
+        """
         if self.probe.enabled:
             return self._run_probed(trace)
         access = self.access
-        for vpn in trace:
-            access(int(vpn))
+        for vpn in as_int_list(trace):
+            access(vpn)
         return self.ledger
 
     def _run_probed(self, trace) -> CostLedger:
@@ -136,8 +143,7 @@ class MemoryManagementAlgorithm(ABC):
         probe = self.probe
         access = self.access
         evictions = self._eviction_count
-        for vpn in trace:
-            vpn = int(vpn)
+        for vpn in as_int_list(trace):
             misses0 = ledger.tlb_misses
             ios0 = ledger.ios
             dmisses0 = ledger.decoding_misses

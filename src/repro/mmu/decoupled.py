@@ -164,6 +164,13 @@ class DecoupledMM(MemoryManagementAlgorithm):
     def access(self, vpn: int) -> None:
         self.system.access(vpn)
 
+    def run(self, trace):
+        """Unprobed fast path: hand the whole trace to the system's own
+        loop, skipping one delegation hop per access."""
+        if self.probe.enabled or type(self).access is not DecoupledMM.access:
+            return super().run(trace)
+        return self.system.run(trace)
+
     def _eviction_count(self) -> int:
         return self.system.ram.evictions
 

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from .._util import check_positive_int, is_power_of_two
+import numpy as np
+
+from .._util import as_int_list, check_positive_int, is_power_of_two
 from ..core import (
     DecoupledSystem,
     DecouplingScheme,
@@ -97,6 +99,24 @@ class HybridMM(MemoryManagementAlgorithm):
 
     def access(self, vpn: int) -> None:
         self.system.access(vpn // self.chunk)
+
+    def run(self, trace):
+        """Unprobed fast path: the vpn→chunk mapping is static, so the
+        chunk ids for the whole trace come from one vectorized shift."""
+        if self.probe.enabled or type(self).access is not HybridMM.access:
+            return super().run(trace)
+        chunk = self.chunk
+        if chunk == 1:
+            chunk_ids = as_int_list(trace)
+        elif isinstance(trace, np.ndarray) and trace.dtype.kind in "iu":
+            # vpns are non-negative, so the floor division is one shift
+            chunk_ids = (trace >> (chunk.bit_length() - 1)).tolist()
+        else:
+            chunk_ids = [vpn // chunk for vpn in as_int_list(trace)]
+        access = self.system.access
+        for cid in chunk_ids:
+            access(cid)
+        return self.ledger
 
     def _eviction_count(self) -> int:
         return self.system.ram.evictions

@@ -23,7 +23,9 @@ page); evicting a huge unit drops all ``h`` pages at once.
 
 from __future__ import annotations
 
-from .._util import check_positive_int, is_power_of_two
+import numpy as np
+
+from .._util import as_int_list, check_positive_int, is_power_of_two
 from ..paging import LRUPolicy, PageCache
 from ..sim.memory import OutOfMemoryError, PhysicalMemory
 from .base import MemoryManagementAlgorithm, MMInspector
@@ -129,9 +131,31 @@ class THPStyleMM(MemoryManagementAlgorithm):
     # ------------------------------------------------------------------ api
 
     def access(self, vpn: int) -> None:
+        self._access(vpn, vpn // self.h)
+
+    def run(self, trace):
+        """Unprobed fast path: the vpn→region mapping is static (promotion
+        changes which *unit* a region maps to, not the region number), so
+        the regions for the whole trace come from one vectorized shift."""
+        if self.probe.enabled or type(self).access is not THPStyleMM.access:
+            return super().run(trace)
+        vpns = as_int_list(trace)
+        h = self.h
+        if h == 1:
+            regions = vpns
+        elif isinstance(trace, np.ndarray) and trace.dtype.kind in "iu":
+            # vpns are non-negative, so the floor division is one shift
+            regions = (trace >> (h.bit_length() - 1)).tolist()
+        else:
+            regions = [vpn // h for vpn in vpns]
+        access = self._access
+        for vpn, region in zip(vpns, regions):
+            access(vpn, region)
+        return self.ledger
+
+    def _access(self, vpn: int, region: int) -> None:
         ledger = self.ledger
         ledger.accesses += 1
-        region = vpn // self.h
         promoted = region in self._promoted
         unit = (_HUGE, region) if promoted else (_BASE, vpn)
 
@@ -140,8 +164,7 @@ class THPStyleMM(MemoryManagementAlgorithm):
         else:
             ledger.tlb_misses += 1
 
-        if unit in self._lru:
-            self._lru.record_access(unit, ledger.accesses)
+        if self._lru.touch(unit, ledger.accesses):
             return
 
         # fault path — by construction only base units can be non-resident

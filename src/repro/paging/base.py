@@ -45,6 +45,20 @@ class ReplacementPolicy(ABC):
     def record_access(self, key: Key, time: int) -> None:
         """Note that resident *key* was accessed (a cache hit) at *time*."""
 
+    def touch(self, key: Key, time: int) -> bool:
+        """Combined residency probe + hit recording — the hot-path primitive.
+
+        Equivalent to ``key in self and (self.record_access(key, time) or
+        True)`` but overridable as a *single* bookkeeping operation (LRU
+        resolves it with one ``move_to_end`` attempt instead of two dict
+        probes). Returns True iff *key* was resident (and its access was
+        recorded); a False return must leave the policy untouched.
+        """
+        if key in self:
+            self.record_access(key, time)
+            return True
+        return False
+
     @abstractmethod
     def insert(self, key: Key, time: int) -> None:
         """Add non-resident *key* to the resident set at *time*."""

@@ -40,7 +40,17 @@ class PageCache:
     ``access`` is the hot path and is kept allocation-free.
     """
 
-    __slots__ = ("capacity", "policy", "on_evict", "_clock", "hits", "misses", "evictions")
+    __slots__ = (
+        "capacity",
+        "policy",
+        "on_evict",
+        "_clock",
+        "_touch",
+        "hits",
+        "misses",
+        "evictions",
+        "warm_evictions",
+    )
 
     def __init__(
         self,
@@ -53,11 +63,16 @@ class PageCache:
             raise ValueError("policy must start empty")
         self.policy = policy
         policy.bind(self.capacity)
+        # bound once: the policy object never changes after construction,
+        # so the hit path pays one call instead of two attribute hops plus
+        # a __contains__/record_access double probe
+        self._touch = policy.touch
         self.on_evict = on_evict
         self._clock = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warm_evictions = 0
 
     # ------------------------------------------------------------------ api
 
@@ -68,12 +83,11 @@ class PageCache:
         """
         t = self._clock
         self._clock = t + 1
-        policy = self.policy
-        if key in policy:
+        if self._touch(key, t):
             self.hits += 1
-            policy.record_access(key, t)
             return True
         self.misses += 1
+        policy = self.policy
         if len(policy) >= self.capacity:
             victim = policy.evict(key)
             self.evictions += 1
@@ -82,13 +96,59 @@ class PageCache:
         policy.insert(key, t)
         return False
 
+    def access_many(self, keys) -> tuple[int, int]:
+        """Service every request in *keys*; return ``(hits, misses)``.
+
+        Bit-identical to calling :meth:`access` once per key — same policy
+        transitions, same clock values, same eviction callbacks, same final
+        counters — but the loop runs with every attribute pre-bound, which
+        is what the unprobed MM fast paths (e.g.
+        :meth:`repro.mmu.hugepage.PhysicalHugePageMM.run`) buy their
+        throughput with. Counters are folded in once at the end; nothing may
+        observe them mid-batch (probes and metrics force the per-access
+        path).
+        """
+        touch = self._touch
+        policy = self.policy
+        policy_len = policy.__len__
+        policy_evict = policy.evict
+        policy_insert = policy.insert
+        on_evict = self.on_evict
+        capacity = self.capacity
+        t = self._clock
+        hits = misses = evictions = 0
+        for key in keys:
+            if touch(key, t):
+                hits += 1
+            else:
+                misses += 1
+                if policy_len() >= capacity:
+                    evictions += 1
+                    if on_evict is not None:
+                        on_evict(policy_evict(key))
+                    else:
+                        policy_evict(key)
+                policy_insert(key, t)
+            t += 1
+        self._clock = t
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        return hits, misses
+
     def insert(self, key: Key) -> None:
-        """Bring *key* in without counting a hit or miss (prefetch/warm path)."""
+        """Bring *key* in without counting a hit or miss (prefetch/warm path).
+
+        A victim displaced here is counted in ``warm_evictions``, not
+        ``evictions`` — the ``evictions`` counter is reserved for demand
+        faults so the oracle's eviction-coherence rule ("evictions only on
+        misses", the authoritative semantics) holds for every caller.
+        """
         if key in self.policy:
             return
         if len(self.policy) >= self.capacity:
             victim = self.policy.evict(key)
-            self.evictions += 1
+            self.warm_evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
         self.policy.insert(key, self._clock)
@@ -119,19 +179,25 @@ class PageCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warm_evictions = 0
 
     def check_invariants(self) -> None:
         """Assert the cache's structural invariants (test/oracle helper).
 
         The resident set never exceeds capacity, the policy's membership
-        iterator agrees with its length, and the counters are coherent
-        (evictions can only happen on misses).
+        iterator agrees with its length, and the counters are coherent:
+        demand ``evictions`` can only happen on misses (warm-path victims
+        are accounted separately in ``warm_evictions``).
         """
         n = len(self.policy)
         assert n <= self.capacity, f"cache over capacity: {n} > {self.capacity}"
         resident = list(self.policy.resident())
         assert len(resident) == n, (
             f"policy resident() yields {len(resident)} keys but reports len {n}"
+        )
+        assert self.evictions <= self.misses, (
+            f"eviction-coherence broken: {self.evictions} demand evictions "
+            f"exceed {self.misses} misses"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

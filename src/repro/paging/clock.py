@@ -42,6 +42,14 @@ class ClockPolicy(ReplacementPolicy):
     def record_access(self, key: Key, time: int) -> None:
         self._nodes[key].ref = True
 
+    def touch(self, key: Key, time: int) -> bool:
+        # one dict probe instead of __contains__ + record_access
+        node = self._nodes.get(key)
+        if node is None:
+            return False
+        node.ref = True
+        return True
+
     def insert(self, key: Key, time: int) -> None:
         if key in self._nodes:
             raise KeyError(f"key {key!r} already resident")

@@ -28,6 +28,10 @@ class FIFOPolicy(ReplacementPolicy):
     def record_access(self, key: Key, time: int) -> None:
         pass  # hits do not affect FIFO order
 
+    def touch(self, key: Key, time: int) -> bool:
+        # hits don't move anything, so the hot path is a bare membership probe
+        return key in self._order
+
     def insert(self, key: Key, time: int) -> None:
         if key in self._order:
             raise KeyError(f"key {key!r} already resident")

@@ -60,6 +60,9 @@ class LIRSPolicy(ReplacementPolicy):
         # status of every *resident* page (LIR or HIR_RESIDENT)
         self._resident: dict[Key, int] = {}
         self._lir_count = 0
+        # running count of _HIR_GHOST entries in S, so the per-access trim
+        # check is O(1) instead of a full-stack recount
+        self._ghost_count = 0
 
     def bind(self, capacity: int) -> None:
         self._capacity = capacity
@@ -71,9 +74,11 @@ class LIRSPolicy(ReplacementPolicy):
     # ------------------------------------------------------------ stack ops
 
     def _stack_push(self, key: Key, status: int) -> None:
-        if key in self._stack:
-            del self._stack[key]
+        if self._stack.pop(key, None) == _HIR_GHOST:
+            self._ghost_count -= 1
         self._stack[key] = status
+        if status == _HIR_GHOST:
+            self._ghost_count += 1
         self._trim_ghosts()
 
     def _prune(self) -> None:
@@ -83,16 +88,17 @@ class LIRSPolicy(ReplacementPolicy):
             if status == _LIR:
                 return
             del self._stack[key]
+            if status == _HIR_GHOST:
+                self._ghost_count -= 1
 
     def _trim_ghosts(self) -> None:
-        ghosts = sum(1 for s in self._stack.values() if s == _HIR_GHOST)
-        if ghosts <= self._max_ghosts:
+        if self._ghost_count <= self._max_ghosts:
             return
         for key in list(self._stack):
             if self._stack[key] == _HIR_GHOST:
                 del self._stack[key]
-                ghosts -= 1
-                if ghosts <= self._max_ghosts:
+                self._ghost_count -= 1
+                if self._ghost_count <= self._max_ghosts:
                     break
         self._prune()
 
@@ -163,6 +169,7 @@ class LIRSPolicy(ReplacementPolicy):
         del self._resident[victim]
         if victim in self._stack:
             self._stack[victim] = _HIR_GHOST  # remember its recency
+            self._ghost_count += 1
             self._trim_ghosts()
         return victim
 

@@ -26,6 +26,14 @@ class LRUPolicy(ReplacementPolicy):
     def record_access(self, key: Key, time: int) -> None:
         self._order.move_to_end(key)
 
+    def touch(self, key: Key, time: int) -> bool:
+        # one dict probe instead of __contains__ + record_access
+        try:
+            self._order.move_to_end(key)
+        except KeyError:
+            return False
+        return True
+
     def insert(self, key: Key, time: int) -> None:
         if key in self._order:
             raise KeyError(f"key {key!r} already resident")

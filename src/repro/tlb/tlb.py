@@ -39,10 +39,13 @@ class TLB:
         "value_bits",
         "policy",
         "_values",
+        "_get",
+        "_record",
         "hits",
         "misses",
         "fills",
         "_clock",
+        "_last_stamp",
     )
 
     def __init__(
@@ -58,12 +61,18 @@ class TLB:
             raise ValueError("policy must start empty")
         self.policy.bind(self.entries)
         self._values: dict[int, int] = {}
+        # bound once: neither the value dict nor the policy object is ever
+        # replaced, so the hot lookup pays two calls and no attribute hops
+        self._get = self._values.get
+        self._record = self.policy.record_access
         self.hits = 0
         self.misses = 0
         self.fills = 0
         # 0-based index of the current lookup; policies that need trace
         # positions (BeladyOPT) rely on it being exactly the access index.
         self._clock = 0
+        # recency stamp of the most recent fill (strict monotonicity floor).
+        self._last_stamp = -1
 
     # ------------------------------------------------------------------ api
 
@@ -71,12 +80,12 @@ class TLB:
         """Translate huge page *hpn*: its value on a hit, None on a miss."""
         t = self._clock
         self._clock = t + 1
-        value = self._values.get(hpn)
+        value = self._get(hpn)
         if value is None:
             self.misses += 1
             return None
         self.hits += 1
-        self.policy.record_access(hpn, t)
+        self._record(hpn, t)
         return value
 
     def fill(self, hpn: int, value: int = 0) -> int | None:
@@ -92,9 +101,16 @@ class TLB:
         if len(self._values) >= self.entries:
             victim = self.policy.evict(hpn)
             del self._values[victim]
-        # a fill normally follows a missing lookup for the same huge page;
-        # attribute it to that access's index
-        self.policy.insert(hpn, max(0, self._clock - 1))
+        # a fill normally follows a missing lookup for the same huge page
+        # and is attributed to that access's index — but an access that
+        # installs several entries (prefetch, promotion) must not stamp
+        # ties: recency-stamped policies would otherwise order the extra
+        # entries arbitrarily, so later fills bump strictly past the last
+        t = self._clock - 1
+        if t <= self._last_stamp:
+            t = self._last_stamp + 1
+        self._last_stamp = t
+        self.policy.insert(hpn, t)
         self._values[hpn] = value
         self.fills += 1
         return victim
@@ -182,9 +198,15 @@ class SetAssociativeTLB:
 
     Hardware TLBs have associativity 4–12; this variant quantifies the gap
     to the paper's fully-associative model.
+
+    The counter/inspection surface mirrors :class:`TLB` (``hits`` /
+    ``misses`` / ``fills`` aggregates, ``value_bits``,
+    ``check_invariants()``, ``reset_stats()``), so memory-management code
+    written against the fully-associative model — including ``validate=True``
+    audits and reset-stats sweeps — runs unchanged over either.
     """
 
-    __slots__ = ("entries", "associativity", "n_sets", "_sets")
+    __slots__ = ("entries", "associativity", "n_sets", "value_bits", "_sets")
 
     def __init__(
         self,
@@ -200,6 +222,7 @@ class SetAssociativeTLB:
                 f"entries ({entries}) must be divisible by associativity ({associativity})"
             )
         self.n_sets = entries // associativity
+        self.value_bits = check_positive_int(value_bits, "value_bits")
         self._sets = [
             TLB(associativity, value_bits, policy_factory()) for _ in range(self.n_sets)
         ]
@@ -241,6 +264,10 @@ class SetAssociativeTLB:
         return sum(s.misses for s in self._sets)
 
     @property
+    def fills(self) -> int:
+        return sum(s.fills for s in self._sets)
+
+    @property
     def accesses(self) -> int:
         return self.hits + self.misses
 
@@ -252,3 +279,21 @@ class SetAssociativeTLB:
     def reset_stats(self) -> None:
         for s in self._sets:
             s.reset_stats()
+
+    def check_invariants(self) -> None:
+        """Assert the TLB's structural invariants (test/oracle helper).
+
+        Every set holds :class:`TLB`'s invariants, every resident key
+        actually indexes to the set holding it, and the aggregate occupancy
+        never exceeds ``entries``.
+        """
+        n_sets = self.n_sets
+        for i, s in enumerate(self._sets):
+            s.check_invariants()
+            for hpn in s.resident():
+                assert hpn % n_sets == i, (
+                    f"huge page {hpn} stored in set {i}, indexes to set {hpn % n_sets}"
+                )
+        assert len(self) <= self.entries, (
+            f"TLB over capacity: {len(self)} > {self.entries}"
+        )

@@ -129,6 +129,90 @@ class TestCompare:
         assert base == base_copy and new == new_copy
 
 
+def _hotloop_payload(geomean=500_000.0):
+    return {
+        "format": 1,
+        "kind": "bench_hotloop",
+        "machine": {"numpy": "2.0.0", "cpu_count": 4},
+        "config": {"ops": 1000, "seed": 0},
+        "geomean_ops_per_s": geomean,
+        "rows": [
+            {
+                "component": "tlb",
+                "ops": 1000,
+                "ops_per_s": 900_000.0,
+                "counters": {"hits": 700, "misses": 300, "fills": 300},
+            },
+            {
+                "component": "cache:lru",
+                "ops": 1000,
+                "ops_per_s": 400_000.0,
+                "counters": {"hits": 650, "misses": 350, "evictions": 340},
+            },
+        ],
+    }
+
+
+class TestCompareHotloop:
+    def test_identical_payloads_pass(self):
+        code, messages = check_bench.compare(_hotloop_payload(), _hotloop_payload())
+        assert code == check_bench.OK
+        assert any("counters identical" in m for m in messages)
+
+    def test_geomean_regression_fails(self):
+        code, messages = check_bench.compare(
+            _hotloop_payload(500_000), _hotloop_payload(300_000), tolerance=0.25
+        )
+        assert code == check_bench.REGRESSION
+        assert any(m.startswith("FAIL throughput") for m in messages)
+
+    def test_dip_within_tolerance_passes(self):
+        code, _ = check_bench.compare(
+            _hotloop_payload(500_000), _hotloop_payload(400_000), tolerance=0.25
+        )
+        assert code == check_bench.OK
+
+    def test_counter_drift_is_a_mismatch_despite_numpy_skew(self):
+        # hotloop streams are numpy-free: auto mode never skips counters
+        new = _hotloop_payload()
+        new["machine"]["numpy"] = "2.4.0"
+        new["rows"][1]["counters"]["hits"] += 1
+        code, messages = check_bench.compare(
+            _hotloop_payload(), new, counters="auto"
+        )
+        assert code == check_bench.MISMATCH
+        assert any("cache:lru" in m and "counters changed" in m for m in messages)
+
+    def test_counters_never_disables_the_check(self):
+        new = _hotloop_payload()
+        new["rows"][1]["counters"]["hits"] += 1
+        code, _ = check_bench.compare(_hotloop_payload(), new, counters="never")
+        assert code == check_bench.OK
+
+    def test_missing_component_is_a_mismatch(self):
+        new = _hotloop_payload()
+        del new["rows"][1]
+        code, _ = check_bench.compare(_hotloop_payload(), new)
+        assert code == check_bench.MISMATCH
+
+    def test_config_change_is_a_mismatch(self):
+        new = _hotloop_payload()
+        new["config"]["ops"] = 2000
+        code, messages = check_bench.compare(_hotloop_payload(), new)
+        assert code == check_bench.MISMATCH
+        assert any("configs differ" in m and "ops" in m for m in messages)
+
+    def test_kind_mix_is_a_mismatch(self):
+        code, messages = check_bench.compare(_payload(), _hotloop_payload())
+        assert code == check_bench.MISMATCH
+        assert any("payload kinds differ" in m for m in messages)
+
+    def test_load_payload_accepts_hotloop_kind(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps(_hotloop_payload()))
+        assert check_bench.load_payload(str(path))["kind"] == "bench_hotloop"
+
+
 class TestMain:
     def _write(self, path, payload):
         path.write_text(json.dumps(payload))

@@ -1,0 +1,85 @@
+"""Tests for the per-component hot-loop microbenchmark (repro bench --hotloop)."""
+
+import pytest
+
+from repro.bench import hotloop
+from repro.bench.hotloop import HOTLOOP_CONFIG, bench_hotloop, key_stream
+from repro.mmu import MM_NAMES
+from repro.paging import POLICIES
+
+#: CI-sized shrink of the preset: same shape, two orders less work.
+_SMALL = dict(
+    HOTLOOP_CONFIG,
+    ops=2_000,
+    mm_accesses=1_000,
+    tlb_entries=64,
+    cache_pages=64,
+    mm_tlb_entries=32,
+    mm_ram_pages=256,
+)
+
+
+@pytest.fixture
+def small_config(monkeypatch):
+    monkeypatch.setattr(hotloop, "HOTLOOP_CONFIG", _SMALL)
+    return _SMALL
+
+
+class TestKeyStream:
+    def test_deterministic(self):
+        a = key_stream(500, 1 << 12, 1 << 8, 90, seed=7)
+        b = key_stream(500, 1 << 12, 1 << 8, 90, seed=7)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        assert key_stream(500, 1 << 12, 1 << 8, 90, seed=0) != key_stream(
+            500, 1 << 12, 1 << 8, 90, seed=1
+        )
+
+    def test_range_and_skew(self):
+        keys = key_stream(5_000, 1 << 12, 1 << 8, 90, seed=0)
+        assert all(0 <= k < (1 << 12) for k in keys)
+        hot = sum(1 for k in keys if k < (1 << 8))
+        # ~90% land in the hot subset (plus uniform spillover)
+        assert hot / len(keys) > 0.85
+
+    def test_known_prefix_pinned(self):
+        """The LCG stream is part of the payload contract: changing it makes
+        every committed baseline's counters incomparable."""
+        assert key_stream(4, 1 << 12, 1 << 8, 90, seed=0) == [111, 134, 2785, 85]
+
+
+class TestBenchHotloop:
+    def test_payload_covers_every_component(self, small_config):
+        rows, payload = bench_hotloop()
+        names = [r["component"] for r in rows]
+        assert names[0] == "tlb"
+        assert [n for n in names if n.startswith("cache:")] == [
+            f"cache:{p}" for p in sorted(POLICIES)
+        ]
+        assert [n for n in names if n.startswith("mm:")] == [
+            f"mm:{m}" for m in MM_NAMES
+        ]
+        assert payload["kind"] == "bench_hotloop"
+        assert payload["format"] == 1
+        assert payload["config"] == small_config
+        assert payload["geomean_ops_per_s"] > 0
+        assert payload["rows"] == rows
+
+    def test_counters_are_reproducible(self, small_config):
+        rows_a, _ = bench_hotloop()
+        rows_b, _ = bench_hotloop()
+        for a, b in zip(rows_a, rows_b):
+            assert a["component"] == b["component"]
+            assert a["counters"] == b["counters"]
+
+    def test_seed_override_recorded_in_config(self, small_config):
+        _, payload = bench_hotloop(seed=3)
+        assert payload["config"]["seed"] == 3
+
+    def test_rows_carry_timings(self, small_config):
+        rows, _ = bench_hotloop()
+        for r in rows:
+            assert r["ops"] > 0
+            assert r["elapsed_s"] >= 0
+            assert r["ops_per_s"] >= 0

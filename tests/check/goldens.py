@@ -1,0 +1,95 @@
+"""Golden-stream fixtures pinning pre-optimization hot-loop behavior.
+
+One golden JSONL per (registry algorithm × workload) cell, recorded with
+:func:`repro.check.record_stream` and committed under ``tests/data/golden``.
+The parity suite (``test_golden_parity.py``) replays the identical cell and
+diffs the fresh stream against the pinned one — any behavioural drift in
+the per-access event stream (TLB misses, IOs, decoding misses, evictions)
+fails with the exact access index where behaviour split.
+
+The fixtures were generated *before* the hot-loop throughput rewrite, so
+they prove the optimized loops are bit-identical to the original
+per-access semantics. Regenerate (only when behaviour is *supposed* to
+change, bumping this file's history) with::
+
+    PYTHONPATH=src python -m tests.check.goldens
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.mmu.registry import MM_NAMES, make_mm
+from repro.workloads import MarkovPhaseWorkload, UniformWorkload, ZipfWorkload
+
+__all__ = ["GOLDEN_DIR", "WORKLOADS", "golden_cases", "build_trace", "build_mm"]
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
+
+#: fixed cell geometry — small enough to replay in milliseconds, large
+#: enough that every algorithm faults, evicts, and (for THP) promotes.
+VA_PAGES = 4096
+TLB_ENTRIES = 64
+RAM_PAGES = 1024
+ACCESSES = 2000
+WARMUP = 800
+SEED = 0
+
+WORKLOADS = ("zipf", "uniform", "markov")
+
+
+def build_trace(workload: str):
+    """The deterministic trace for one golden cell."""
+    if workload == "zipf":
+        wl = ZipfWorkload(VA_PAGES, s=1.0)
+    elif workload == "uniform":
+        wl = UniformWorkload(VA_PAGES)
+    elif workload == "markov":
+        wl = MarkovPhaseWorkload(
+            [ZipfWorkload(VA_PAGES, s=1.2), UniformWorkload(VA_PAGES)],
+            mean_dwell=300,
+        )
+    else:
+        raise ValueError(f"unknown golden workload {workload!r}")
+    return wl.generate(ACCESSES, seed=SEED)
+
+
+def build_mm(algorithm: str):
+    """A fresh registry algorithm for one golden cell."""
+    return make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=SEED)
+
+
+def golden_cases():
+    """Every (algorithm, workload, golden path) triple, in test order."""
+    for algorithm in MM_NAMES:
+        for workload in WORKLOADS:
+            name = f"{algorithm.replace('+', '_')}__{workload}.jsonl"
+            yield algorithm, workload, GOLDEN_DIR / name
+
+
+def regenerate() -> None:
+    from repro.check import record_stream, save_golden
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for algorithm, workload, path in golden_cases():
+        mm = build_mm(algorithm)
+        rows = record_stream(mm, build_trace(workload), warmup=WARMUP)
+        save_golden(
+            path,
+            rows,
+            algorithm=algorithm,
+            meta={
+                "workload": workload,
+                "va_pages": VA_PAGES,
+                "tlb_entries": TLB_ENTRIES,
+                "ram_pages": RAM_PAGES,
+                "accesses": ACCESSES,
+                "warmup": WARMUP,
+                "seed": SEED,
+            },
+        )
+        print(f"wrote {path.name}: {len(rows)} rows")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -1,0 +1,79 @@
+"""Golden-run differential parity for the hot-loop rewrite.
+
+Two nets, both over every registry algorithm:
+
+* **Golden streams** — the committed fixtures under ``tests/data/golden``
+  were recorded before the batched/vectorized run paths landed; replaying
+  the identical cell must produce a bit-identical per-access event stream
+  (the diff reports the exact access index of any drift).
+* **Probed vs unprobed** — attaching a probe forces the original
+  per-access path, so the final ledgers of a probed and an unprobed run
+  must agree exactly; this is what pins the batched fast paths (which the
+  streams, being probe-recorded, cannot see).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.check import first_divergence, load_golden, record_stream
+from repro.mmu.registry import MM_NAMES
+from repro.obs import TraceRecorder
+from repro.sim import simulate
+
+from .goldens import (
+    ACCESSES,
+    SEED,
+    TLB_ENTRIES,
+    WARMUP,
+    WORKLOADS,
+    build_mm,
+    build_trace,
+    golden_cases,
+)
+
+CASES = list(golden_cases())
+CASE_IDS = [f"{algorithm}-{workload}" for algorithm, workload, _ in CASES]
+
+
+@pytest.mark.parametrize(("algorithm", "workload", "path"), CASES, ids=CASE_IDS)
+class TestGoldenStreams:
+    def test_fixture_exists_for_cell(self, algorithm, workload, path):
+        assert path.is_file(), (
+            f"missing golden fixture {path.name}; regenerate with "
+            "`PYTHONPATH=src python -m tests.check.goldens` (only when "
+            "behaviour is supposed to change)"
+        )
+
+    def test_header_matches_cell_geometry(self, algorithm, workload, path):
+        header, rows = load_golden(path)
+        assert header["algorithm"] == algorithm
+        assert header["workload"] == workload
+        assert header["tlb_entries"] == TLB_ENTRIES
+        assert header["seed"] == SEED
+        assert len(rows) == ACCESSES - WARMUP
+
+    def test_replay_is_bit_identical(self, algorithm, workload, path):
+        _, golden_rows = load_golden(path)
+        fresh = record_stream(build_mm(algorithm), build_trace(workload),
+                              warmup=WARMUP)
+        divergence = first_divergence(golden_rows, fresh)
+        assert divergence is None, (
+            f"{algorithm}/{workload} drifted from the golden stream: "
+            f"{divergence}"
+        )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("algorithm", MM_NAMES)
+class TestProbedUnprobedParity:
+    def test_ledgers_agree(self, algorithm, workload):
+        trace = build_trace(workload)
+
+        unprobed = build_mm(algorithm)
+        fast_ledger = unprobed.run(trace)
+
+        probed = build_mm(algorithm)
+        slow_ledger = simulate(probed, trace, probe=TraceRecorder(capacity=16))
+
+        assert dataclasses.asdict(fast_ledger) == dataclasses.asdict(slow_ledger)

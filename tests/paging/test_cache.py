@@ -103,3 +103,72 @@ class TestStats:
         for p in [1, 2, 3]:
             cache.access(p)
         assert cache.misses == 1  # only page 3
+
+
+class TestEvictionCoherence:
+    """Regression for the warm-path counter bug: ``insert`` used to bump
+    ``evictions`` without a miss, breaking the oracle's "evictions only on
+    misses" rule. Demand evictions and warm-path displacements are now
+    separate counters, and ``check_invariants`` enforces the demand rule."""
+
+    def test_warm_insert_does_not_count_demand_eviction(self):
+        cache = PageCache(1, LRUPolicy())
+        cache.insert(1)
+        cache.insert(2)  # displaces 1 on the warm path
+        assert cache.evictions == 0
+        assert cache.warm_evictions == 1
+        assert cache.misses == 0
+        cache.check_invariants()  # evictions <= misses holds
+
+    def test_demand_eviction_still_counted(self):
+        cache = PageCache(1, LRUPolicy())
+        cache.access(1)
+        cache.access(2)
+        assert cache.evictions == 1
+        assert cache.warm_evictions == 0
+        cache.check_invariants()
+
+    def test_reset_clears_both_counters(self):
+        cache = PageCache(1, LRUPolicy())
+        cache.insert(1)
+        cache.insert(2)
+        cache.access(3)
+        cache.reset_stats()
+        assert cache.evictions == 0 and cache.warm_evictions == 0
+
+    def test_check_invariants_catches_incoherent_counters(self):
+        cache = PageCache(2, LRUPolicy())
+        cache.access(1)
+        cache.evictions = 5  # corrupt: more demand evictions than misses
+        with pytest.raises(AssertionError, match="eviction-coherence"):
+            cache.check_invariants()
+
+
+class TestAccessMany:
+    """The batched hot path must be bit-identical to per-key access()."""
+
+    @pytest.mark.parametrize("policy_name", ["lru", "fifo", "clock", "mru"])
+    def test_matches_per_key_access(self, policy_name):
+        import random
+
+        from repro.paging import make_policy
+
+        rng = random.Random(0)
+        keys = [rng.randrange(32) for _ in range(500)]
+        evicted_a, evicted_b = [], []
+        a = PageCache(8, make_policy(policy_name), on_evict=evicted_a.append)
+        b = PageCache(8, make_policy(policy_name), on_evict=evicted_b.append)
+        for k in keys:
+            a.access(k)
+        hits, misses = b.access_many(keys)
+        assert (hits, misses) == (a.hits, a.misses)
+        assert b.evictions == a.evictions
+        assert evicted_b == evicted_a
+        assert sorted(b.resident()) == sorted(a.resident())
+        assert b._clock == a._clock
+        b.check_invariants()
+
+    def test_empty_batch(self):
+        cache = PageCache(2, LRUPolicy())
+        assert cache.access_many([]) == (0, 0)
+        assert cache._clock == 0

@@ -82,6 +82,33 @@ class TestPolicyContract:
         assert evicted == keys
         assert len(policy) == 0
 
+    def test_touch_equals_contains_plus_record(self, policy):
+        """The hot-path primitive: ``touch`` must behave exactly like a
+        membership probe followed by ``record_access`` on a hit, and be a
+        no-op on a miss."""
+        assert policy.touch(1, 0) is False
+        assert len(policy) == 0  # a False return leaves the policy untouched
+        policy.insert(1, 1)
+        assert policy.touch(1, 2) is True
+        assert 1 in policy and len(policy) == 1
+
+    def test_touch_orders_like_record_access(self, policy):
+        """Replaying hits through touch() must leave the same eviction
+        order as the __contains__ + record_access path (LRU-sensitive)."""
+        via_record = make_policy(policy.name)
+        via_record.bind(8)
+        for i in range(4):
+            policy.insert(i, i)
+            via_record.insert(i, i)
+        for t, k in enumerate((0, 2, 0), start=4):
+            assert policy.touch(k, t)
+            assert k in via_record
+            via_record.record_access(k, t)
+        order_a = [policy.evict() for _ in range(4)]
+        order_b = [via_record.evict() for _ in range(4)]
+        if policy.name != "random":  # random evicts nondeterministically
+            assert order_a == order_b
+
 
 class TestMakePolicy:
     def test_unknown_name(self):

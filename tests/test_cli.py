@@ -27,8 +27,10 @@ class TestParser:
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
         assert args.smoke is False
+        assert args.hotloop is False
         assert args.jobs == 1
-        assert args.out == "BENCH_sweep.json"
+        # None = kind-dependent default (BENCH_sweep.json / BENCH_hotloop.json)
+        assert args.out is None
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.paging import FIFOPolicy
+from repro.paging import FIFOPolicy, LRUPolicy, ReplacementPolicy
 from repro.tlb import TLB, SetAssociativeTLB
 
 
@@ -141,3 +141,142 @@ class TestSetAssociativeTLB:
         for k in (0, 1, 2, 3):
             tlb.fill(k)
         assert sorted(tlb.resident()) == [0, 1, 2, 3]
+
+
+#: every TLB flavour must expose the same counter/inspection surface —
+#: MM code written against the fully-associative model runs over either.
+TLB_FACTORIES = {
+    "full": lambda: TLB(entries=8, value_bits=16),
+    "set-associative": lambda: SetAssociativeTLB(
+        entries=8, associativity=2, value_bits=16
+    ),
+}
+
+
+class TestTLBSurfaceParity:
+    """Regression net for the SetAssociativeTLB surface drift: ``fills``,
+    ``value_bits`` and ``check_invariants()`` exist on every variant."""
+
+    @pytest.mark.parametrize("flavour", sorted(TLB_FACTORIES))
+    def test_counter_surface(self, flavour):
+        tlb = TLB_FACTORIES[flavour]()
+        assert tlb.value_bits == 16
+        assert tlb.lookup(3) is None
+        tlb.fill(3, 9)
+        assert tlb.lookup(3) == 9
+        assert (tlb.hits, tlb.misses, tlb.fills) == (1, 1, 1)
+        assert tlb.accesses == 2 and tlb.miss_rate == 0.5
+        tlb.check_invariants()
+        tlb.reset_stats()
+        assert (tlb.hits, tlb.misses, tlb.fills) == (0, 0, 0)
+        assert 3 in tlb  # stats reset keeps residency
+
+    @pytest.mark.parametrize("flavour", sorted(TLB_FACTORIES))
+    def test_value_bits_enforced(self, flavour):
+        tlb = TLB_FACTORIES[flavour]()
+        tlb.fill(1, (1 << 16) - 1)
+        with pytest.raises(ValueError, match="w=16"):
+            tlb.fill(2, 1 << 16)
+
+    def test_set_associative_invariants_catch_misplaced_key(self):
+        tlb = SetAssociativeTLB(entries=4, associativity=2)  # 2 sets
+        tlb.fill(0)
+        tlb.check_invariants()
+        # corrupt: key 4 indexes to set 0 but is planted in set 1
+        tlb._sets[1].fill(4, 0)
+        with pytest.raises(AssertionError, match="indexes to set"):
+            tlb.check_invariants()
+
+
+class _StampRecordingLRU(LRUPolicy):
+    """LRU that records every insert stamp, to observe TLB.fill's clock."""
+
+    def __init__(self):
+        super().__init__()
+        self.stamps = []
+
+    def insert(self, key, time):
+        self.stamps.append(time)
+        super().insert(key, time)
+
+
+class _OldestStampPolicy(ReplacementPolicy):
+    """Evicts the smallest-stamp key, breaking stamp ties by *latest*
+    insertion — a stamp-ordered policy that exposes ambiguous (tied)
+    recency stamps as a wrong eviction order."""
+
+    name = "oldest-stamp"
+
+    def __init__(self):
+        self._stamp = {}
+        self._seq = {}
+        self._n = 0
+
+    def record_access(self, key, time):
+        self._stamp[key] = time
+
+    def insert(self, key, time):
+        if key in self._stamp:
+            raise KeyError(key)
+        self._stamp[key] = time
+        self._n += 1
+        self._seq[key] = self._n
+
+    def evict(self, incoming=None):
+        if not self._stamp:
+            raise LookupError("empty")
+        victim = min(self._stamp, key=lambda k: (self._stamp[k], -self._seq[k]))
+        del self._stamp[victim]
+        del self._seq[victim]
+        return victim
+
+    def remove(self, key):
+        del self._stamp[key]
+        del self._seq[key]
+
+    def __contains__(self, key):
+        return key in self._stamp
+
+    def __len__(self):
+        return len(self._stamp)
+
+    def resident(self):
+        return iter(self._stamp)
+
+
+class TestFillStampMonotonicity:
+    """Regression for the ``max(0, clock - 1)`` stamping bug: an access
+    installing several entries (prefetch, THP-style promotion) used to
+    stamp them all with the same index, leaving stamp-ordered policies
+    (BeladyOPT-style) to order the extras arbitrarily."""
+
+    def test_multi_fill_stamps_strictly_increase(self):
+        rec = _StampRecordingLRU()
+        tlb = TLB(entries=8, policy=rec)
+        assert tlb.lookup(0) is None  # one access...
+        tlb.fill(0)
+        tlb.fill(1)  # ...installing three entries
+        tlb.fill(2)
+        assert rec.stamps == sorted(set(rec.stamps)), (
+            f"fill stamps not strictly monotone: {rec.stamps}"
+        )
+
+    def test_first_fill_still_attributed_to_its_access(self):
+        rec = _StampRecordingLRU()
+        tlb = TLB(entries=8, policy=rec)
+        tlb.lookup(0)  # access index 0
+        tlb.fill(0)
+        tlb.lookup(1)  # access index 1
+        tlb.fill(1)
+        # the demand fill after each missing lookup keeps that access's index
+        assert rec.stamps == [0, 1]
+
+    def test_stamp_ordered_policy_evicts_in_fill_order(self):
+        tlb = TLB(entries=3, policy=_OldestStampPolicy())
+        tlb.lookup(0)
+        tlb.fill(0)
+        tlb.fill(1)
+        tlb.fill(2)
+        # with tied stamps the tie-break above would pick 2 (latest
+        # insertion); strictly monotone stamps pin the intended order
+        assert tlb.fill(3) == 0

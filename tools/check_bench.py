@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate: compare a fresh ``BENCH_sweep.json`` against the
+"""CI perf-regression gate: compare a fresh bench payload against the
 committed baseline.
 
 Usage::
@@ -7,19 +7,27 @@ Usage::
     python tools/check_bench.py benchmarks/baselines/BENCH_sweep.json \\
         BENCH_sweep.json --tolerance 0.25
 
+Handles both payload kinds (baseline and new run must be the same kind):
+
+* ``bench_sweep`` (``repro bench``) — the end-to-end sweep;
+* ``bench_hotloop`` (``repro bench --hotloop``) — per-component
+  microbenchmarks, gated on ``geomean_ops_per_s``.
+
 Two checks, two exit codes:
 
 * **exit 2 — correctness / comparability.** The configs (grid, seed) must
   match, and the simulated counters (accesses, ios, tlb_misses, ...) of
-  every (algorithm, h) cell must be identical — they are deterministic
-  given the grid. Counter checking is skipped (with a note) when the two
-  payloads were produced by different numpy versions, whose random streams
-  are not guaranteed identical (``--counters always`` overrides, and
-  ``--counters never`` disables).
-* **exit 1 — throughput regression.** The end-to-end ``accesses_per_s``
-  may not drop more than ``--tolerance`` (fraction) below the baseline.
-  One aggregate number, not per-cell timings, to stay tolerant of runner
-  noise; improvements and same-speed runs pass.
+  every cell/component must be identical — they are deterministic given
+  the config. For sweep payloads counter checking is skipped (with a
+  note) when the two payloads were produced by different numpy versions,
+  whose random streams are not guaranteed identical (``--counters
+  always`` overrides, and ``--counters never`` disables); hotloop key
+  streams are numpy-free, so their counters are always compared.
+* **exit 1 — throughput regression.** The aggregate throughput
+  (``accesses_per_s`` / ``geomean_ops_per_s``) may not drop more than
+  ``--tolerance`` (fraction) below the baseline. One aggregate number,
+  not per-cell timings, to stay tolerant of runner noise; improvements
+  and same-speed runs pass.
 
 Stdlib-only on purpose: the gate runs before (and independent of) the
 package itself.
@@ -43,17 +51,53 @@ COUNTER_FIELDS = (
 
 OK, REGRESSION, MISMATCH = 0, 1, 2
 
+KNOWN_KINDS = ("bench_sweep", "bench_hotloop")
+
 
 def load_payload(path: str) -> dict:
     with open(path) as fh:
         payload = json.load(fh)
-    if payload.get("kind") != "bench_sweep" or payload.get("format") != 1:
-        raise ValueError(f"{path}: not a format-1 bench_sweep payload")
+    if payload.get("kind") not in KNOWN_KINDS or payload.get("format") != 1:
+        raise ValueError(
+            f"{path}: not a format-1 {' / '.join(KNOWN_KINDS)} payload"
+        )
     return payload
 
 
 def _cell_key(row: dict) -> tuple:
     return (row.get("algorithm"), row.get("h"))
+
+
+def _config_mismatch(baseline: dict, new: dict) -> list[str]:
+    changed = sorted(
+        k
+        for k in set(baseline["config"]) | set(new["config"])
+        if baseline["config"].get(k) != new["config"].get(k)
+    )
+    return [
+        f"FAIL configs differ ({', '.join(changed)}): the runs are not "
+        "comparable — regenerate the baseline with "
+        "`python -m repro bench` and commit it"
+    ]
+
+
+def _throughput_gate(
+    old_tput: float, new_tput: float, tolerance: float, messages: list[str]
+) -> int:
+    """Append the gate verdict to *messages*; return OK or REGRESSION."""
+    if old_tput <= 0:
+        messages.append("note: baseline throughput is 0; skipping the gate")
+        return OK
+    change = new_tput / old_tput - 1.0
+    line = (
+        f"throughput: {old_tput / 1e3:.1f} -> {new_tput / 1e3:.1f} kacc/s "
+        f"({change:+.1%}, tolerance -{tolerance:.0%})"
+    )
+    if change < -tolerance:
+        messages.append(f"FAIL {line}")
+        return REGRESSION
+    messages.append(f"ok: {line}")
+    return OK
 
 
 def compare(
@@ -63,21 +107,21 @@ def compare(
     tolerance: float = 0.25,
     counters: str = "auto",
 ) -> tuple[int, list[str]]:
-    """Compare payloads; return ``(exit_code, messages)``."""
+    """Compare payloads of either kind; return ``(exit_code, messages)``."""
+    if baseline.get("kind") != new.get("kind"):
+        return MISMATCH, [
+            f"FAIL payload kinds differ: {baseline.get('kind')} (baseline) "
+            f"vs {new.get('kind')} (new run)"
+        ]
+    if baseline.get("kind") == "bench_hotloop":
+        return compare_hotloop(
+            baseline, new, tolerance=tolerance, counters=counters
+        )
     messages: list[str] = []
     code = OK
 
     if baseline["config"] != new["config"]:
-        changed = sorted(
-            k
-            for k in set(baseline["config"]) | set(new["config"])
-            if baseline["config"].get(k) != new["config"].get(k)
-        )
-        return MISMATCH, [
-            f"FAIL configs differ ({', '.join(changed)}): the runs are not "
-            "comparable — regenerate the baseline with "
-            "`python -m repro bench` and commit it"
-        ]
+        return MISMATCH, _config_mismatch(baseline, new)
 
     check_counters = counters == "always" or (
         counters == "auto"
@@ -115,27 +159,78 @@ def compare(
                 f"ok: {len(new['rows'])} cells, all simulated counters identical"
             )
 
-    old_tput, new_tput = baseline["accesses_per_s"], new["accesses_per_s"]
-    if old_tput <= 0:
-        messages.append("note: baseline throughput is 0; skipping the gate")
-        return code, messages
-    change = new_tput / old_tput - 1.0
-    line = (
-        f"throughput: {old_tput / 1e3:.1f} -> {new_tput / 1e3:.1f} kacc/s "
-        f"({change:+.1%}, tolerance -{tolerance:.0%})"
+    code = max(
+        code,
+        _throughput_gate(
+            baseline["accesses_per_s"], new["accesses_per_s"], tolerance, messages
+        ),
     )
-    if change < -tolerance:
-        code = max(code, REGRESSION)
-        messages.append(f"FAIL {line}")
-    else:
-        messages.append(f"ok: {line}")
+    return code, messages
+
+
+def compare_hotloop(
+    baseline: dict,
+    new: dict,
+    *,
+    tolerance: float = 0.25,
+    counters: str = "auto",
+) -> tuple[int, list[str]]:
+    """Compare two ``bench_hotloop`` payloads.
+
+    The per-component counters come from numpy-free key streams, so they
+    are compared exactly unless ``--counters never``; the throughput gate
+    runs on the geometric mean across components.
+    """
+    messages: list[str] = []
+    code = OK
+
+    if baseline["config"] != new["config"]:
+        return MISMATCH, _config_mismatch(baseline, new)
+
+    if counters != "never":
+        old_rows = {r["component"]: r for r in baseline["rows"]}
+        new_rows = {r["component"]: r for r in new["rows"]}
+        for name in sorted(set(old_rows) | set(new_rows)):
+            a, b = old_rows.get(name), new_rows.get(name)
+            if a is None or b is None:
+                code = MISMATCH
+                messages.append(
+                    f"FAIL component {name}: present only in "
+                    f"{'new run' if a is None else 'baseline'}"
+                )
+                continue
+            if a.get("counters") != b.get("counters"):
+                code = MISMATCH
+                messages.append(
+                    f"FAIL component {name}: counters changed "
+                    f"{a.get('counters')} -> {b.get('counters')} "
+                    "(deterministic; a code change altered simulated behaviour)"
+                )
+        if code == OK:
+            messages.append(
+                f"ok: {len(new['rows'])} components, all counters identical"
+            )
+
+    code = max(
+        code,
+        _throughput_gate(
+            baseline["geomean_ops_per_s"],
+            new["geomean_ops_per_s"],
+            tolerance,
+            messages,
+        ),
+    )
     return code, messages
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_sweep.json")
-    parser.add_argument("new", help="freshly measured BENCH_sweep.json")
+    parser.add_argument(
+        "baseline", help="committed BENCH_sweep.json / BENCH_hotloop.json"
+    )
+    parser.add_argument(
+        "new", help="freshly measured payload of the same kind"
+    )
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed fractional throughput drop (default: %(default)s)",
