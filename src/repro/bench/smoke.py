@@ -9,6 +9,10 @@ through :func:`~repro.sim.simulator.sweep_huge_page_sizes` at a chosen
 * ``config`` — the exact grid (two payloads are comparable iff equal);
 * ``rows`` — one flat row per sweep cell (simulated counters + per-task
   timing stamps);
+* ``snapshot`` — the merged :class:`~repro.obs.snapshot.ObsSnapshot` of the
+  sweep (sampled histograms + exact counters), collected through per-task
+  :class:`~repro.obs.sampling.SamplingProbe` instances riding the fast
+  paths, parallel-safe at any ``jobs``;
 * ``wall_elapsed_s`` / ``accesses_per_s`` — end-to-end sweep throughput,
   the number the CI perf-regression gate (``tools/check_bench.py``) tracks.
 
@@ -21,11 +25,12 @@ from __future__ import annotations
 import json
 import os
 import platform
+from functools import partial
 from pathlib import Path
 
 import numpy as np
 
-from ..obs import Timer, accesses_per_second
+from ..obs import ObsSnapshot, SamplingProbe, Timer, accesses_per_second
 from ..sim import DEFAULT_HUGE_PAGE_SIZES, RunRecord, sweep_huge_page_sizes
 from ..workloads import BimodalWorkload
 
@@ -95,7 +100,11 @@ def bench_sweep(
             sizes=cfg["sizes"],
             warmup=warmup,
             jobs=jobs,
+            # batch-safe sampling: the fast paths stay on, the workers ship
+            # back mergeable per-cell snapshots, costs are unperturbed
+            snapshot=partial(SamplingProbe, 1 / 64, seed=cfg["seed"]),
         )
+    merged = ObsSnapshot.merge_all(r.snapshot for r in records)
     total_accesses = sum(r.ledger.accesses for r in records)
     payload = {
         "format": BENCH_FORMAT,
@@ -116,6 +125,7 @@ def bench_sweep(
         "total_accesses": total_accesses,
         "accesses_per_s": accesses_per_second(total_accesses, wall.elapsed),
         "rows": [r.as_row() for r in records],
+        "snapshot": merged.as_dict(),
     }
     return records, payload
 

@@ -9,6 +9,9 @@
   ``tools/check_bench.py`` to gate regressions against;
 * ``trace``     — replay a workload with probes attached; dump the event
   and interval-metrics streams as JSONL;
+* ``report``    — render observability artefacts (``BENCH_*.json``,
+  snapshot JSON, metrics JSONL) as a terminal summary and, with
+  ``--html-out``, one self-contained HTML file;
 * ``check``     — validated sweep: every registered algorithm × workload
   under the invariant oracle; non-zero exit on any violation;
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
@@ -131,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the retained event ring as JSONL")
     p.add_argument("--ring", type=_positive_int, default=65536,
                    help="event ring-buffer capacity")
+
+    p = sub.add_parser(
+        "report",
+        help="render bench payloads / snapshots / metrics JSONL into a "
+             "terminal summary and self-contained HTML",
+    )
+    p.add_argument("inputs", nargs="+", metavar="FILE",
+                   help="BENCH_*.json, obs-snapshot JSON, or metrics JSONL")
+    p.add_argument("--html-out", default=None, metavar="FILE.html",
+                   help="also write a single self-contained HTML report")
+    p.add_argument("--epsilon", type=float, default=0.01,
+                   help="eps pricing the cost breakdown (default: %(default)s)")
+    p.add_argument("--baseline-dir", default="benchmarks/baselines",
+                   metavar="DIR",
+                   help="where committed BENCH_* baselines live, for the "
+                        "throughput trend (default: %(default)s)")
+    p.add_argument("--title", default="repro report",
+                   help="HTML document title")
 
     p = sub.add_parser(
         "check",
@@ -346,6 +367,30 @@ def _cmd_trace(args) -> None:
         print(f"{len(metrics.windows)} metric windows written to {metrics_path}")
 
 
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .obs import build_report, load_artifact, render_html, render_text
+
+    try:
+        artifacts = [load_artifact(p) for p in args.inputs]
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"report: {exc}")
+    sections = build_report(
+        artifacts, epsilon=args.epsilon, baseline_dir=args.baseline_dir
+    )
+    # Write the HTML before printing: a closed stdout pipe (| head) must
+    # not lose the artifact CI uploads.
+    if args.html_out:
+        out = Path(args.html_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_html(sections, title=args.title))
+    print(render_text(sections))
+    if args.html_out:
+        print(f"\nHTML report written to {args.html_out}")
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .check import check_grid, format_check_report
     from .check.runner import SMOKE_ACCESSES, SMOKE_SCALE_PAGES
@@ -505,6 +550,7 @@ _HANDLERS = {
     "fig1": _cmd_fig1,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "report": _cmd_report,
     "check": _cmd_check,
     "describe": _cmd_describe,
     "eq3": _cmd_eq3,

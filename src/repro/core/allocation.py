@@ -235,6 +235,11 @@ class BucketedAllocator(RAMAllocationScheme):
         """Current maximum bucket occupancy (≤ bucket_size by construction)."""
         return self.game.max_load
 
+    def bucket_loads(self):
+        """Copy of the current per-bucket load vector (Theorems 1–2 measure
+        its max; the observability layer histograms the whole tail)."""
+        return self.game.loads.copy()
+
 
 class OneChoiceAllocator(BucketedAllocator):
     """Theorem 1's warmup scheme: ``k = 1`` hash, associativity ``B``."""

@@ -132,6 +132,15 @@ class DecoupledSystem:
             access(vpn)
         return self.ledger
 
+    def bucket_loads(self):
+        """Per-bucket load vector of the underlying allocator (None when the
+        allocator is not bucketed) — the observability layer's source for
+        ``bucket_load`` histograms."""
+        allocator = self.scheme.allocator
+        if hasattr(allocator, "bucket_loads"):
+            return allocator.bucket_loads()
+        return None
+
     # ------------------------------------------------------------ internals
 
     def _psi_changed(self, hpn: int, value: int) -> None:

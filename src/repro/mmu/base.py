@@ -97,6 +97,14 @@ class MMInspector:
         """``(max bucket load, bucket capacity B)`` for bucketed allocators."""
         return None
 
+    def bucket_loads(self):
+        """Current per-bucket load vector for bucketed allocators (an int
+        sequence, one entry per bucket), or None when the algorithm has no
+        bucketed placement. Feeds the ``bucket_load`` histogram of
+        :class:`~repro.obs.snapshot.ObsSnapshot` — the Theorems 1–2 load
+        tail as a distribution rather than a max."""
+        return None
+
     def deep_check(self) -> None:
         """Full structural self-check; raises AssertionError on breakage."""
 
@@ -129,11 +137,30 @@ class MemoryManagementAlgorithm(ABC):
         contract documented in ``docs/API.md``.
         """
         if self.probe.enabled:
+            if self.probe.batch_safe:
+                return self._run_batched(trace)
             return self._run_probed(trace)
         access = self.access
         for vpn in as_int_list(trace):
             access(vpn)
         return self.ledger
+
+    def _run_batched(self, trace) -> CostLedger:
+        """The batch-observed replay: the original tight loop plus exactly
+        one ``on_batch`` flush at the end, carrying the replayed VPNs and
+        the ledger delta. Batch-safe probes (``probe.batch_safe``) accept
+        this granularity in exchange for per-access costs of zero — the
+        same contract that lets subclasses keep their vectorized fast
+        paths enabled."""
+        ledger = self.ledger
+        t0 = ledger.accesses
+        before = ledger.snapshot()
+        access = self.access
+        vpns = as_int_list(trace)
+        for vpn in vpns:
+            access(vpn)
+        self.probe.on_batch(t0, vpns, ledger, before)
+        return ledger
 
     def _run_probed(self, trace) -> CostLedger:
         """The observed replay: emit typed events from per-access ledger

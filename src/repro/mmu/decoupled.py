@@ -79,6 +79,9 @@ class DecoupledSystemInspector(MMInspector):
             return allocator.max_bucket_load, allocator.bucket_size
         return None
 
+    def bucket_loads(self):
+        return self.system.bucket_loads()
+
     def deep_check(self) -> None:
         self.system.check_invariants()
         self.system.tlb.check_invariants()
@@ -166,10 +169,20 @@ class DecoupledMM(MemoryManagementAlgorithm):
 
     def run(self, trace):
         """Unprobed fast path: hand the whole trace to the system's own
-        loop, skipping one delegation hop per access."""
-        if self.probe.enabled or type(self).access is not DecoupledMM.access:
+        loop, skipping one delegation hop per access. Batch-safe probes
+        keep this path and get one ``on_batch`` flush afterwards."""
+        probe = self.probe
+        if (probe.enabled and not probe.batch_safe) or (
+            type(self).access is not DecoupledMM.access
+        ):
             return super().run(trace)
-        return self.system.run(trace)
+        if not probe.enabled:
+            return self.system.run(trace)
+        t0 = self.ledger.accesses
+        before = self.ledger.snapshot()
+        ledger = self.system.run(trace)
+        probe.on_batch(t0, trace, ledger, before)
+        return ledger
 
     def _eviction_count(self) -> int:
         return self.system.ram.evictions

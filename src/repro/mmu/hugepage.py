@@ -120,9 +120,16 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
         the golden-run and probed-vs-unprobed parity tests pin.
         """
         # subclasses that extend the per-access semantics (write-back
-        # sampling) must keep the generic loop, as must any probed replay
-        if self.probe.enabled or type(self).access is not PhysicalHugePageMM.access:
+        # sampling) must keep the generic loop, as must any probe needing
+        # per-access events; batch-safe probes keep this path and get one
+        # on_batch flush at the end
+        probe = self.probe
+        if (probe.enabled and not probe.batch_safe) or (
+            type(self).access is not PhysicalHugePageMM.access
+        ):
             return super().run(trace)
+        t0 = self.ledger.accesses
+        before = self.ledger.snapshot() if probe.enabled else None
         h = self.huge_page_size
         if h == 1:
             hpns = as_int_list(trace)
@@ -138,6 +145,8 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
         ledger.tlb_hits += tlb_hits
         ledger.tlb_misses += tlb_misses
         ledger.ios += ram_misses * h
+        if probe.enabled:
+            probe.on_batch(t0, trace, ledger, before)
         return ledger
 
     def _eviction_count(self) -> int:

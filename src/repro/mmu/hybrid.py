@@ -102,9 +102,15 @@ class HybridMM(MemoryManagementAlgorithm):
 
     def run(self, trace):
         """Unprobed fast path: the vpn→chunk mapping is static, so the
-        chunk ids for the whole trace come from one vectorized shift."""
-        if self.probe.enabled or type(self).access is not HybridMM.access:
+        chunk ids for the whole trace come from one vectorized shift.
+        Batch-safe probes keep this path and get one ``on_batch`` flush."""
+        probe = self.probe
+        if (probe.enabled and not probe.batch_safe) or (
+            type(self).access is not HybridMM.access
+        ):
             return super().run(trace)
+        t0 = self.ledger.accesses
+        before = self.ledger.snapshot() if probe.enabled else None
         chunk = self.chunk
         if chunk == 1:
             chunk_ids = as_int_list(trace)
@@ -116,6 +122,8 @@ class HybridMM(MemoryManagementAlgorithm):
         access = self.system.access
         for cid in chunk_ids:
             access(cid)
+        if probe.enabled:
+            probe.on_batch(t0, trace, self.ledger, before)
         return self.ledger
 
     def _eviction_count(self) -> int:

@@ -136,9 +136,15 @@ class THPStyleMM(MemoryManagementAlgorithm):
     def run(self, trace):
         """Unprobed fast path: the vpn→region mapping is static (promotion
         changes which *unit* a region maps to, not the region number), so
-        the regions for the whole trace come from one vectorized shift."""
-        if self.probe.enabled or type(self).access is not THPStyleMM.access:
+        the regions for the whole trace come from one vectorized shift.
+        Batch-safe probes keep this path and get one ``on_batch`` flush."""
+        probe = self.probe
+        if (probe.enabled and not probe.batch_safe) or (
+            type(self).access is not THPStyleMM.access
+        ):
             return super().run(trace)
+        t0 = self.ledger.accesses
+        before = self.ledger.snapshot() if probe.enabled else None
         vpns = as_int_list(trace)
         h = self.h
         if h == 1:
@@ -151,6 +157,8 @@ class THPStyleMM(MemoryManagementAlgorithm):
         access = self._access
         for vpn, region in zip(vpns, regions):
             access(vpn, region)
+        if probe.enabled:
+            probe.on_batch(t0, vpns, self.ledger, before)
         return self.ledger
 
     def _access(self, vpn: int, region: int) -> None:

@@ -1,18 +1,29 @@
-"""Observability: structured event tracing, interval metrics, run profiling.
+"""Observability: event tracing, sampling, snapshots, metrics, profiling.
 
-Three orthogonal pieces, all optional and all zero-overhead when unused:
+Orthogonal pieces, all optional and all zero-overhead when unused:
 
 * :mod:`repro.obs.events` — the :class:`Probe` protocol (``NullProbe``
-  default), :class:`TraceRecorder` (typed events → ring buffer → JSONL),
-  :class:`MultiProbe`;
+  default, ``batch_safe`` granularity contract), :class:`TraceRecorder`
+  (typed events → ring buffer → JSONL), :class:`MultiProbe`;
+* :mod:`repro.obs.hist` — :class:`LogHistogram`, mergeable log₂-bucketed
+  counter histograms (record / merge / percentile);
+* :mod:`repro.obs.sampling` — :class:`SamplingProbe`, deterministic
+  stride + hashed-VPN sampling with unbiased scale-up; batch-safe, so the
+  ``mmu`` fast paths stay enabled under it;
+* :mod:`repro.obs.snapshot` — :class:`ObsSnapshot`, the picklable,
+  associatively mergeable unit (counters + histograms + metrics rows)
+  that lets ``run_tasks`` fan instrumented tasks across workers;
 * :mod:`repro.obs.metrics` — :class:`IntervalMetrics`, per-window time
   series (IO rate, TLB miss rate, working set, cost at ε) from
   :class:`~repro.core.model.CostLedger` deltas;
+* :mod:`repro.obs.report` — render snapshots / bench payloads / metrics
+  JSONL into a terminal summary and self-contained HTML (``repro report``);
 * :mod:`repro.obs.profile` — ``perf_counter`` timers, the ``@timed``
   decorator, and throughput helpers.
 
-Attach via ``simulate(mm, trace, probe=..., metrics=...)`` or the CLI's
-``repro trace`` subcommand.
+Attach via ``simulate(mm, trace, probe=..., metrics=...)``,
+``run_tasks(..., snapshot=...)``, or the CLI's ``repro trace`` /
+``repro report`` subcommands.
 """
 
 from .events import (
@@ -24,6 +35,7 @@ from .events import (
     Probe,
     TraceRecorder,
 )
+from .hist import LogHistogram
 from .metrics import METRICS_FIELDS, IntervalMetrics
 from .profile import (
     PROFILE,
@@ -33,6 +45,9 @@ from .profile import (
     accesses_per_second,
     timed,
 )
+from .report import build_report, load_artifact, render_html, render_text
+from .sampling import SamplingProbe
+from .snapshot import ObsSnapshot
 
 __all__ = [
     "EVENT_KINDS",
@@ -42,8 +57,15 @@ __all__ = [
     "NULL_PROBE",
     "TraceRecorder",
     "MultiProbe",
+    "LogHistogram",
+    "SamplingProbe",
+    "ObsSnapshot",
     "IntervalMetrics",
     "METRICS_FIELDS",
+    "load_artifact",
+    "build_report",
+    "render_text",
+    "render_html",
     "Timer",
     "TimerStats",
     "ProfileRegistry",

@@ -90,12 +90,23 @@ class Probe:
     Subclass and override the kinds you care about. ``enabled`` is checked
     *once per replay* by the instrumented runner — a probe whose class sets
     it to ``False`` costs literally nothing per access.
+
+    ``batch_safe`` declares the probe's granularity contract: a batch-safe
+    probe only needs :meth:`on_batch` — one callback per ``run()`` with the
+    replayed VPNs and the ledger delta — and therefore keeps the batched /
+    vectorized fast paths in ``mmu/hugepage|decoupled|hybrid|thp`` (and the
+    base tight loop) enabled. Probes that need per-access event ordering
+    (``TraceRecorder``, ``StreamTap``, ``IntervalMetrics``) leave it False
+    and force the original per-access path.
     """
 
     __slots__ = ()
 
     #: class-level switch: False routes run() to the uninstrumented loop.
     enabled: bool = True
+
+    #: True iff on_batch-level granularity suffices — keeps fast paths on.
+    batch_safe: bool = False
 
     def on_access(self, t: int, vpn: int) -> None:
         """A request for *vpn* was serviced (fires for every access)."""
@@ -114,6 +125,18 @@ class Probe:
 
     def on_phase(self, t: int, name: str) -> None:
         """The driver crossed a phase boundary at absolute trace index *t*."""
+
+    def on_batch(self, t0: int, vpns, ledger, before) -> None:
+        """A batched replay serviced *vpns* starting at access index *t0*.
+
+        Fires once per ``run()`` on batch-safe probes, after the batch
+        completes. *ledger* is the live :class:`~repro.core.model.CostLedger`
+        (post-batch) and *before* its :meth:`snapshot` tuple from just
+        before the batch, so the batch's exact counter deltas are
+        ``tuple(b - a for a, b in zip(before, ledger.snapshot()))``.
+        *vpns* is the replayed trace slice (list or ndarray) — treat it as
+        read-only.
+        """
 
 
 class NullProbe(Probe):
@@ -204,6 +227,7 @@ class TraceRecorder(Probe):
     def to_jsonl(self, path) -> Path:
         """Write the retained events as JSONL (one object per line)."""
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w") as fh:
             for event in self._buf:
                 fh.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
@@ -211,12 +235,20 @@ class TraceRecorder(Probe):
 
 
 class MultiProbe(Probe):
-    """Fan one event stream out to several probes (e.g. recorder + metrics)."""
+    """Fan one event stream out to several probes (e.g. recorder + metrics).
 
-    __slots__ = ("probes",)
+    The composite is batch-safe only when *every* child is — a single
+    per-access child forces the per-access path for the whole group, since
+    events can only be derived once per replay.
+    """
+
+    __slots__ = ("probes", "batch_safe")
 
     def __init__(self, probes: Iterable[Probe]) -> None:
         self.probes = tuple(p for p in probes if p.enabled)
+        self.batch_safe = bool(self.probes) and all(
+            p.batch_safe for p in self.probes
+        )
 
     def on_access(self, t: int, vpn: int) -> None:
         for p in self.probes:
@@ -241,3 +273,7 @@ class MultiProbe(Probe):
     def on_phase(self, t: int, name: str) -> None:
         for p in self.probes:
             p.on_phase(t, name)
+
+    def on_batch(self, t0: int, vpns, ledger, before) -> None:
+        for p in self.probes:
+            p.on_batch(t0, vpns, ledger, before)

@@ -1,0 +1,190 @@
+"""Log₂-bucketed counter histograms (HDR-style): record, merge, percentile.
+
+The address-translation cost model lives on *distributions*, not just
+totals — Theorems 1–2 bound tail bucket loads, and the paper's
+amplification story is about IO burst sizes, not the IO sum. A
+:class:`LogHistogram` keeps one counter per power-of-two bucket
+(``0``, ``1``, ``2–3``, ``4–7``, …), so recording is two integer ops, the
+memory footprint is ~64 counters regardless of stream length, and two
+histograms recorded on disjoint shards merge into exactly the histogram of
+the combined stream — the property the parallel snapshot reduction
+(:mod:`repro.obs.snapshot`) is built on.
+
+Accuracy: any reported quantile is exact to within its bucket (a factor of
+two), which is the right resolution for the log-scale quantities we track
+(inter-miss gaps, reuse distances, IO/eviction batch sizes, bucket loads).
+The count ``n``, ``sum``, ``min`` and ``max`` are exact.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogHistogram", "bucket_index", "bucket_bounds", "bucket_label"]
+
+
+def bucket_index(value: int) -> int:
+    """Bucket holding *value*: 0 → 0, 1 → 1, 2–3 → 2, 4–7 → 3, …"""
+    if value < 0:
+        raise ValueError(f"LogHistogram records non-negative ints, got {value}")
+    return value.bit_length()
+
+
+def bucket_bounds(index: int) -> tuple[int, int]:
+    """Inclusive ``(lo, hi)`` value range of bucket *index*."""
+    if index <= 0:
+        return (0, 0)
+    return (1 << (index - 1), (1 << index) - 1)
+
+
+def bucket_label(index: int) -> str:
+    """Human-readable range label for bucket *index* (``"4-7"``)."""
+    lo, hi = bucket_bounds(index)
+    return str(lo) if lo == hi else f"{lo}-{hi}"
+
+
+class LogHistogram:
+    """A mergeable histogram of non-negative integers with log₂ buckets.
+
+    ``record`` is O(1) and allocation-free once a bucket exists; ``merge``
+    is bucket-wise addition, hence associative and commutative
+    (``merge(a, merge(b, c)) == merge(merge(a, b), c)``), which the fuzz
+    tests pin. Equality compares the full observable state.
+    """
+
+    __slots__ = ("counts", "n", "total", "min", "max")
+
+    def __init__(self) -> None:
+        #: sparse bucket → count mapping (only non-empty buckets appear).
+        self.counts: dict[int, int] = {}
+        #: number of recorded values.
+        self.n = 0
+        #: exact sum of recorded values.
+        self.total = 0
+        #: exact extremes (``None`` while empty).
+        self.min: int | None = None
+        self.max: int | None = None
+
+    # ------------------------------------------------------------- recording
+
+    def record(self, value: int, count: int = 1) -> None:
+        """Record *value* (``count`` times)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        b = bucket_index(value)
+        self.counts[b] = self.counts.get(b, 0) + count
+        self.n += count
+        self.total += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def record_many(self, values) -> None:
+        """Record every value in *values* (ints; e.g. allocator bucket loads)."""
+        for v in values:
+            self.record(int(v))
+
+    # --------------------------------------------------------------- merging
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """A new histogram equal to recording both input streams."""
+        out = LogHistogram()
+        out.counts = dict(self.counts)
+        for b, c in other.counts.items():
+            out.counts[b] = out.counts.get(b, 0) + c
+        out.n = self.n + other.n
+        out.total = self.total + other.total
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        out.min = min(mins) if mins else None
+        out.max = max(maxs) if maxs else None
+        return out
+
+    # ------------------------------------------------------------- summaries
+
+    def percentile(self, q: float) -> int | None:
+        """Smallest bucket upper bound covering fraction *q* of the mass.
+
+        Exact to within the bucket (factor of two); ``None`` while empty.
+        The reported value is clamped to the exact ``[min, max]`` range
+        (so ``percentile(1.0)`` is exactly ``max``).
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.n == 0:
+            return None
+        need = max(1, -(-q * self.n // 1))  # ceil(q * n), at least one value
+        seen = 0
+        for b in sorted(self.counts):
+            seen += self.counts[b]
+            if seen >= need:
+                hi = bucket_bounds(b)[1]
+                return max(self.min, min(self.max, hi))
+        return self.max  # pragma: no cover - q <= 1 always lands above
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the recorded values (0.0 while empty)."""
+        return self.total / self.n if self.n else 0.0
+
+    def rows(self) -> list[dict]:
+        """One dict per non-empty bucket, ascending — the report table."""
+        out = []
+        seen = 0
+        for b in sorted(self.counts):
+            c = self.counts[b]
+            seen += c
+            out.append(
+                {
+                    "bucket": bucket_label(b),
+                    "count": c,
+                    "cum_frac": seen / self.n,
+                }
+            )
+        return out
+
+    # ---------------------------------------------------------- serialization
+
+    def as_dict(self) -> dict:
+        """JSON-ready state (bucket keys become strings)."""
+        return {
+            "counts": {str(b): c for b, c in sorted(self.counts.items())},
+            "n": self.n,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LogHistogram":
+        """Inverse of :meth:`as_dict`."""
+        out = cls()
+        out.counts = {int(b): int(c) for b, c in payload["counts"].items()}
+        out.n = int(payload["n"])
+        out.total = int(payload["total"])
+        out.min = None if payload["min"] is None else int(payload["min"])
+        out.max = None if payload["max"] is None else int(payload["max"])
+        return out
+
+    # ----------------------------------------------------------------- dunder
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LogHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.n == other.n
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.n == 0:
+            return "<LogHistogram empty>"
+        return (
+            f"<LogHistogram n={self.n} min={self.min} max={self.max} "
+            f"p50={self.percentile(0.5)} p99={self.percentile(0.99)}>"
+        )

@@ -140,6 +140,7 @@ class IntervalMetrics(Probe):
     def to_jsonl(self, path) -> Path:
         """Write one JSON object per window (the metrics JSONL stream)."""
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w") as fh:
             for w in self.windows:
                 fh.write(json.dumps(w, sort_keys=True) + "\n")

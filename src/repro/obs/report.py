@@ -1,0 +1,427 @@
+"""``repro report``: render observability artefacts for humans.
+
+One renderer for every serialized artefact the toolchain produces:
+
+* ``obs_snapshot`` JSON (:meth:`~repro.obs.snapshot.ObsSnapshot.as_dict`,
+  standalone or embedded in a sweep payload) — exact counters, the
+  ε-priced cost breakdown, unbiased sampling estimates, and one table per
+  log₂ histogram;
+* ``bench_sweep`` / ``bench_hotloop`` JSON (``repro bench``) — per-cell /
+  per-component throughput, the probed-vs-unprobed ratio table, and the
+  throughput trend against the committed baseline in ``--baseline-dir``;
+* interval-metrics JSONL (``repro trace --metrics-out`` / ``repro fig1``)
+  — the window table plus a per-task/per-phase cost attribution.
+
+The output is a terminal summary (aligned monospace tables) and,
+optionally, a single self-contained HTML file (inline CSS, no external
+assets) fit for a CI artifact. Rendering never recomputes simulation
+results: everything shown is read from the artefacts, so the report is a
+pure function of its inputs.
+
+This module sits in ``obs`` and must not import ``bench``/``sim`` (they
+import ``obs``); it therefore carries its own small table formatter.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from .hist import LogHistogram
+from .snapshot import SNAPSHOT_KIND, ObsSnapshot
+
+__all__ = [
+    "load_artifact",
+    "build_report",
+    "render_text",
+    "render_html",
+    "cost_breakdown",
+]
+
+#: percentiles shown in every histogram summary.
+_PERCENTILES = (0.50, 0.90, 0.99)
+
+#: payload kinds this renderer understands.
+_BENCH_KINDS = ("bench_sweep", "bench_hotloop")
+
+
+# ------------------------------------------------------------------ loading
+
+
+def load_artifact(path) -> dict:
+    """Read one input file and classify it.
+
+    ``*.jsonl`` → ``{"kind": "metrics_jsonl", "rows": [...]}``; ``*.json``
+    must carry a known ``kind`` (``bench_sweep``, ``bench_hotloop``,
+    ``obs_snapshot``). The returned dict always has ``kind`` and ``path``.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        return {"kind": "metrics_jsonl", "rows": rows, "path": str(path)}
+    payload = json.loads(path.read_text())
+    kind = payload.get("kind")
+    if kind not in (*_BENCH_KINDS, SNAPSHOT_KIND):
+        raise ValueError(
+            f"{path}: unknown payload kind {kind!r} (expected one of "
+            f"{(*_BENCH_KINDS, SNAPSHOT_KIND)} or a .jsonl metrics stream)"
+        )
+    payload["path"] = str(path)
+    return payload
+
+
+# ------------------------------------------------------------ section build
+
+
+def cost_breakdown(counters: dict, epsilon: float) -> list[dict]:
+    """The paper's cost split at ε: ``C = ios + ε·(tlb + decoding misses)``.
+
+    Matches :class:`~repro.obs.metrics.IntervalMetrics` pricing, so the
+    totals here agree with the summed ``cost`` column of a metrics stream
+    taken at the same ε.
+    """
+    ios = counters.get("ios", 0)
+    misses = counters.get("tlb_misses", 0) + counters.get("decoding_misses", 0)
+    translation = epsilon * misses
+    total = ios + translation
+    return [
+        {"component": "paging (IOs)", "events": ios, "cost": float(ios),
+         "share": ios / total if total else 0.0},
+        {"component": f"translation (eps={epsilon:g})", "events": misses,
+         "cost": translation, "share": translation / total if total else 0.0},
+        {"component": "total", "events": ios + misses, "cost": total,
+         "share": 1.0 if total else 0.0},
+    ]
+
+
+def _hist_tables(hists: dict) -> list[tuple[str, list[dict]]]:
+    """One summary row + one bucket table per histogram, sorted by name."""
+    tables = []
+    summary = []
+    for name in sorted(hists):
+        h = hists[name]
+        if isinstance(h, dict):
+            h = LogHistogram.from_dict(h)
+        row = {"histogram": name, "n": h.n, "mean": round(h.mean, 2),
+               "min": h.min, "max": h.max}
+        for q in _PERCENTILES:
+            row[f"p{int(q * 100)}"] = h.percentile(q)
+        summary.append(row)
+        if h.n:
+            tables.append((f"histogram: {name}", h.rows()))
+    if summary:
+        tables.insert(0, ("histogram summary", summary))
+    return tables
+
+
+def _attribution(rows: list[dict]) -> list[dict] | None:
+    """Group metrics rows by their tag (``task`` / ``h``) and sum costs."""
+    key = next((k for k in ("task", "h") if rows and k in rows[0]), None)
+    if key is None:
+        return None
+    groups: dict = {}
+    for row in rows:
+        g = groups.setdefault(row.get(key), {
+            "windows": 0, "accesses": 0, "ios": 0, "tlb_misses": 0, "cost": 0.0
+        })
+        g["windows"] += 1
+        for field in ("accesses", "ios", "tlb_misses", "cost"):
+            g[field] += row.get(field, 0)
+    total_cost = sum(g["cost"] for g in groups.values()) or 1.0
+    return [
+        {key: tag, **g, "cost": round(g["cost"], 3),
+         "cost_share": g["cost"] / total_cost}
+        for tag, g in sorted(groups.items(), key=lambda kv: str(kv[0]))
+    ]
+
+
+def _subsample(rows: list, max_rows: int = 24) -> list:
+    if len(rows) <= max_rows:
+        return list(rows)
+    step = -(-len(rows) // max_rows)
+    return rows[::step]
+
+
+def _snapshot_sections(payload: dict, epsilon: float, title: str) -> list[dict]:
+    """Sections for one obs_snapshot payload (standalone or embedded)."""
+    snap = ObsSnapshot.from_dict(payload)
+    section = {"title": title, "tables": [], "notes": []}
+    section["notes"].append(
+        f"{snap.meta.get('runs', 0)} run(s) merged; "
+        + ", ".join(f"{k}={v}" for k, v in sorted(snap.meta.items())
+                    if k != "runs")
+    )
+    section["tables"].append((
+        "exact counters",
+        [{"counter": k, "value": snap.counters[k]}
+         for k in sorted(snap.counters)],
+    ))
+    section["tables"].append((
+        f"cost breakdown at eps={epsilon:g}",
+        cost_breakdown(snap.counters, epsilon),
+    ))
+    estimates = snap.estimates()
+    if estimates:
+        section["tables"].append((
+            "sampling estimates (unbiased scale-ups)",
+            [{"estimate": k, "value": round(v, 1)}
+             for k, v in sorted(estimates.items())],
+        ))
+    section["tables"].extend(_hist_tables(snap.hists))
+    sections = [section]
+    if snap.rows:
+        sections.extend(_metrics_sections(snap.rows, f"{title} — metrics"))
+    return sections
+
+
+def _metrics_sections(rows: list[dict], title: str) -> list[dict]:
+    section = {"title": title, "tables": [], "notes": []}
+    attribution = _attribution(rows)
+    if attribution is not None:
+        section["tables"].append(("per-task cost attribution", attribution))
+    shown = _subsample(rows)
+    if len(shown) < len(rows):
+        section["notes"].append(
+            f"window table subsampled: {len(shown)} of {len(rows)} rows shown"
+        )
+    section["tables"].append(("windows", shown))
+    return [section]
+
+
+def _trend_note(payload: dict, baseline_dir, field: str) -> str | None:
+    """Throughput trend vs the committed baseline of the same kind."""
+    if baseline_dir is None:
+        return None
+    name = {"bench_sweep": "BENCH_sweep.json",
+            "bench_hotloop": "BENCH_hotloop.json"}[payload["kind"]]
+    base_path = Path(baseline_dir) / name
+    if not base_path.exists():
+        return f"no baseline at {base_path}; trend skipped"
+    try:
+        baseline = json.loads(base_path.read_text())
+    except (ValueError, OSError) as exc:
+        return f"baseline {base_path} unreadable ({exc}); trend skipped"
+    if baseline.get("kind") != payload["kind"]:
+        return f"baseline {base_path} is a different kind; trend skipped"
+    old, new = baseline.get(field, 0.0), payload.get(field, 0.0)
+    if not old:
+        return f"baseline {base_path} has no {field}; trend skipped"
+    return (
+        f"throughput trend vs {base_path}: "
+        f"{old / 1e3:.1f} -> {new / 1e3:.1f} kops/s ({new / old - 1:+.1%})"
+    )
+
+
+def _sweep_sections(payload: dict, epsilon: float, baseline_dir) -> list[dict]:
+    section = {"title": f"bench sweep — {payload.get('path', '')}",
+               "tables": [], "notes": []}
+    machine = payload.get("machine", {})
+    section["notes"].append(
+        f"config: {json.dumps(payload.get('config', {}), sort_keys=True)}"
+    )
+    section["notes"].append(
+        f"machine: python {machine.get('python')}, numpy "
+        f"{machine.get('numpy')}, {machine.get('cpu_count')} CPUs; "
+        f"jobs={payload.get('jobs')}"
+    )
+    section["notes"].append(
+        f"end-to-end: {payload.get('total_accesses', 0)} accesses at "
+        f"{payload.get('accesses_per_s', 0.0) / 1e3:.1f} kacc/s"
+    )
+    trend = _trend_note(payload, baseline_dir, "accesses_per_s")
+    if trend:
+        section["notes"].append(trend)
+    columns = ("h", "algorithm", "accesses", "ios", "tlb_misses",
+               "tlb_hits", "decoding_misses")
+    section["tables"].append((
+        "sweep cells",
+        [{c: row.get(c) for c in columns} for row in payload.get("rows", [])],
+    ))
+    sections = [section]
+    if "snapshot" in payload:
+        sections.extend(_snapshot_sections(
+            payload["snapshot"], epsilon,
+            "merged sweep snapshot (SamplingProbe)",
+        ))
+    return sections
+
+
+def _hotloop_sections(payload: dict, baseline_dir) -> list[dict]:
+    section = {"title": f"bench hotloop — {payload.get('path', '')}",
+               "tables": [], "notes": []}
+    section["notes"].append(
+        f"geomean {payload.get('geomean_ops_per_s', 0.0) / 1e3:.1f} kops/s "
+        f"over {len(payload.get('rows', []))} components"
+    )
+    trend = _trend_note(payload, baseline_dir, "geomean_ops_per_s")
+    if trend:
+        section["notes"].append(trend)
+    rows = payload.get("rows", [])
+    section["tables"].append((
+        "components",
+        [{"component": r["component"],
+          "kops_per_s": round(r["ops_per_s"] / 1e3, 1)} for r in rows],
+    ))
+    byname = {r["component"]: r for r in rows}
+    probed = []
+    for name, row in sorted(byname.items()):
+        if not name.startswith("mm+sampled:"):
+            continue
+        twin = byname.get(name.replace("mm+sampled:", "mm:", 1))
+        if twin is None:
+            continue
+        probed.append({
+            "mm": name.removeprefix("mm+sampled:"),
+            "unprobed_kops_per_s": round(twin["ops_per_s"] / 1e3, 1),
+            "probed_kops_per_s": round(row["ops_per_s"] / 1e3, 1),
+            "ratio": round(row["ops_per_s"] / twin["ops_per_s"], 3),
+            "counters_equal": row.get("counters") == twin.get("counters"),
+        })
+    if probed:
+        section["tables"].append(("sampling-probe overhead", probed))
+    return [section]
+
+
+def build_report(
+    artifacts,
+    *,
+    epsilon: float = 0.01,
+    baseline_dir=None,
+) -> list[dict]:
+    """Sections (``{"title", "notes", "tables"}``) for *artifacts*.
+
+    *artifacts* are dicts from :func:`load_artifact`; *epsilon* prices the
+    cost breakdown; *baseline_dir* enables the throughput-trend notes on
+    bench payloads.
+    """
+    sections: list[dict] = []
+    for payload in artifacts:
+        kind = payload["kind"]
+        if kind == SNAPSHOT_KIND:
+            sections.extend(_snapshot_sections(
+                payload, epsilon, f"snapshot — {payload.get('path', '')}"
+            ))
+        elif kind == "bench_sweep":
+            sections.extend(_sweep_sections(payload, epsilon, baseline_dir))
+        elif kind == "bench_hotloop":
+            sections.extend(_hotloop_sections(payload, baseline_dir))
+        else:  # metrics_jsonl
+            sections.extend(_metrics_sections(
+                payload["rows"], f"metrics — {payload.get('path', '')}"
+            ))
+    return sections
+
+
+# --------------------------------------------------------------- rendering
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _table(rows, columns=None) -> str:
+    """Aligned monospace table (local twin of ``bench.format_table`` —
+    ``obs`` cannot import ``bench`` without a cycle)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(r[i].rjust(widths[i]) for i in range(len(columns)))
+        for r in cells
+    )
+    return f"{header}\n{sep}\n{body}"
+
+
+def render_text(sections: list[dict]) -> str:
+    """The terminal summary: every section, notes then tables."""
+    parts = []
+    for section in sections:
+        block = [f"== {section['title']} =="]
+        block.extend(f"  {note}" for note in section["notes"])
+        for subtitle, rows in section["tables"]:
+            block.append(f"\n-- {subtitle} --")
+            block.append(_table(rows))
+        parts.append("\n".join(block))
+    return "\n\n".join(parts) if parts else "(nothing to report)"
+
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; padding: 0 1rem; color: #1a2433; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2.5rem;
+     border-bottom: 2px solid #d7dde6; padding-bottom: .3rem; }
+h3 { font-size: .95rem; margin-bottom: .3rem; color: #40506a; }
+p.note { margin: .15rem 0; color: #40506a; font-size: .9rem; }
+table { border-collapse: collapse; margin: .4rem 0 1.2rem; }
+th, td { border: 1px solid #d7dde6; padding: .25rem .6rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #eef1f6; } td:first-child, th:first-child
+{ text-align: left; }
+td .bar { display: inline-block; height: .6rem; background: #6b8fc9;
+          vertical-align: baseline; }
+"""
+
+
+def _html_cell(column: str, value) -> str:
+    text = html.escape(_fmt(value))
+    # fraction columns double as inline bars, HDR-viewer style
+    if column in ("share", "cum_frac", "cost_share") and isinstance(
+        value, (int, float)
+    ):
+        width = max(0.0, min(1.0, float(value))) * 7.0
+        return f'<td><span class="bar" style="width:{width:.2f}rem"></span> {text}</td>'
+    return f"<td>{text}</td>"
+
+
+def render_html(sections: list[dict], *, title: str = "repro report") -> str:
+    """One self-contained HTML document (inline CSS, no external assets)."""
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>",
+        f"<body><h1>{html.escape(title)}</h1>",
+    ]
+    for section in sections:
+        parts.append(f"<h2>{html.escape(section['title'])}</h2>")
+        for note in section["notes"]:
+            parts.append(f"<p class='note'>{html.escape(note)}</p>")
+        for subtitle, rows in section["tables"]:
+            parts.append(f"<h3>{html.escape(subtitle)}</h3>")
+            rows = list(rows)
+            if not rows:
+                parts.append("<p class='note'>(no rows)</p>")
+                continue
+            columns = list(rows[0].keys())
+            parts.append("<table><tr>")
+            parts.extend(f"<th>{html.escape(str(c))}</th>" for c in columns)
+            parts.append("</tr>")
+            for row in rows:
+                parts.append("<tr>")
+                parts.extend(_html_cell(c, row.get(c)) for c in columns)
+                parts.append("</tr>")
+            parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)

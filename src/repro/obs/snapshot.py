@@ -1,0 +1,219 @@
+"""Picklable, mergeable observability snapshots.
+
+An :class:`ObsSnapshot` is the unit of observability that crosses process
+boundaries: exact counters (from the run's :class:`~repro.core.model.CostLedger`),
+log₂ histograms (from a batch-safe probe such as
+:class:`~repro.obs.sampling.SamplingProbe`), and interval-metrics rows —
+all plain data, so a worker process can build one per task and ship it back
+pickled, and :func:`~repro.sim.parallel.run_tasks` can reduce the shards at
+join with :meth:`merge`.
+
+``merge`` is **associative** (counters add key-wise, histograms merge
+bucket-wise, rows concatenate, and ``meta`` sums ``runs`` while requiring
+every other key to agree), so any reduction tree over the same ordered
+shard list yields the same snapshot — the property that makes
+``jobs=4`` bit-identical to ``jobs=1``.
+
+Counters come from the ledger, not from sampling, so they are exact; the
+sampled quantities (``sampled_accesses``, ``tracked_accesses``,
+``tracked_pages``) ride along as ordinary counters and scale up through
+:meth:`estimates` using the probe configuration recorded in ``meta``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .hist import LogHistogram
+
+__all__ = ["ObsSnapshot", "SNAPSHOT_KIND", "SNAPSHOT_FORMAT"]
+
+SNAPSHOT_KIND = "obs_snapshot"
+SNAPSHOT_FORMAT = 1
+
+#: meta keys that add up across merges (everything else must agree).
+_SUMMED_META = ("runs",)
+
+#: probe configuration lifted into meta when present on the probe.
+_PROBE_META = ("rate", "stride", "seed", "detail")
+
+#: probe sample tallies lifted into counters when present on the probe.
+_PROBE_COUNTERS = ("sampled_accesses", "tracked_accesses")
+
+
+class ObsSnapshot:
+    """Counters + histograms + metrics rows from one or more runs."""
+
+    __slots__ = ("counters", "hists", "rows", "meta")
+
+    def __init__(
+        self,
+        counters: dict | None = None,
+        hists: dict | None = None,
+        rows: list | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        self.counters: dict[str, int | float] = dict(counters or {})
+        self.hists: dict[str, LogHistogram] = dict(hists or {})
+        self.rows: list[dict] = list(rows or [])
+        self.meta: dict = dict(meta) if meta is not None else {"runs": 0}
+        self.meta.setdefault("runs", 0)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_run(
+        cls, ledger, *, probe=None, metrics=None, mm=None, label=None
+    ) -> "ObsSnapshot":
+        """Snapshot one finished run.
+
+        *ledger* provides the exact counters (numeric ``extra`` entries
+        included). *probe*, when it exposes ``hists`` /
+        ``sampled_accesses`` / ``rate`` (duck-typed — ``SamplingProbe``
+        does), contributes its histograms, sample tallies, and
+        configuration. *metrics* contributes its closed windows as rows,
+        each tagged with *label* when given. *mm*, when its inspector
+        exposes ``bucket_loads()``, contributes a ``bucket_load``
+        histogram of the allocator's current per-bucket occupancy.
+        """
+        counters = {
+            k: v for k, v in ledger.as_dict().items() if isinstance(v, (int, float))
+        }
+        hists: dict[str, LogHistogram] = {}
+        meta: dict = {"runs": 1}
+        if probe is not None:
+            for name, h in getattr(probe, "hists", {}).items():
+                hists[name] = LogHistogram.from_dict(h.as_dict())  # defensive copy
+            for key in _PROBE_COUNTERS:
+                value = getattr(probe, key, None)
+                if value is not None:
+                    counters[key] = counters.get(key, 0) + value
+            tracked = getattr(probe, "_last_seen", None)
+            if tracked is not None:
+                counters["tracked_pages"] = counters.get("tracked_pages", 0) + len(
+                    tracked
+                )
+            for key in _PROBE_META:
+                value = getattr(probe, key, None)
+                if value is not None:
+                    meta[key] = value
+        if mm is not None:
+            loads = mm.inspector().bucket_loads()
+            if loads is not None:
+                bucket_hist = hists.setdefault("bucket_load", LogHistogram())
+                bucket_hist.record_many(loads)
+        rows: list[dict] = []
+        if metrics is not None:
+            for window in metrics.rows():
+                row = dict(window)
+                if label is not None:
+                    row["task"] = label
+                rows.append(row)
+        return cls(counters, hists, rows, meta)
+
+    # ----------------------------------------------------------------- merging
+
+    def merge(self, other: "ObsSnapshot") -> "ObsSnapshot":
+        """A new snapshot covering both inputs' runs.
+
+        Associative and (rows aside) commutative; ``meta`` keys other than
+        the summed ones must agree, which guards against merging snapshots
+        taken under different probe configurations.
+        """
+        counters = dict(self.counters)
+        for k, v in other.counters.items():
+            counters[k] = counters.get(k, 0) + v
+        hists = dict(self.hists)
+        for k, h in other.hists.items():
+            hists[k] = hists[k].merge(h) if k in hists else h
+        meta: dict = {}
+        for k in set(self.meta) | set(other.meta):
+            if k in _SUMMED_META:
+                meta[k] = self.meta.get(k, 0) + other.meta.get(k, 0)
+                continue
+            mine, theirs = self.meta.get(k), other.meta.get(k)
+            if mine is not None and theirs is not None and mine != theirs:
+                raise ValueError(
+                    f"cannot merge snapshots: meta[{k!r}] differs "
+                    f"({mine!r} vs {theirs!r})"
+                )
+            meta[k] = mine if mine is not None else theirs
+        return ObsSnapshot(counters, hists, self.rows + other.rows, meta)
+
+    @classmethod
+    def merge_all(cls, snapshots) -> "ObsSnapshot":
+        """Left-fold ``merge`` over *snapshots* (empty input → empty snapshot)."""
+        out = cls()
+        for snap in snapshots:
+            if snap is not None:
+                out = out.merge(snap)
+        return out
+
+    # --------------------------------------------------------------- summaries
+
+    def estimates(self) -> dict[str, float]:
+        """Unbiased scale-ups of the sampled tallies (see ``SamplingProbe``)."""
+        out: dict[str, float] = {}
+        stride = self.meta.get("stride")
+        rate = self.meta.get("rate")
+        if stride:
+            out["accesses_from_stride"] = float(
+                self.counters.get("sampled_accesses", 0) * stride
+            )
+        if rate:
+            out["accesses_from_hash"] = self.counters.get("tracked_accesses", 0) / rate
+            out["tracked_pages_scaled"] = self.counters.get("tracked_pages", 0) / rate
+        return out
+
+    # ------------------------------------------------------------ serialization
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (``kind`` marks it for the report loader)."""
+        return {
+            "kind": SNAPSHOT_KIND,
+            "format": SNAPSHOT_FORMAT,
+            "counters": dict(self.counters),
+            "hists": {k: h.as_dict() for k, h in sorted(self.hists.items())},
+            "rows": list(self.rows),
+            "meta": dict(self.meta),
+            "estimates": self.estimates(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObsSnapshot":
+        """Inverse of :meth:`as_dict` (``estimates`` are derived, not stored)."""
+        if payload.get("kind") not in (None, SNAPSHOT_KIND):
+            raise ValueError(f"not an obs_snapshot payload: kind={payload.get('kind')!r}")
+        return cls(
+            payload.get("counters"),
+            {k: LogHistogram.from_dict(h) for k, h in payload.get("hists", {}).items()},
+            payload.get("rows"),
+            payload.get("meta"),
+        )
+
+    def to_json(self, path) -> Path:
+        """Write the snapshot as a JSON file (parents created as needed)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    # ------------------------------------------------------------------- dunder
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ObsSnapshot):
+            return NotImplemented
+        return (
+            self.counters == other.counters
+            and self.hists == other.hists
+            and self.rows == other.rows
+            and self.meta == other.meta
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ObsSnapshot runs={self.meta.get('runs', 0)} "
+            f"counters={len(self.counters)} hists={sorted(self.hists)} "
+            f"rows={len(self.rows)}>"
+        )

@@ -19,9 +19,18 @@ embarrassingly parallel. This module turns a declarative list of
   marks only that cell failed; it is retried once (``retries=1``) in a
   fresh pool and never poisons the other cells.
 * **Serial parity** — ``jobs=1`` runs everything in-process with today's
-  exact semantics; probes and interval metrics are supported on this path
-  only (they hold unpicklable live state), and asking for them with
-  ``jobs != 1`` falls back to serial with a warning.
+  exact semantics. A *shared* ``probe=`` observes every run in sequence and
+  is supported on this path only (live observer state does not cross
+  process boundaries); asking for an enabled probe with ``jobs != 1`` falls
+  back to serial with a warning.
+* **Parallel observability** — ``snapshot=`` takes a picklable zero-arg
+  probe factory (e.g. ``partial(SamplingProbe, rate=1/64)``); each task
+  builds its own probe *inside the worker* and ships back a mergeable
+  :class:`~repro.obs.snapshot.ObsSnapshot` on ``record.snapshot``, so
+  instrumented grids fan out across workers and reduce at join
+  (``ObsSnapshot.merge_all``) with results bit-identical to ``jobs=1``.
+  ``metrics_every`` rides the same path: per-task collectors are built and
+  returned by the worker, so interval metrics no longer force serial.
 
 Each record is stamped with its per-task wall-clock timing
 (``params["elapsed_s"]`` / ``params["accesses_per_s"]``, measured inside
@@ -140,6 +149,12 @@ def _on_alarm(signum, frame):  # pragma: no cover - fires only on slow tasks
     raise _TaskTimeout()
 
 
+def _null_probe_factory() -> None:
+    """Module-level (hence picklable) stand-in for ``snapshot=True``:
+    snapshots carry exact counters (and metrics rows) but no probe."""
+    return None
+
+
 def _execute(
     task: SimTask,
     shared_trace,
@@ -147,6 +162,7 @@ def _execute(
     probe: Probe | None = None,
     metrics_every: int | None = None,
     epsilon: float = 0.01,
+    snapshot_factory: Callable[[], Probe | None] | None = None,
 ) -> RunRecord:
     """Run one task to a timing-stamped record (worker side or serial)."""
     from .simulator import simulate  # local import: avoid a module cycle
@@ -159,6 +175,10 @@ def _execute(
     metrics = (
         IntervalMetrics(every=metrics_every, epsilon=epsilon) if metrics_every else None
     )
+    if snapshot_factory is not None:
+        # per-task probe, built where the task runs — its state never has
+        # to cross a process boundary, only the snapshot does
+        probe = snapshot_factory()
     with Timer() as timer:
         ledger = simulate(
             mm,
@@ -168,6 +188,13 @@ def _execute(
             metrics=metrics,
             validate=task.validate,
             deep_every=task.deep_every,
+        )
+    snapshot = None
+    if snapshot_factory is not None:
+        from ..obs.snapshot import ObsSnapshot
+
+        snapshot = ObsSnapshot.from_run(
+            ledger, probe=probe, metrics=metrics, mm=mm, label=task.key
         )
     return RunRecord(
         algorithm=task.algorithm if task.algorithm is not None else mm.name,
@@ -179,11 +206,17 @@ def _execute(
             "accesses_per_s": accesses_per_second(ledger.accesses, timer.elapsed),
         },
         metrics=metrics,
+        snapshot=snapshot,
     )
 
 
 def _run_chunk(
-    tasks: list[SimTask], shared_trace, task_timeout: float | None
+    tasks: list[SimTask],
+    shared_trace,
+    task_timeout: float | None,
+    metrics_every: int | None = None,
+    epsilon: float = 0.01,
+    snapshot_factory: Callable[[], Probe | None] | None = None,
 ) -> list[tuple[int, RunRecord | None, str | None]]:
     """Worker entry point: run a chunk of tasks, isolating per-task errors.
 
@@ -199,7 +232,13 @@ def _run_chunk(
             old_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, task_timeout)
         try:
-            record = _execute(task, shared_trace)
+            record = _execute(
+                task,
+                shared_trace,
+                metrics_every=metrics_every,
+                epsilon=epsilon,
+                snapshot_factory=snapshot_factory,
+            )
             out.append((task.key, record, None))
         except _TaskTimeout:
             out.append((task.key, None, f"timed out after {task_timeout:g}s"))
@@ -220,6 +259,7 @@ def run_tasks(
     probe: Probe | None = None,
     metrics_every: int | None = None,
     epsilon: float = 0.01,
+    snapshot: Callable[[], Probe | None] | bool | None = None,
     task_timeout: float | None = None,
     retries: int = 1,
     chunksize: int | None = None,
@@ -229,10 +269,25 @@ def run_tasks(
 
     *trace* is the shared access trace for tasks whose own ``trace`` is
     ``None`` (pickled once per dispatch chunk). ``jobs=1`` runs serially
-    in-process; ``jobs=None`` or ``0`` uses every CPU. *probe* and
-    *metrics_every* are serial-only (live observer state does not cross
-    process boundaries) — requesting them with ``jobs != 1`` logs a warning
-    and falls back to serial.
+    in-process; ``jobs=None`` or ``0`` uses every CPU.
+
+    *probe* is a single **shared** observer of every run in sequence; live
+    observer state does not cross process boundaries, so requesting an
+    *enabled* shared probe with ``jobs != 1`` logs a warning and falls back
+    to serial (a disabled/null probe costs nothing and forces nothing).
+
+    *snapshot* is the parallel-safe alternative: a **picklable zero-arg
+    factory** (e.g. ``functools.partial(SamplingProbe, rate=1/64)``)
+    building one fresh probe per task inside the worker; each record comes
+    back with a mergeable :class:`~repro.obs.snapshot.ObsSnapshot` on
+    ``record.snapshot`` (reduce with ``ObsSnapshot.merge_all``), and the
+    merged result is bit-identical to the serial run. ``snapshot=True``
+    snapshots counters (and metrics rows) without any probe. *snapshot*
+    and *probe* are mutually exclusive.
+
+    *metrics_every* builds one per-task ``IntervalMetrics`` where the task
+    runs and returns it on ``record.metrics`` — it composes with any
+    ``jobs`` (the collector is plain picklable state).
 
     Fault tolerance: a failing cell (exception, per-task *task_timeout*, or
     worker crash) is retried up to *retries* times — crash retries get a
@@ -245,11 +300,25 @@ def run_tasks(
         raise ValueError("task keys must be unique within a grid")
     if retries < 0:
         raise ValueError(f"retries must be non-negative, got {retries}")
+    if snapshot is not None and probe is not None:
+        raise ValueError(
+            "snapshot= and probe= are mutually exclusive: a shared probe "
+            "observes runs in sequence, a snapshot factory builds one probe "
+            "per task"
+        )
+    snapshot_factory: Callable[[], Probe | None] | None
+    if snapshot is True:
+        snapshot_factory = _null_probe_factory
+    elif snapshot is False:
+        snapshot_factory = None
+    else:
+        snapshot_factory = snapshot
     jobs = resolve_jobs(jobs)
-    if jobs != 1 and (probe is not None or metrics_every):
+    if jobs != 1 and probe is not None and probe.enabled:
         _log.warning(
-            "run_tasks: probes/interval metrics are serial-only; forcing jobs=1 "
-            "(was jobs=%d)", jobs,
+            "run_tasks: a shared probe is serial-only; forcing jobs=1 "
+            "(was jobs=%d) — pass snapshot= for parallel-safe observability",
+            jobs,
         )
         jobs = 1
     if not tasks:
@@ -261,12 +330,16 @@ def run_tasks(
             probe=probe,
             metrics_every=metrics_every,
             epsilon=epsilon,
+            snapshot_factory=snapshot_factory,
             retries=retries,
         )
     return _run_pooled(
         tasks,
         trace,
         jobs=jobs,
+        metrics_every=metrics_every,
+        epsilon=epsilon,
+        snapshot_factory=snapshot_factory,
         task_timeout=task_timeout,
         retries=retries,
         chunksize=chunksize,
@@ -304,12 +377,14 @@ def _run_serial(
     probe,
     metrics_every,
     epsilon,
+    snapshot_factory,
     retries: int,
 ) -> list[TaskResult]:
     """In-process path: today's sweep semantics, bit-for-bit.
 
-    The probe (if any) observes every run in sequence, and each task gets
-    its own metrics collector, exactly as the serial sweeps always did.
+    The shared probe (if any) observes every run in sequence, and each task
+    gets its own metrics collector and snapshot probe, exactly as the
+    workers would build them.
     """
     results = []
     for task in tasks:
@@ -319,7 +394,7 @@ def _run_serial(
             try:
                 record = _execute(
                     task, trace, probe=probe, metrics_every=metrics_every,
-                    epsilon=epsilon,
+                    epsilon=epsilon, snapshot_factory=snapshot_factory,
                 )
             except Exception as exc:
                 if attempts <= retries:
@@ -350,6 +425,9 @@ def _run_pooled(
     trace,
     *,
     jobs: int,
+    metrics_every: int | None,
+    epsilon: float,
+    snapshot_factory,
     task_timeout: float | None,
     retries: int,
     chunksize: int | None,
@@ -383,6 +461,8 @@ def _run_pooled(
             _isolated_round(
                 pending, trace, task_timeout, mp_context, results, attempts,
                 note_failure, requeue,
+                metrics_every=metrics_every, epsilon=epsilon,
+                snapshot_factory=snapshot_factory,
             )
             pending = requeue
             round_idx += 1
@@ -395,7 +475,10 @@ def _run_pooled(
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
                                    mp_context=mp_context)
         futures = {
-            pool.submit(_run_chunk, chunk, trace, task_timeout): chunk
+            pool.submit(
+                _run_chunk, chunk, trace, task_timeout,
+                metrics_every, epsilon, snapshot_factory,
+            ): chunk
             for chunk in chunks
         }
         consumed: set = set()
@@ -460,12 +543,19 @@ def _isolated_round(
     attempts: dict,
     note_failure,
     requeue: list[SimTask],
+    *,
+    metrics_every: int | None = None,
+    epsilon: float = 0.01,
+    snapshot_factory=None,
 ) -> None:
     """Run each task in its own single-worker pool (crash isolation)."""
     budget = None if task_timeout is None else task_timeout * 2 + 30
     for task in pending:
         pool = ProcessPoolExecutor(max_workers=1, mp_context=mp_context)
-        fut = pool.submit(_run_chunk, [task], trace, task_timeout)
+        fut = pool.submit(
+            _run_chunk, [task], trace, task_timeout,
+            metrics_every, epsilon, snapshot_factory,
+        )
         try:
             rows = fut.result(timeout=budget)
         except BrokenProcessPool:

@@ -130,6 +130,7 @@ def sweep_huge_page_sizes(
     probe: Probe | None = None,
     metrics_every: int | None = None,
     epsilon: float = 0.01,
+    snapshot=None,
     jobs: int | None = 1,
     task_timeout: float | None = None,
     validate: bool = False,
@@ -151,10 +152,13 @@ def sweep_huge_page_sizes(
 
     *jobs* shards the sizes across worker processes (``None``/``0`` = all
     CPUs) via :func:`repro.sim.parallel.run_tasks`; the records are
-    identical to the serial run. Probes and metrics are serial-only, so
-    requesting them forces ``jobs=1``. *task_timeout* (seconds, parallel
-    only) bounds each cell; a timed-out or crashed cell is retried once and
-    then dropped with an error log, like an infeasible size.
+    identical to the serial run. A shared *probe* is serial-only, so
+    requesting an enabled one forces ``jobs=1``; *metrics_every* and
+    *snapshot* (a picklable per-task probe factory — each record then
+    carries a mergeable :class:`~repro.obs.snapshot.ObsSnapshot`) compose
+    with any ``jobs``. *task_timeout* (seconds, parallel only) bounds each
+    cell; a timed-out or crashed cell is retried once and then dropped with
+    an error log, like an infeasible size.
 
     ``validate=True`` runs every cell under the :mod:`repro.check`
     invariant oracle (identical costs; an invariant violation fails the
@@ -201,5 +205,6 @@ def sweep_huge_page_sizes(
         probe=probe,
         metrics_every=metrics_every,
         epsilon=epsilon,
+        snapshot=snapshot,
         task_timeout=task_timeout,
     )

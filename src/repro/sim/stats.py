@@ -9,6 +9,7 @@ from ..core import ATCostModel, CostLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.metrics import IntervalMetrics
+    from ..obs.snapshot import ObsSnapshot
 
 __all__ = ["RunRecord"]
 
@@ -20,14 +21,17 @@ class RunRecord:
     ``params`` carries the sweep coordinates (e.g. ``{"h": 64}``) plus any
     timing stamps (``elapsed_s``, ``accesses_per_s``); ``metrics`` holds
     the run's :class:`~repro.obs.metrics.IntervalMetrics` collector when
-    the sweep was asked for a time series. The convenience accessors
-    expose the Figure 1 series and the total cost at any ε.
+    the sweep was asked for a time series, and ``snapshot`` the run's
+    mergeable :class:`~repro.obs.snapshot.ObsSnapshot` when the runner was
+    given a ``snapshot=`` factory. The convenience accessors expose the
+    Figure 1 series and the total cost at any ε.
     """
 
     algorithm: str
     ledger: CostLedger
     params: dict = field(default_factory=dict)
     metrics: "IntervalMetrics | None" = None
+    snapshot: "ObsSnapshot | None" = None
 
     @property
     def ios(self) -> int:

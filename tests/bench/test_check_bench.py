@@ -213,6 +213,80 @@ class TestCompareHotloop:
         assert check_bench.load_payload(str(path))["kind"] == "bench_hotloop"
 
 
+def _probed_payload(ratio=0.95, counter_drift=0):
+    """A hotloop payload with one plain / sampled fast-path MM pair."""
+    payload = _hotloop_payload()
+    counters = {"accesses": 1000, "ios": 40, "tlb_hits": 800, "tlb_misses": 200}
+    payload["rows"] += [
+        {
+            "component": "mm:thp",
+            "ops": 1000,
+            "ops_per_s": 600_000.0,
+            "counters": dict(counters),
+        },
+        {
+            "component": "mm+sampled:thp",
+            "ops": 1000,
+            "ops_per_s": 600_000.0 * ratio,
+            "counters": {**counters, "ios": counters["ios"] + counter_drift},
+        },
+    ]
+    return payload
+
+
+class TestProbedGate:
+    """The within-payload mm+sampled vs mm gate (new run only)."""
+
+    def test_cheap_probe_passes(self):
+        code, messages = check_bench.compare(
+            _probed_payload(ratio=0.95), _probed_payload(ratio=0.95)
+        )
+        assert code == check_bench.OK
+        assert any("probed throughput" in m for m in messages)
+
+    def test_expensive_probe_is_a_regression(self):
+        code, messages = check_bench.compare(
+            _probed_payload(ratio=0.95), _probed_payload(ratio=0.80)
+        )
+        assert code == check_bench.REGRESSION
+        assert any(m.startswith("FAIL probed throughput") for m in messages)
+
+    def test_probe_tolerance_loosens_the_floor(self):
+        code, _ = check_bench.compare(
+            _probed_payload(ratio=0.95),
+            _probed_payload(ratio=0.80),
+            probe_tolerance=0.25,
+        )
+        assert code == check_bench.OK
+
+    def test_perturbing_probe_is_a_mismatch(self):
+        # the baseline's own sampled rows are NOT gated — only the new run's
+        code, messages = check_bench.compare(
+            _probed_payload(counter_drift=1), _probed_payload(counter_drift=1)
+        )
+        assert code == check_bench.MISMATCH
+        assert any("never perturb" in m for m in messages)
+
+    def test_gate_skipped_without_sampled_rows(self):
+        code, messages = check_bench.compare(
+            _hotloop_payload(), _hotloop_payload()
+        )
+        assert code == check_bench.OK
+        assert not any("probed throughput" in m for m in messages)
+
+    def test_probe_tolerance_cli_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        slow = tmp_path / "slow.json"
+        base.write_text(json.dumps(_probed_payload(ratio=0.95)))
+        slow.write_text(json.dumps(_probed_payload(ratio=0.80)))
+        args = [str(base), str(slow)]
+        assert check_bench.main(args) == check_bench.REGRESSION
+        assert (
+            check_bench.main(args + ["--probe-tolerance", "0.3"])
+            == check_bench.OK
+        )
+
+
 class TestMain:
     def _write(self, path, payload):
         path.write_text(json.dumps(payload))

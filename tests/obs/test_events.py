@@ -103,6 +103,12 @@ class TestTraceRecorder:
             assert row == event.as_dict()
             assert row["kind"] in EVENT_KINDS
 
+    def test_to_jsonl_creates_parent_directories(self, tmp_path):
+        rec = TraceRecorder()
+        rec.on_access(0, 1)
+        path = rec.to_jsonl(tmp_path / "runs" / "2026" / "events.jsonl")
+        assert path.is_file()
+
     def test_clear(self):
         rec = TraceRecorder()
         rec.on_access(0, 1)

@@ -1,0 +1,121 @@
+"""Tests for the log₂-bucketed histograms (repro.obs.hist).
+
+The load-bearing property is merge associativity/commutativity on fuzzed
+streams: the parallel snapshot reduction folds shard histograms in
+whatever tree the runner produces, and every tree must agree.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import LogHistogram
+from repro.obs.hist import bucket_bounds, bucket_index, bucket_label
+
+
+class TestBuckets:
+    def test_bucket_index_boundaries(self):
+        assert [bucket_index(v) for v in (0, 1, 2, 3, 4, 7, 8)] == [
+            0, 1, 2, 2, 3, 3, 4
+        ]
+
+    def test_bucket_bounds_inverse(self):
+        for value in (0, 1, 2, 5, 63, 64, 1 << 40):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value <= hi
+
+    def test_bucket_label(self):
+        assert bucket_label(0) == "0"
+        assert bucket_label(1) == "1"
+        assert bucket_label(3) == "4-7"
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LogHistogram().record(-1)
+
+
+def _recorded(values):
+    h = LogHistogram()
+    h.record_many(values)
+    return h
+
+
+class TestRecording:
+    def test_exact_aggregates(self):
+        h = _recorded([0, 1, 5, 5, 200])
+        assert h.n == 5 == len(h)
+        assert h.total == 211
+        assert (h.min, h.max) == (0, 200)
+        assert h.mean == pytest.approx(211 / 5)
+
+    def test_weighted_record(self):
+        h = LogHistogram()
+        h.record(6, count=10)
+        assert h.n == 10 and h.total == 60
+        with pytest.raises(ValueError, match="positive"):
+            h.record(6, count=0)
+
+    def test_percentile_within_bucket_and_clamped(self):
+        h = _recorded([5] * 99 + [1000])
+        assert h.percentile(0.0) == 7  # bucket 4-7 upper bound
+        assert h.percentile(0.5) == 7  # bucket 4-7 upper bound
+        assert h.percentile(1.0) == 1000  # clamped to exact max
+        assert LogHistogram().percentile(0.5) is None
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            h.percentile(1.5)
+
+    def test_rows_cumulative_fraction(self):
+        rows = _recorded([1, 1, 4, 4, 4, 4, 64, 64]).rows()
+        assert [r["bucket"] for r in rows] == ["1", "4-7", "64-127"]
+        assert [r["count"] for r in rows] == [2, 4, 2]
+        assert rows[-1]["cum_frac"] == 1.0
+
+
+def _fuzz_stream(seed, n):
+    rng = random.Random(seed)
+    return [rng.randrange(0, 1 << rng.randrange(1, 20)) for _ in range(n)]
+
+
+class TestMerge:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_is_associative_and_commutative(self, seed):
+        a, b, c = (
+            _recorded(_fuzz_stream(seed * 3 + i, 200 + 50 * i))
+            for i in range(3)
+        )
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left == right
+        assert a.merge(b) == b.merge(a)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_equals_combined_stream(self, seed):
+        xs = _fuzz_stream(seed, 300)
+        ys = _fuzz_stream(seed + 100, 150)
+        assert _recorded(xs).merge(_recorded(ys)) == _recorded(xs + ys)
+
+    def test_empty_is_the_identity(self):
+        h = _recorded([3, 9, 81])
+        assert LogHistogram().merge(h) == h == h.merge(LogHistogram())
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = _recorded([1, 2]), _recorded([4, 8])
+        a_state, b_state = a.as_dict(), b.as_dict()
+        a.merge(b)
+        assert a.as_dict() == a_state and b.as_dict() == b_state
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        h = _recorded(_fuzz_stream(7, 500))
+        assert LogHistogram.from_dict(h.as_dict()) == h
+
+    def test_empty_round_trip(self):
+        assert LogHistogram.from_dict(LogHistogram().as_dict()) == LogHistogram()
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        payload = json.loads(json.dumps(_recorded([0, 7, 7]).as_dict()))
+        assert payload["counts"] == {"0": 1, "3": 2}
+        assert payload["n"] == 3

@@ -100,3 +100,9 @@ class TestApi:
         path = metrics.to_jsonl(tmp_path / "metrics.jsonl")
         rows = [json.loads(line) for line in path.read_text().splitlines()]
         assert rows == metrics.rows()
+
+    def test_to_jsonl_creates_parent_directories(self, tmp_path):
+        metrics = IntervalMetrics(every=100)
+        simulate(BasePageMM(8, 64), _trace(200, pages=512), metrics=metrics)
+        path = metrics.to_jsonl(tmp_path / "runs" / "deep" / "metrics.jsonl")
+        assert path.is_file()

@@ -1,0 +1,157 @@
+"""Tests for the report renderer (repro.obs.report) and its CLI wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.mmu import PhysicalHugePageMM
+from repro.obs import (
+    ObsSnapshot,
+    SamplingProbe,
+    build_report,
+    load_artifact,
+    render_html,
+    render_text,
+)
+from repro.obs.report import cost_breakdown
+from repro.sim import simulate
+
+
+def _snapshot_payload():
+    mm = PhysicalHugePageMM(64, 1024, huge_page_size=16)
+    probe = SamplingProbe(1 / 8, seed=3)
+    trace = np.random.default_rng(0).integers(0, 4096, 3000)
+    ledger = simulate(mm, trace, warmup=500, probe=probe)
+    return ObsSnapshot.from_run(ledger, probe=probe, mm=mm).as_dict()
+
+
+def _hotloop_payload():
+    counters = {"accesses": 100, "ios": 7, "tlb_misses": 30, "tlb_hits": 70}
+    return {
+        "format": 1,
+        "kind": "bench_hotloop",
+        "machine": {"numpy": "2.0.0"},
+        "config": {"ops": 100, "seed": 0},
+        "geomean_ops_per_s": 5e5,
+        "rows": [
+            {"component": "tlb", "ops": 100, "ops_per_s": 9e5,
+             "counters": {"hits": 70, "misses": 30, "fills": 30}},
+            {"component": "mm:thp", "ops": 100, "ops_per_s": 6e5,
+             "counters": counters},
+            {"component": "mm+sampled:thp", "ops": 100, "ops_per_s": 5.7e5,
+             "counters": counters},
+        ],
+    }
+
+
+class TestLoadArtifact:
+    def test_classifies_json_kinds(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(_snapshot_payload()))
+        assert load_artifact(path)["kind"] == "obs_snapshot"
+
+    def test_classifies_jsonl_as_metrics(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"window": 0, "accesses": 10, "cost": 1.5}\n\n')
+        artifact = load_artifact(path)
+        assert artifact["kind"] == "metrics_jsonl"
+        assert artifact["rows"] == [{"window": 0, "accesses": 10, "cost": 1.5}]
+
+    def test_unknown_kind_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "mystery"}')
+        with pytest.raises(ValueError, match="unknown payload kind"):
+            load_artifact(path)
+
+
+class TestCostBreakdown:
+    def test_matches_the_metrics_pricing(self):
+        rows = cost_breakdown(
+            {"ios": 10, "tlb_misses": 300, "decoding_misses": 100}, 0.01
+        )
+        total = next(r for r in rows if r["component"] == "total")
+        assert total["cost"] == pytest.approx(10 + 0.01 * 400)
+        shares = [r["share"] for r in rows if r["component"] != "total"]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_zero_cost_does_not_divide_by_zero(self):
+        assert cost_breakdown({}, 0.01)[-1]["share"] == 0.0
+
+
+class TestRendering:
+    def test_snapshot_text_report(self):
+        payload = _snapshot_payload()
+        payload["kind"] = "obs_snapshot"
+        text = render_text(build_report([{**payload, "path": "x.json"}]))
+        assert "exact counters" in text
+        assert "cost breakdown" in text
+        assert "reuse_distance" in text
+        assert "sampling estimates" in text
+
+    def test_hotloop_report_has_probe_overhead_table(self):
+        text = render_text(build_report([_hotloop_payload()]))
+        assert "sampling-probe overhead" in text
+        assert "0.95" in text  # 5.7e5 / 6e5
+
+    def test_trend_note_against_baseline_dir(self, tmp_path):
+        baseline = dict(_hotloop_payload(), geomean_ops_per_s=4e5)
+        (tmp_path / "BENCH_hotloop.json").write_text(json.dumps(baseline))
+        text = render_text(
+            build_report([_hotloop_payload()], baseline_dir=tmp_path)
+        )
+        assert "throughput trend" in text
+        assert "+25.0%" in text
+
+    def test_missing_baseline_is_a_note_not_an_error(self, tmp_path):
+        text = render_text(
+            build_report([_hotloop_payload()], baseline_dir=tmp_path / "no")
+        )
+        assert "trend skipped" in text
+
+    def test_metrics_attribution_groups_by_task(self):
+        rows = [
+            {"task": t, "window": w, "accesses": 100, "ios": 5,
+             "tlb_misses": 20, "cost": 5.2}
+            for t in ("a", "b") for w in range(3)
+        ]
+        text = render_text(
+            build_report([{"kind": "metrics_jsonl", "rows": rows}])
+        )
+        assert "per-task cost attribution" in text
+        assert "windows" in text
+
+    def test_html_is_self_contained(self):
+        html_doc = render_html(
+            build_report([_hotloop_payload()]), title="t<br>est"
+        )
+        assert html_doc.startswith("<!doctype html>")
+        assert "t&lt;br&gt;est" in html_doc  # titles are escaped
+        assert "<table>" in html_doc
+        assert "src=" not in html_doc and "href=" not in html_doc
+
+    def test_empty_report(self):
+        assert render_text([]) == "(nothing to report)"
+
+
+class TestCli:
+    def test_report_subcommand_end_to_end(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(_snapshot_payload()))
+        html_out = tmp_path / "out" / "report.html"
+        code = cli_main([
+            "report", str(snap), "--html-out", str(html_out),
+            "--baseline-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact counters" in out
+        assert html_out.is_file()
+        assert html_out.read_text().startswith("<!doctype html>")
+
+    def test_bad_input_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "mystery"}')
+        with pytest.raises(SystemExit, match="report:"):
+            cli_main(["report", str(bad)])

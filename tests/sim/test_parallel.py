@@ -19,6 +19,7 @@ import pytest
 
 from repro.bench import diff_records, make_base_mm
 from repro.mmu import BasePageMM
+from repro.obs import NullProbe, ObsSnapshot, SamplingProbe, TraceRecorder
 from repro.sim import (
     SimTask,
     TaskResult,
@@ -128,13 +129,81 @@ class TestDeterminism:
         with pytest.raises(ValueError, match="unique"):
             run_tasks(tasks, trace=_trace(100))
 
-    def test_metrics_force_serial_fallback(self, caplog):
+    def test_metrics_run_parallel_without_fallback(self, caplog):
+        # per-task collectors are built in the workers, so interval metrics
+        # no longer force jobs=1
         with caplog.at_level("WARNING", logger="repro.sim.parallel"):
             records = run_records(
                 _grid(2), trace=_trace(1000), jobs=4, metrics_every=200
             )
-        assert "serial-only" in caplog.text
+        assert "serial-only" not in caplog.text
         assert all(rec.metrics is not None for rec in records)
+        assert all(rec.metrics.windows for rec in records)
+
+    def test_metrics_parallel_rows_match_serial(self):
+        trace = _trace(2000)
+        serial = run_records(_grid(3), trace=trace, jobs=1, metrics_every=300)
+        pooled = run_records(_grid(3), trace=trace, jobs=3, metrics_every=300)
+        assert [r.metrics.rows() for r in serial] == [
+            r.metrics.rows() for r in pooled
+        ]
+
+    def test_enabled_shared_probe_forces_serial(self, caplog):
+        probe = TraceRecorder(capacity=64)
+        with caplog.at_level("WARNING", logger="repro.sim.parallel"):
+            results = run_tasks(_grid(2), trace=_trace(500), jobs=4, probe=probe)
+        assert "serial-only" in caplog.text
+        assert all(r.ok for r in results)
+        assert probe.total_events > 0
+
+    def test_disabled_probe_does_not_force_serial(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.sim.parallel"):
+            results = run_tasks(
+                _grid(2), trace=_trace(500), jobs=2, probe=NullProbe()
+            )
+        assert "serial-only" not in caplog.text
+        assert all(r.ok for r in results)
+
+    def test_snapshot_merge_bit_identical_across_jobs(self):
+        # the PR 2 parity grid, instrumented: per-task SamplingProbes are
+        # built in the workers and the merged snapshot must not depend on
+        # how the tasks were sharded
+        trace = _trace(6000, 1 << 13, seed=2)
+        kwargs = dict(
+            tlb_entries=32, ram_pages=1 << 11, sizes=[1, 8, 64], warmup=1000,
+            snapshot=partial(SamplingProbe, 1 / 16, seed=3), metrics_every=500,
+        )
+        serial = sweep_huge_page_sizes(trace, jobs=1, **kwargs)
+        pooled = sweep_huge_page_sizes(trace, jobs=4, **kwargs)
+        merged_serial = ObsSnapshot.merge_all(r.snapshot for r in serial)
+        merged_pooled = ObsSnapshot.merge_all(r.snapshot for r in pooled)
+        assert merged_serial == merged_pooled
+        assert merged_serial.meta["runs"] == len(serial) == 3
+        # snapshot counters are the exact per-run ledgers, summed
+        assert merged_serial.counters["ios"] == sum(r.ios for r in serial)
+        assert merged_serial.hists["reuse_distance"].n > 0
+        # and the simulated results themselves are still untouched
+        assert diff_records(_payload(serial), _payload(pooled)) == []
+
+    def test_snapshot_true_collects_counters_only(self):
+        records = run_records(
+            _grid(2), trace=_trace(1000), jobs=2, snapshot=True
+        )
+        merged = ObsSnapshot.merge_all(r.snapshot for r in records)
+        assert merged.meta["runs"] == 2
+        assert merged.counters["accesses"] == sum(
+            r.ledger.accesses for r in records
+        )
+        assert merged.hists == {}
+
+    def test_snapshot_and_probe_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_tasks(
+                _grid(1),
+                trace=_trace(100),
+                probe=TraceRecorder(),
+                snapshot=True,
+            )
 
 
 class TestSeeds:

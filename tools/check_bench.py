@@ -29,6 +29,15 @@ Two checks, two exit codes:
   not per-cell timings, to stay tolerant of runner noise; improvements
   and same-speed runs pass.
 
+For hotloop payloads an additional *within-payload* gate compares each
+``mm+sampled:<name>`` row (the run with a ``SamplingProbe`` attached)
+against its unprobed ``mm:<name>`` twin in the **new** run: the counters
+must be identical (a probe must never perturb the simulation — exit 2),
+and the geometric-mean throughput ratio may not fall below
+``1 - --probe-tolerance`` (default 0.10 — the "sampling observability is
+within 10% of unprobed" contract; exit 1). Within one payload both rows
+ran on the same machine moments apart, so the ratio is noise-robust.
+
 Stdlib-only on purpose: the gate runs before (and independent of) the
 package itself.
 """
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 #: Simulated (deterministic) counters compared cell by cell.
@@ -100,12 +110,55 @@ def _throughput_gate(
     return OK
 
 
+def _probed_gate(
+    payload: dict, probe_tolerance: float, messages: list[str]
+) -> int:
+    """Gate ``mm+sampled:*`` rows against their ``mm:*`` twins (one payload).
+
+    Counters must be identical (MISMATCH otherwise: the probe perturbed
+    the simulation) and the geomean probed/unprobed throughput ratio must
+    stay above ``1 - probe_tolerance`` (REGRESSION otherwise: the probe
+    knocked an algorithm off its fast path or got too expensive).
+    """
+    rows = {r["component"]: r for r in payload["rows"]}
+    pairs = [
+        (name, rows[name.replace("mm+sampled:", "mm:", 1)], rows[name])
+        for name in sorted(rows)
+        if name.startswith("mm+sampled:")
+        and name.replace("mm+sampled:", "mm:", 1) in rows
+    ]
+    if not pairs:
+        return OK
+    code = OK
+    ratios = []
+    for name, plain, probed in pairs:
+        if plain.get("counters") != probed.get("counters"):
+            code = MISMATCH
+            messages.append(
+                f"FAIL {name}: counters differ from its unprobed twin "
+                f"{plain.get('counters')} -> {probed.get('counters')} "
+                "(a probe must never perturb the simulation)"
+            )
+        ratios.append(probed["ops_per_s"] / plain["ops_per_s"])
+    geomean_ratio = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    line = (
+        f"probed throughput: {geomean_ratio:.1%} of unprobed across "
+        f"{len(pairs)} fast-path MMs (floor {1 - probe_tolerance:.0%})"
+    )
+    if geomean_ratio < 1 - probe_tolerance:
+        messages.append(f"FAIL {line}")
+        return max(code, REGRESSION)
+    messages.append(f"ok: {line}")
+    return code
+
+
 def compare(
     baseline: dict,
     new: dict,
     *,
     tolerance: float = 0.25,
     counters: str = "auto",
+    probe_tolerance: float = 0.10,
 ) -> tuple[int, list[str]]:
     """Compare payloads of either kind; return ``(exit_code, messages)``."""
     if baseline.get("kind") != new.get("kind"):
@@ -115,7 +168,8 @@ def compare(
         ]
     if baseline.get("kind") == "bench_hotloop":
         return compare_hotloop(
-            baseline, new, tolerance=tolerance, counters=counters
+            baseline, new, tolerance=tolerance, counters=counters,
+            probe_tolerance=probe_tolerance,
         )
     messages: list[str] = []
     code = OK
@@ -174,6 +228,7 @@ def compare_hotloop(
     *,
     tolerance: float = 0.25,
     counters: str = "auto",
+    probe_tolerance: float = 0.10,
 ) -> tuple[int, list[str]]:
     """Compare two ``bench_hotloop`` payloads.
 
@@ -220,6 +275,7 @@ def compare_hotloop(
             messages,
         ),
     )
+    code = max(code, _probed_gate(new, probe_tolerance, messages))
     return code, messages
 
 
@@ -240,6 +296,11 @@ def main(argv=None) -> int:
         help="compare deterministic counters: auto = only when numpy "
              "versions match (default), always, never",
     )
+    parser.add_argument(
+        "--probe-tolerance", type=float, default=0.10,
+        help="allowed fractional throughput cost of a SamplingProbe, "
+             "gated within the new hotloop payload (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_payload(args.baseline)
@@ -248,7 +309,8 @@ def main(argv=None) -> int:
         print(f"FAIL {exc}", file=sys.stderr)
         return MISMATCH
     code, messages = compare(
-        baseline, new, tolerance=args.tolerance, counters=args.counters
+        baseline, new, tolerance=args.tolerance, counters=args.counters,
+        probe_tolerance=args.probe_tolerance,
     )
     for line in messages:
         print(line)
