@@ -140,6 +140,7 @@ def figure1_experiment(
     seed=0,
     probe: Probe | None = None,
     metrics_every: int | None = None,
+    heartbeat=None,
     jobs: int | None = 1,
     task_timeout: float | None = None,
 ) -> list[RunRecord]:
@@ -154,7 +155,8 @@ def figure1_experiment(
     where the paper sets the cache just below the pages the windowed trace
     actually touches (520 MB of 525 MB) while the graph is far larger.
 
-    *probe* / *metrics_every* / *jobs* / *task_timeout* are forwarded to
+    *probe* / *metrics_every* / *heartbeat* / *jobs* / *task_timeout* are
+    forwarded to
     :func:`~repro.sim.simulator.sweep_huge_page_sizes`; every record comes
     back stamped with its wall-clock throughput.
     """
@@ -171,6 +173,7 @@ def figure1_experiment(
         warmup=warmup,
         probe=probe,
         metrics_every=metrics_every,
+        heartbeat=heartbeat,
         jobs=jobs,
         task_timeout=task_timeout,
     )

@@ -12,7 +12,14 @@ slower. Each component is timed on its own fixed key stream:
   :class:`~repro.obs.sampling.SamplingProbe` attached, for every fast-path
   algorithm. The probe must not perturb the simulation (identical
   counters) and must keep the fast path — ``tools/check_bench.py`` gates
-  the probed/unprobed throughput ratio within the payload.
+  the probed/unprobed throughput ratio within the payload;
+* ``mm+online:<name>`` — ``run()`` with the streaming analysis probes
+  (:class:`~repro.obs.online.OnlineWorkingSet` +
+  :class:`~repro.obs.online.OnlineStackDistance`, hashed-VPN sampled at
+  the ``online_*_stride`` config rates) attached through a
+  :class:`~repro.obs.events.MultiProbe`. Same contract, same gate: the
+  online analyses ride the fast path and stay within
+  ``--probe-tolerance`` of the unprobed twin.
 
 Key streams come from a tiny in-module LCG (not numpy), so every counter
 in the payload is reproducible across numpy versions and the CI gate
@@ -30,8 +37,17 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..mmu import MM_NAMES, make_mm
-from ..obs import SamplingProbe, Timer, accesses_per_second
+from ..obs import (
+    MultiProbe,
+    OnlineStackDistance,
+    OnlineWorkingSet,
+    SamplingProbe,
+    Timer,
+    accesses_per_second,
+)
 from ..paging import POLICIES, PageCache, make_policy
 from ..tlb import TLB
 from .smoke import BENCH_FORMAT, machine_info
@@ -50,11 +66,16 @@ HOTLOOP_CONFIG: dict = {
     "mm_tlb_entries": 256,  # registry-MM tlb size
     "mm_ram_pages": 4096,  # registry-MM ram size
     "sampled_stride": 64,  # SamplingProbe rate is 1/this for mm+sampled
+    "online_tau": 1024,  # OnlineWorkingSet window for mm+online
+    "online_sample_every": 256,  # OnlineWorkingSet window stride
+    "online_ws_stride": 64,  # OnlineWorkingSet rate is 1/this
+    "online_sd_stride": 256,  # OnlineStackDistance rate is 1/this
     "repeats": 5,  # best-of timing repeats per component
     "seed": 0,
 }
 
-#: MMs with a batched/vectorized fast path — the ``mm+sampled`` set.
+#: MMs with a batched/vectorized fast path — the ``mm+sampled`` and
+#: ``mm+online`` sets.
 SAMPLED_MMS: tuple[str, ...] = ("physical-huge", "decoupled", "hybrid", "thp")
 
 
@@ -159,13 +180,38 @@ def _ledger_counters(ledger) -> dict:
     }
 
 
-def _mm_once(name: str, trace, cfg, *, probed: bool) -> tuple[float, dict]:
-    """One fresh-MM run, optionally with a SamplingProbe attached."""
+def _sampled_probe(cfg):
+    return SamplingProbe(1 / cfg["sampled_stride"], seed=cfg["seed"])
+
+
+def _online_probe(cfg):
+    return MultiProbe([
+        OnlineWorkingSet(
+            cfg["online_tau"],
+            sample_every=cfg["online_sample_every"],
+            rate=1 / cfg["online_ws_stride"],
+            seed=cfg["seed"],
+        ),
+        OnlineStackDistance(
+            rate=1 / cfg["online_sd_stride"], seed=cfg["seed"]
+        ),
+    ])
+
+
+#: probe factory per probed-row prefix; plain ``mm:`` rows use ``None``.
+_PROBE_VARIANTS = (
+    ("mm+sampled", _sampled_probe),
+    ("mm+online", _online_probe),
+)
+
+
+def _mm_once(name: str, trace, cfg, *, probe_factory=None) -> tuple[float, dict]:
+    """One fresh-MM run, optionally with a freshly built probe attached."""
     mm = make_mm(
         name, cfg["mm_tlb_entries"], cfg["mm_ram_pages"], seed=cfg["seed"]
     )
-    if probed:
-        mm.probe = SamplingProbe(1 / cfg["sampled_stride"], seed=cfg["seed"])
+    if probe_factory is not None:
+        mm.probe = probe_factory(cfg)
     with Timer() as t:
         ledger = mm.run(trace)
     return t.elapsed, _ledger_counters(ledger)
@@ -173,35 +219,40 @@ def _mm_once(name: str, trace, cfg, *, probed: bool) -> tuple[float, dict]:
 
 def _bench_mm(name: str, trace, cfg) -> dict:
     def once():
-        return _mm_once(name, trace, cfg, probed=False)
+        return _mm_once(name, trace, cfg)
 
     elapsed, counters = _best_of(once, cfg["repeats"])
     return _row(f"mm:{name}", len(trace), elapsed, counters)
 
 
-def _bench_mm_pair(name: str, trace, cfg) -> tuple[dict, dict]:
+def _bench_mm_probed(name: str, trace, cfg) -> list[dict]:
     """Time the plain and probed runs of one fast-path MM, interleaved.
 
     The probed counters must match the plain row exactly (probes never
     perturb the simulation) and throughput must stay within the gate's
-    probe tolerance — together these pin that the probe rides the fast
+    probe tolerance — together these pin that each probe rides the fast
     path instead of forcing the per-access replay. Alternating plain /
-    probed within the same repeat loop exposes both sides of that ratio
-    to the same machine conditions, so slow clock or load drift cancels
-    out of the gate instead of masquerading as probe overhead.
+    probed within the same repeat loop exposes every side of those
+    ratios to the same machine conditions, so slow clock or load drift
+    cancels out of the gate instead of masquerading as probe overhead.
     """
-    best_plain = best_probed = math.inf
-    counters_plain: dict = {}
-    counters_probed: dict = {}
+    best = {"mm": math.inf}
+    counters: dict = {"mm": {}}
+    for prefix, _ in _PROBE_VARIANTS:
+        best[prefix] = math.inf
+        counters[prefix] = {}
     for _ in range(max(1, cfg["repeats"])):
-        elapsed, counters_plain = _mm_once(name, trace, cfg, probed=False)
-        best_plain = min(best_plain, elapsed)
-        elapsed, counters_probed = _mm_once(name, trace, cfg, probed=True)
-        best_probed = min(best_probed, elapsed)
-    return (
-        _row(f"mm:{name}", len(trace), best_plain, counters_plain),
-        _row(f"mm+sampled:{name}", len(trace), best_probed, counters_probed),
-    )
+        elapsed, counters["mm"] = _mm_once(name, trace, cfg)
+        best["mm"] = min(best["mm"], elapsed)
+        for prefix, factory in _PROBE_VARIANTS:
+            elapsed, counters[prefix] = _mm_once(
+                name, trace, cfg, probe_factory=factory
+            )
+            best[prefix] = min(best[prefix], elapsed)
+    return [
+        _row(f"{prefix}:{name}", len(trace), best[prefix], counters[prefix])
+        for prefix in ("mm", *(p for p, _ in _PROBE_VARIANTS))
+    ]
 
 
 def bench_hotloop(*, seed: int | None = None) -> tuple[list[dict], dict]:
@@ -219,22 +270,25 @@ def bench_hotloop(*, seed: int | None = None) -> tuple[list[dict], dict]:
         cfg["ops"], cfg["universe"], cfg["hot_universe"], cfg["hot_percent"],
         seed=cfg["seed"],
     )
-    trace = keys[: cfg["mm_accesses"]]
+    # ndarray on purpose: the fast-path MMs hand the trace straight to
+    # batch-safe probes, whose vectorized paths then skip the list→array
+    # conversion; the replayed VPNs (and so every counter) are unchanged.
+    trace = np.asarray(keys[: cfg["mm_accesses"]], dtype=np.int64)
 
     rows: list[dict] = []
-    sampled_rows: list[dict] = []
+    probed_rows: list[dict] = []
     with Timer() as wall:
         rows.append(_bench_tlb(keys, cfg))
         for name in sorted(POLICIES):
             rows.append(_bench_cache(name, keys, cfg))
         for name in MM_NAMES:
             if name in SAMPLED_MMS:
-                plain, probed = _bench_mm_pair(name, trace, cfg)
+                plain, *probed = _bench_mm_probed(name, trace, cfg)
                 rows.append(plain)
-                sampled_rows.append(probed)
+                probed_rows.extend(probed)
             else:
                 rows.append(_bench_mm(name, trace, cfg))
-        rows.extend(sampled_rows)
+        rows.extend(probed_rows)
 
     # geometric mean: a 2x regression in one component moves the aggregate
     # the same amount whether the component is fast or slow in absolute terms

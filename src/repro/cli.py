@@ -10,8 +10,11 @@
 * ``trace``     — replay a workload with probes attached; dump the event
   and interval-metrics streams as JSONL;
 * ``report``    — render observability artefacts (``BENCH_*.json``,
-  snapshot JSON, metrics JSONL) as a terminal summary and, with
-  ``--html-out``, one self-contained HTML file;
+  snapshot JSON, metrics JSONL, telemetry spools) as a terminal summary
+  and, with ``--html-out``, one self-contained HTML file;
+* ``top``       — live dashboard tailing a telemetry spool (per-task
+  progress, aggregate throughput, cost at ε, ETA); ``--once`` renders a
+  single frame for CI logs;
 * ``check``     — validated sweep: every registered algorithm × workload
   under the invariant oracle; non-zero exit on any violation;
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
@@ -88,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_jobs, default=1,
                    help="worker processes for the sweep (0 = all CPUs; "
                         "metrics/probes force 1)")
+    p.add_argument("--heartbeat-spool", default=None, metavar="FILE.jsonl",
+                   help="stream live telemetry records to this spool "
+                        "(watch with `repro top FILE.jsonl`)")
+    p.add_argument("--heartbeat-interval", type=_positive_int, default=65536,
+                   help="accesses between heartbeats (default: %(default)s)")
 
     p = sub.add_parser(
         "bench",
@@ -152,6 +160,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "throughput trend (default: %(default)s)")
     p.add_argument("--title", default="repro report",
                    help="HTML document title")
+
+    p = sub.add_parser(
+        "top",
+        help="dashboard over a live telemetry spool (curses-free; default "
+             "refreshes until the run finishes, --once prints one frame)",
+    )
+    p.add_argument("spool", metavar="FILE.jsonl",
+                   help="telemetry spool written via --heartbeat-spool / "
+                        "HeartbeatConfig")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (CI-friendly)")
+    p.add_argument("--refresh", type=float, default=2.0,
+                   help="seconds between frames (default: %(default)s)")
+    p.add_argument("--epsilon", type=float, default=0.01,
+                   help="eps pricing the cost line (default: %(default)s)")
 
     p = sub.add_parser(
         "check",
@@ -250,6 +273,13 @@ def _cmd_fig1(args) -> None:
     metrics_every = None
     if args.metrics_out:
         metrics_every = args.window or _default_window(args.accesses // 2)
+    heartbeat = None
+    if args.heartbeat_spool:
+        from .obs import HeartbeatConfig
+
+        heartbeat = HeartbeatConfig(
+            spool=args.heartbeat_spool, interval=args.heartbeat_interval
+        )
     records = figure1_experiment(
         workload,
         ram_pages=ram_pages,
@@ -258,6 +288,7 @@ def _cmd_fig1(args) -> None:
         touched_ram_fraction=0.99 if args.panel == "c" else None,
         seed=args.seed,
         metrics_every=metrics_every,
+        heartbeat=heartbeat,
         jobs=args.jobs,
     )
     if args.metrics_out:
@@ -388,6 +419,33 @@ def _cmd_report(args) -> int:
     print(render_text(sections))
     if args.html_out:
         print(f"\nHTML report written to {args.html_out}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from .obs import aggregate, read_spool, render_top
+
+    def frame() -> tuple[str, bool]:
+        summary = aggregate(read_spool(args.spool))
+        busy = any(
+            t["state"] in ("running", "stalled") for t in summary["tasks"]
+        )
+        return render_top(summary, epsilon=args.epsilon), busy
+
+    text, busy = frame()
+    print(text)
+    if args.once:
+        return 0
+    try:
+        while busy:
+            _time.sleep(args.refresh)
+            text, busy = frame()
+            # ANSI home+clear: one frame per refresh without curses
+            print("\x1b[H\x1b[2J" + text, flush=True)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
     return 0
 
 
@@ -551,6 +609,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "top": _cmd_top,
     "check": _cmd_check,
     "describe": _cmd_describe,
     "eq3": _cmd_eq3,

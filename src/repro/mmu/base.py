@@ -109,6 +109,26 @@ class MMInspector:
         """Full structural self-check; raises AssertionError on breakage."""
 
 
+class _SegmentProbe(Probe):
+    """Per-segment stand-in used by ``_run_intervaled``: batch-safe, no
+    interval of its own (so the inner ``run`` takes the plain batched fast
+    path), forwarding each segment's ``on_batch`` flush to the real probe."""
+
+    __slots__ = ("target",)
+
+    enabled = True
+    batch_safe = True
+
+    def __init__(self, target: Probe) -> None:
+        self.target = target
+
+    def on_batch(self, t0: int, vpns, ledger, before) -> None:
+        self.target.on_batch(t0, vpns, ledger, before)
+
+    def on_phase(self, t: int, name: str) -> None:  # pragma: no cover - defensive
+        self.target.on_phase(t, name)
+
+
 class MemoryManagementAlgorithm(ABC):
     """Services virtual-page requests under the address-translation model."""
 
@@ -136,10 +156,13 @@ class MemoryManagementAlgorithm(ABC):
         exact ints and skip per-element ``int()`` boxing — the hot-loop
         contract documented in ``docs/API.md``.
         """
-        if self.probe.enabled:
-            if self.probe.batch_safe:
-                return self._run_batched(trace)
-            return self._run_probed(trace)
+        probe = self.probe
+        if probe.enabled:
+            if not probe.batch_safe:
+                return self._run_probed(trace)
+            if probe.batch_interval is not None:
+                return self._run_intervaled(trace, probe)
+            return self._run_batched(trace)
         access = self.access
         for vpn in as_int_list(trace):
             access(vpn)
@@ -161,6 +184,27 @@ class MemoryManagementAlgorithm(ABC):
             access(vpn)
         self.probe.on_batch(t0, vpns, ledger, before)
         return ledger
+
+    def _run_intervaled(self, trace, probe: Probe) -> CostLedger:
+        """Interval-flushed batch replay for live probes.
+
+        The trace is sliced into ``probe.batch_interval``-access segments
+        and each segment is replayed through ``self.run`` with the probe
+        temporarily swapped for a :class:`_SegmentProbe` forwarder (batch
+        safe, no interval), so subclasses' vectorized fast-path ``run``
+        overrides stay engaged per segment and the real probe receives one
+        ``on_batch`` flush per segment. Counters and cache state are
+        bit-identical to the unsegmented replay: segmentation only changes
+        where the Python-level loop boundaries fall.
+        """
+        interval = probe.batch_interval
+        self.probe = _SegmentProbe(probe)
+        try:
+            for start in range(0, len(trace), interval):
+                self.run(trace[start : start + interval])
+        finally:
+            self.probe = probe
+        return self.ledger
 
     def _run_probed(self, trace) -> CostLedger:
         """The observed replay: emit typed events from per-access ledger

@@ -124,9 +124,10 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
         # per-access events; batch-safe probes keep this path and get one
         # on_batch flush at the end
         probe = self.probe
-        if (probe.enabled and not probe.batch_safe) or (
-            type(self).access is not PhysicalHugePageMM.access
-        ):
+        if (
+            probe.enabled
+            and (not probe.batch_safe or probe.batch_interval is not None)
+        ) or (type(self).access is not PhysicalHugePageMM.access):
             return super().run(trace)
         t0 = self.ledger.accesses
         before = self.ledger.snapshot() if probe.enabled else None

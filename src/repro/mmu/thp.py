@@ -139,9 +139,10 @@ class THPStyleMM(MemoryManagementAlgorithm):
         the regions for the whole trace come from one vectorized shift.
         Batch-safe probes keep this path and get one ``on_batch`` flush."""
         probe = self.probe
-        if (probe.enabled and not probe.batch_safe) or (
-            type(self).access is not THPStyleMM.access
-        ):
+        if (
+            probe.enabled
+            and (not probe.batch_safe or probe.batch_interval is not None)
+        ) or (type(self).access is not THPStyleMM.access):
             return super().run(trace)
         t0 = self.ledger.accesses
         before = self.ledger.snapshot() if probe.enabled else None

@@ -16,6 +16,15 @@ Orthogonal pieces, all optional and all zero-overhead when unused:
 * :mod:`repro.obs.metrics` — :class:`IntervalMetrics`, per-window time
   series (IO rate, TLB miss rate, working set, cost at ε) from
   :class:`~repro.core.model.CostLedger` deltas;
+* :mod:`repro.obs.online` — :class:`OnlineWorkingSet` /
+  :class:`OnlineStackDistance`, streaming (batch-safe) twins of the
+  offline ``analysis/`` tools — reuse structure without materializing
+  the trace;
+* :mod:`repro.obs.live` — :class:`TelemetryBus` (atomic JSONL spool),
+  :class:`HeartbeatProbe` / :class:`HeartbeatConfig` (periodic progress
+  records that keep the fast paths enabled), :class:`StallWatcher`, and
+  the ``repro top`` reader (:func:`read_spool` / :func:`aggregate` /
+  :func:`render_top`);
 * :mod:`repro.obs.report` — render snapshots / bench payloads / metrics
   JSONL into a terminal summary and self-contained HTML (``repro report``);
 * :mod:`repro.obs.profile` — ``perf_counter`` timers, the ``@timed``
@@ -36,7 +45,17 @@ from .events import (
     TraceRecorder,
 )
 from .hist import LogHistogram
+from .live import (
+    HeartbeatConfig,
+    HeartbeatProbe,
+    StallWatcher,
+    TelemetryBus,
+    aggregate,
+    read_spool,
+    render_top,
+)
 from .metrics import METRICS_FIELDS, IntervalMetrics
+from .online import OnlineStackDistance, OnlineWorkingSet
 from .profile import (
     PROFILE,
     ProfileRegistry,
@@ -62,6 +81,15 @@ __all__ = [
     "ObsSnapshot",
     "IntervalMetrics",
     "METRICS_FIELDS",
+    "OnlineWorkingSet",
+    "OnlineStackDistance",
+    "TelemetryBus",
+    "HeartbeatProbe",
+    "HeartbeatConfig",
+    "StallWatcher",
+    "read_spool",
+    "aggregate",
+    "render_top",
     "load_artifact",
     "build_report",
     "render_text",

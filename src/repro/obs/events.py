@@ -98,6 +98,16 @@ class Probe:
     base tight loop) enabled. Probes that need per-access event ordering
     (``TraceRecorder``, ``StreamTap``, ``IntervalMetrics``) leave it False
     and force the original per-access path.
+
+    ``batch_interval`` refines the batch contract for *live* observers: a
+    batch-safe probe that sets it to ``N`` asks ``run()`` to flush
+    :meth:`on_batch` at least every ``N`` accesses instead of once per
+    replay. The runner then slices the trace into ``N``-access segments and
+    replays each through the *same* vectorized fast path (see
+    ``MemoryManagementAlgorithm._run_intervaled``), so interval flushing
+    costs one extra Python-level loop per segment, not per access —
+    heartbeat telemetry (:mod:`repro.obs.live`) rides this. ``None`` (the
+    default) keeps the one-flush-per-run behaviour.
     """
 
     __slots__ = ()
@@ -107,6 +117,9 @@ class Probe:
 
     #: True iff on_batch-level granularity suffices — keeps fast paths on.
     batch_safe: bool = False
+
+    #: max accesses between on_batch flushes (None = one flush per run()).
+    batch_interval: int | None = None
 
     def on_access(self, t: int, vpn: int) -> None:
         """A request for *vpn* was serviced (fires for every access)."""
@@ -239,16 +252,23 @@ class MultiProbe(Probe):
 
     The composite is batch-safe only when *every* child is — a single
     per-access child forces the per-access path for the whole group, since
-    events can only be derived once per replay.
+    events can only be derived once per replay. Its ``batch_interval`` is
+    the smallest interval any child asks for (``None`` when no child sets
+    one), so a heartbeat child keeps flushing even when combined with a
+    plain sampling probe.
     """
 
-    __slots__ = ("probes", "batch_safe")
+    __slots__ = ("probes", "batch_safe", "batch_interval")
 
     def __init__(self, probes: Iterable[Probe]) -> None:
         self.probes = tuple(p for p in probes if p.enabled)
         self.batch_safe = bool(self.probes) and all(
             p.batch_safe for p in self.probes
         )
+        intervals = [
+            p.batch_interval for p in self.probes if p.batch_interval is not None
+        ]
+        self.batch_interval = min(intervals) if intervals else None
 
     def on_access(self, t: int, vpn: int) -> None:
         for p in self.probes:

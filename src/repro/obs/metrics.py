@@ -14,6 +14,7 @@ motivate Victima, arXiv:2310.04158).
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from .._util import check_positive_int
@@ -36,6 +37,7 @@ METRICS_FIELDS: tuple[str, ...] = (
     "tlb_miss_rate",
     "working_set",
     "cost",
+    "wall",
 )
 
 
@@ -120,6 +122,11 @@ class IntervalMetrics(Probe):
                 "working_set": len(self._pages),
                 "cost": self.model.io_cost * ios
                 + self.model.epsilon * (misses + dmisses),
+                # monotonic close time: lets live streams and merged
+                # cross-worker snapshots be aligned on one time axis
+                # (CLOCK_MONOTONIC is system-wide, so stamps from
+                # different worker processes are comparable)
+                "wall": time.monotonic(),
             }
         )
         self._last = snap

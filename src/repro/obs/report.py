@@ -10,7 +10,10 @@ One renderer for every serialized artefact the toolchain produces:
   per-component throughput, the probed-vs-unprobed ratio table, and the
   throughput trend against the committed baseline in ``--baseline-dir``;
 * interval-metrics JSONL (``repro trace --metrics-out`` / ``repro fig1``)
-  — the window table plus a per-task/per-phase cost attribution.
+  — the window table plus a per-task/per-phase cost attribution;
+* telemetry spool JSONL (``repro fig1 --heartbeat-spool`` /
+  :class:`~repro.obs.live.TelemetryBus`) — the ``repro top`` run summary
+  plus a throughput-over-time timeline per worker.
 
 The output is a terminal summary (aligned monospace tables) and,
 optionally, a single self-contained HTML file (inline CSS, no external
@@ -29,6 +32,7 @@ import json
 from pathlib import Path
 
 from .hist import LogHistogram
+from .live import RECORD_KINDS, aggregate
 from .snapshot import SNAPSHOT_KIND, ObsSnapshot
 
 __all__ = [
@@ -52,9 +56,12 @@ _BENCH_KINDS = ("bench_sweep", "bench_hotloop")
 def load_artifact(path) -> dict:
     """Read one input file and classify it.
 
-    ``*.jsonl`` → ``{"kind": "metrics_jsonl", "rows": [...]}``; ``*.json``
-    must carry a known ``kind`` (``bench_sweep``, ``bench_hotloop``,
-    ``obs_snapshot``). The returned dict always has ``kind`` and ``path``.
+    ``*.jsonl`` → ``{"kind": "metrics_jsonl", "rows": [...]}``, or
+    ``telemetry_jsonl`` when the rows are telemetry-spool records (their
+    ``kind`` field is one of :data:`~repro.obs.live.RECORD_KINDS`);
+    ``*.json`` must carry a known ``kind`` (``bench_sweep``,
+    ``bench_hotloop``, ``obs_snapshot``). The returned dict always has
+    ``kind`` and ``path``.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
@@ -63,6 +70,12 @@ def load_artifact(path) -> dict:
             for line in path.read_text().splitlines()
             if line.strip()
         ]
+        if rows and all(
+            isinstance(r, dict) and r.get("kind") in RECORD_KINDS
+            for r in rows
+        ):
+            return {"kind": "telemetry_jsonl", "rows": rows,
+                    "path": str(path)}
         return {"kind": "metrics_jsonl", "rows": rows, "path": str(path)}
     payload = json.loads(path.read_text())
     kind = payload.get("kind")
@@ -193,6 +206,73 @@ def _metrics_sections(rows: list[dict], title: str) -> list[dict]:
     return [section]
 
 
+def _telemetry_sections(rows: list[dict], title: str) -> list[dict]:
+    """Run summary + per-worker throughput timeline for a telemetry spool.
+
+    Mirrors ``repro top --once`` (same :func:`~repro.obs.live.aggregate`
+    pass over the records), then adds what a one-shot dashboard cannot
+    show: throughput over time, one timeline table per worker, built from
+    the heartbeat stream. Wall clocks are rebased to the spool's first
+    record so timelines from different workers share an origin.
+    """
+    section = {"title": title, "tables": [], "notes": []}
+    summary = aggregate(rows)
+    totals = summary["totals"]
+    # totals["acc_s"] sums *running* tasks only; a finished spool reads 0
+    # there, so fall back to overall accesses / elapsed.
+    rate = totals["acc_s"] or (
+        totals["counters"].get("accesses", 0) / totals["elapsed_s"]
+        if totals["elapsed_s"]
+        else 0.0
+    )
+    section["notes"].append(
+        f"{len(summary['tasks'])} task(s), {len(summary['workers'])} "
+        f"worker(s); aggregate {rate / 1e3:.1f} kacc/s over "
+        f"{totals['elapsed_s']:.2f}s"
+    )
+    if summary["tasks"]:
+        section["tables"].append((
+            "tasks",
+            [{k: t.get(k) for k in
+              ("task", "worker", "state", "done", "total", "acc_s")}
+             for t in summary["tasks"]],
+        ))
+    if totals["counters"]:
+        section["tables"].append((
+            "aggregate counters",
+            [{"counter": k, "value": totals["counters"][k]}
+             for k in sorted(totals["counters"])],
+        ))
+    heartbeats = [r for r in rows if r.get("kind") == "heartbeat"]
+    if heartbeats:
+        t0 = min(
+            r["wall"] for r in rows if isinstance(r.get("wall"), (int, float))
+        )
+        by_worker: dict = {}
+        for r in heartbeats:
+            by_worker.setdefault(str(r.get("worker")), []).append(r)
+        for worker in sorted(by_worker):
+            timeline = [
+                {"t_s": round(r["wall"] - t0, 3), "task": r.get("task"),
+                 "done": r.get("done"),
+                 "kacc_per_s": round(r.get("acc_s", 0.0) / 1e3, 1)}
+                for r in by_worker[worker]
+            ]
+            shown = _subsample(timeline)
+            if len(shown) < len(timeline):
+                section["notes"].append(
+                    f"worker {worker} timeline subsampled: "
+                    f"{len(shown)} of {len(timeline)} heartbeats shown"
+                )
+            section["tables"].append((
+                f"throughput timeline — worker {worker}", shown
+            ))
+    for label in ("stalls", "retries"):
+        if summary[label]:
+            section["tables"].append((label, summary[label]))
+    return [section]
+
+
 def _trend_note(payload: dict, baseline_dir, field: str) -> str | None:
     """Throughput trend vs the committed baseline of the same kind."""
     if baseline_dir is None:
@@ -270,20 +350,25 @@ def _hotloop_sections(payload: dict, baseline_dir) -> list[dict]:
     byname = {r["component"]: r for r in rows}
     probed = []
     for name, row in sorted(byname.items()):
-        if not name.startswith("mm+sampled:"):
+        prefix = next(
+            (p for p in ("mm+sampled:", "mm+online:") if name.startswith(p)),
+            None,
+        )
+        if prefix is None:
             continue
-        twin = byname.get(name.replace("mm+sampled:", "mm:", 1))
+        twin = byname.get(name.replace(prefix, "mm:", 1))
         if twin is None:
             continue
         probed.append({
-            "mm": name.removeprefix("mm+sampled:"),
+            "mm": name.removeprefix(prefix),
+            "probe": prefix[len("mm+"):-1],
             "unprobed_kops_per_s": round(twin["ops_per_s"] / 1e3, 1),
             "probed_kops_per_s": round(row["ops_per_s"] / 1e3, 1),
             "ratio": round(row["ops_per_s"] / twin["ops_per_s"], 3),
             "counters_equal": row.get("counters") == twin.get("counters"),
         })
     if probed:
-        section["tables"].append(("sampling-probe overhead", probed))
+        section["tables"].append(("probe overhead", probed))
     return [section]
 
 
@@ -310,6 +395,10 @@ def build_report(
             sections.extend(_sweep_sections(payload, epsilon, baseline_dir))
         elif kind == "bench_hotloop":
             sections.extend(_hotloop_sections(payload, baseline_dir))
+        elif kind == "telemetry_jsonl":
+            sections.extend(_telemetry_sections(
+                payload["rows"], f"telemetry — {payload.get('path', '')}"
+            ))
         else:  # metrics_jsonl
             sections.extend(_metrics_sections(
                 payload["rows"], f"metrics — {payload.get('path', '')}"

@@ -52,7 +52,8 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
-from ..obs import IntervalMetrics, Probe, Timer, accesses_per_second
+from ..obs import IntervalMetrics, MultiProbe, Probe, Timer, accesses_per_second
+from ..obs.live import HeartbeatConfig, HeartbeatProbe, StallWatcher
 from .stats import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -163,6 +164,7 @@ def _execute(
     metrics_every: int | None = None,
     epsilon: float = 0.01,
     snapshot_factory: Callable[[], Probe | None] | None = None,
+    heartbeat: HeartbeatConfig | None = None,
 ) -> RunRecord:
     """Run one task to a timing-stamped record (worker side or serial)."""
     from .simulator import simulate  # local import: avoid a module cycle
@@ -179,16 +181,55 @@ def _execute(
         # per-task probe, built where the task runs — its state never has
         # to cross a process boundary, only the snapshot does
         probe = snapshot_factory()
-    with Timer() as timer:
-        ledger = simulate(
-            mm,
-            trace,
-            warmup=task.warmup,
-            probe=probe,
-            metrics=metrics,
-            validate=task.validate,
-            deep_every=task.deep_every,
+    bus = None
+    hb_probe = None
+    run_probe = probe
+    if heartbeat is not None:
+        bus = heartbeat.bus()
+        hb_probe = HeartbeatProbe(
+            bus,
+            interval=heartbeat.interval,
+            task=task.key,
+            total=len(trace),
         )
+        # the heartbeat rides alongside any snapshot/shared probe; the
+        # snapshot below still reads the *original* probe, whose collected
+        # state the composite forwards into unchanged
+        run_probe = (
+            hb_probe
+            if probe is None or not probe.enabled
+            else MultiProbe([probe, hb_probe])
+        )
+        bus.emit("task_start", task=task.key, total=len(trace))
+    try:
+        with Timer() as timer:
+            ledger = simulate(
+                mm,
+                trace,
+                warmup=task.warmup,
+                probe=run_probe,
+                metrics=metrics,
+                validate=task.validate,
+                deep_every=task.deep_every,
+            )
+    except Exception as exc:
+        if bus is not None:
+            bus.emit(
+                "task_end",
+                task=task.key,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            bus.close()
+        raise
+    if bus is not None:
+        bus.emit(
+            "task_end",
+            task=task.key,
+            accesses=hb_probe.done,
+            counters=dict(hb_probe.counters),
+            acc_s=accesses_per_second(hb_probe.done, timer.elapsed),
+        )
+        bus.close()
     snapshot = None
     if snapshot_factory is not None:
         from ..obs.snapshot import ObsSnapshot
@@ -217,6 +258,7 @@ def _run_chunk(
     metrics_every: int | None = None,
     epsilon: float = 0.01,
     snapshot_factory: Callable[[], Probe | None] | None = None,
+    heartbeat: HeartbeatConfig | None = None,
 ) -> list[tuple[int, RunRecord | None, str | None]]:
     """Worker entry point: run a chunk of tasks, isolating per-task errors.
 
@@ -238,6 +280,7 @@ def _run_chunk(
                 metrics_every=metrics_every,
                 epsilon=epsilon,
                 snapshot_factory=snapshot_factory,
+                heartbeat=heartbeat,
             )
             out.append((task.key, record, None))
         except _TaskTimeout:
@@ -260,6 +303,7 @@ def run_tasks(
     metrics_every: int | None = None,
     epsilon: float = 0.01,
     snapshot: Callable[[], Probe | None] | bool | None = None,
+    heartbeat: HeartbeatConfig | None = None,
     task_timeout: float | None = None,
     retries: int = 1,
     chunksize: int | None = None,
@@ -288,6 +332,20 @@ def run_tasks(
     *metrics_every* builds one per-task ``IntervalMetrics`` where the task
     runs and returns it on ``record.metrics`` — it composes with any
     ``jobs`` (the collector is plain picklable state).
+
+    *heartbeat* is a picklable :class:`~repro.obs.live.HeartbeatConfig`:
+    each task (worker side or serial) opens its own
+    :class:`~repro.obs.live.TelemetryBus` on the shared spool and streams
+    ``task_start`` / periodic ``heartbeat`` / ``task_end`` records while
+    it runs; retries emit structured ``task_retry`` records from the
+    parent, and (on the pooled path) a parent-side
+    :class:`~repro.obs.live.StallWatcher` flags silent workers with
+    ``task_stall`` records. Heartbeats compose with *snapshot* probes via
+    :class:`~repro.obs.events.MultiProbe` and keep the vectorized fast
+    paths enabled (the probe is batch-safe with a ``batch_interval``);
+    combining with a *non*-batch-safe probe (``TraceRecorder``, detail
+    sampling) still runs but suppresses the periodic flushes, since the
+    per-access path has no batch boundaries to flush on.
 
     Fault tolerance: a failing cell (exception, per-task *task_timeout*, or
     worker crash) is retried up to *retries* times — crash retries get a
@@ -331,6 +389,7 @@ def run_tasks(
             metrics_every=metrics_every,
             epsilon=epsilon,
             snapshot_factory=snapshot_factory,
+            heartbeat=heartbeat,
             retries=retries,
         )
     return _run_pooled(
@@ -340,6 +399,7 @@ def run_tasks(
         metrics_every=metrics_every,
         epsilon=epsilon,
         snapshot_factory=snapshot_factory,
+        heartbeat=heartbeat,
         task_timeout=task_timeout,
         retries=retries,
         chunksize=chunksize,
@@ -370,6 +430,25 @@ def run_records(tasks: Sequence[SimTask], **kwargs) -> list[RunRecord]:
 # ------------------------------------------------------------- internals
 
 
+def _emit_retry(
+    heartbeat: HeartbeatConfig | None, task_key: int, attempt: int, error: str
+) -> None:
+    """Structured retry event: one ``task_retry`` spool record (when a bus
+    is configured) plus a structured log record — so ``repro top`` and log
+    processors both see (task, attempt, error), not just free text."""
+    if heartbeat is not None:
+        with heartbeat.bus(worker="parent") as bus:
+            bus.emit("task_retry", task=task_key, attempt=attempt, error=error)
+    _log.warning(
+        "task %d failed on attempt %d (%s); retrying",
+        task_key, attempt, error,
+        extra={"event": {
+            "kind": "task_retry", "task": task_key,
+            "attempt": attempt, "error": error,
+        }},
+    )
+
+
 def _run_serial(
     tasks: list[SimTask],
     trace,
@@ -378,6 +457,7 @@ def _run_serial(
     metrics_every,
     epsilon,
     snapshot_factory,
+    heartbeat: HeartbeatConfig | None = None,
     retries: int,
 ) -> list[TaskResult]:
     """In-process path: today's sweep semantics, bit-for-bit.
@@ -395,12 +475,13 @@ def _run_serial(
                 record = _execute(
                     task, trace, probe=probe, metrics_every=metrics_every,
                     epsilon=epsilon, snapshot_factory=snapshot_factory,
+                    heartbeat=heartbeat,
                 )
             except Exception as exc:
                 if attempts <= retries:
-                    _log.warning(
-                        "task %d failed (%s: %s); retrying", task.key,
-                        type(exc).__name__, exc,
+                    _emit_retry(
+                        heartbeat, task.key, attempts,
+                        f"{type(exc).__name__}: {exc}",
                     )
                     continue
                 results.append(
@@ -428,6 +509,7 @@ def _run_pooled(
     metrics_every: int | None,
     epsilon: float,
     snapshot_factory,
+    heartbeat: HeartbeatConfig | None = None,
     task_timeout: float | None,
     retries: int,
     chunksize: int | None,
@@ -441,16 +523,42 @@ def _run_pooled(
 
     def note_failure(task: SimTask, error: str, requeue: list[SimTask]) -> None:
         if attempts[task.key] <= retries:
-            _log.warning(
-                "task %d failed on attempt %d (%s); retrying",
-                task.key, attempts[task.key], error,
-            )
+            _emit_retry(heartbeat, task.key, attempts[task.key], error)
             requeue.append(task)
         else:
             results[task.key] = TaskResult(
                 task.key, None, error=error, attempts=attempts[task.key]
             )
 
+    watcher = None
+    if heartbeat is not None:
+        watcher = StallWatcher(
+            heartbeat.spool,
+            heartbeat.bus(worker="parent"),
+            stall_factor=heartbeat.stall_factor,
+            grace_s=heartbeat.grace_s,
+        ).start()
+    try:
+        return _pooled_rounds(
+            tasks, trace, by_key, results, attempts, pending, round_idx,
+            note_failure,
+            jobs=jobs, metrics_every=metrics_every, epsilon=epsilon,
+            snapshot_factory=snapshot_factory, heartbeat=heartbeat,
+            task_timeout=task_timeout, chunksize=chunksize,
+            mp_context=mp_context,
+        )
+    finally:
+        if watcher is not None:
+            watcher.stop()
+            watcher.bus.close()
+
+
+def _pooled_rounds(
+    tasks, trace, by_key, results, attempts, pending, round_idx, note_failure,
+    *,
+    jobs, metrics_every, epsilon, snapshot_factory, heartbeat,
+    task_timeout, chunksize, mp_context,
+) -> list[TaskResult]:
     while pending:
         for t in pending:
             attempts[t.key] += 1
@@ -462,7 +570,7 @@ def _run_pooled(
                 pending, trace, task_timeout, mp_context, results, attempts,
                 note_failure, requeue,
                 metrics_every=metrics_every, epsilon=epsilon,
-                snapshot_factory=snapshot_factory,
+                snapshot_factory=snapshot_factory, heartbeat=heartbeat,
             )
             pending = requeue
             round_idx += 1
@@ -477,7 +585,7 @@ def _run_pooled(
         futures = {
             pool.submit(
                 _run_chunk, chunk, trace, task_timeout,
-                metrics_every, epsilon, snapshot_factory,
+                metrics_every, epsilon, snapshot_factory, heartbeat,
             ): chunk
             for chunk in chunks
         }
@@ -547,6 +655,7 @@ def _isolated_round(
     metrics_every: int | None = None,
     epsilon: float = 0.01,
     snapshot_factory=None,
+    heartbeat: HeartbeatConfig | None = None,
 ) -> None:
     """Run each task in its own single-worker pool (crash isolation)."""
     budget = None if task_timeout is None else task_timeout * 2 + 30
@@ -554,7 +663,7 @@ def _isolated_round(
         pool = ProcessPoolExecutor(max_workers=1, mp_context=mp_context)
         fut = pool.submit(
             _run_chunk, [task], trace, task_timeout,
-            metrics_every, epsilon, snapshot_factory,
+            metrics_every, epsilon, snapshot_factory, heartbeat,
         )
         try:
             rows = fut.result(timeout=budget)

@@ -131,6 +131,7 @@ def sweep_huge_page_sizes(
     metrics_every: int | None = None,
     epsilon: float = 0.01,
     snapshot=None,
+    heartbeat=None,
     jobs: int | None = 1,
     task_timeout: float | None = None,
     validate: bool = False,
@@ -158,7 +159,10 @@ def sweep_huge_page_sizes(
     carries a mergeable :class:`~repro.obs.snapshot.ObsSnapshot`) compose
     with any ``jobs``. *task_timeout* (seconds, parallel only) bounds each
     cell; a timed-out or crashed cell is retried once and then dropped with
-    an error log, like an infeasible size.
+    an error log, like an infeasible size. *heartbeat* (a picklable
+    :class:`~repro.obs.live.HeartbeatConfig`) streams live progress
+    records from wherever each cell runs to the configured spool — see
+    ``repro top``.
 
     ``validate=True`` runs every cell under the :mod:`repro.check`
     invariant oracle (identical costs; an invariant violation fails the
@@ -206,5 +210,6 @@ def sweep_huge_page_sizes(
         metrics_every=metrics_every,
         epsilon=epsilon,
         snapshot=snapshot,
+        heartbeat=heartbeat,
         task_timeout=task_timeout,
     )

@@ -213,8 +213,10 @@ class TestCompareHotloop:
         assert check_bench.load_payload(str(path))["kind"] == "bench_hotloop"
 
 
-def _probed_payload(ratio=0.95, counter_drift=0):
-    """A hotloop payload with one plain / sampled fast-path MM pair."""
+def _probed_payload(ratio=0.95, counter_drift=0, online_ratio=None):
+    """A hotloop payload with one plain fast-path MM plus probed twins:
+    always an ``mm+sampled:`` row, and an ``mm+online:`` row when
+    *online_ratio* is given."""
     payload = _hotloop_payload()
     counters = {"accesses": 1000, "ios": 40, "tlb_hits": 800, "tlb_misses": 200}
     payload["rows"] += [
@@ -231,25 +233,54 @@ def _probed_payload(ratio=0.95, counter_drift=0):
             "counters": {**counters, "ios": counters["ios"] + counter_drift},
         },
     ]
+    if online_ratio is not None:
+        payload["rows"].append({
+            "component": "mm+online:thp",
+            "ops": 1000,
+            "ops_per_s": 600_000.0 * online_ratio,
+            "counters": dict(counters),
+        })
     return payload
 
 
 class TestProbedGate:
-    """The within-payload mm+sampled vs mm gate (new run only)."""
+    """The within-payload probed-vs-mm gate (new run only)."""
 
     def test_cheap_probe_passes(self):
         code, messages = check_bench.compare(
             _probed_payload(ratio=0.95), _probed_payload(ratio=0.95)
         )
         assert code == check_bench.OK
-        assert any("probed throughput" in m for m in messages)
+        assert any("mm+sampled throughput" in m for m in messages)
 
     def test_expensive_probe_is_a_regression(self):
         code, messages = check_bench.compare(
             _probed_payload(ratio=0.95), _probed_payload(ratio=0.80)
         )
         assert code == check_bench.REGRESSION
-        assert any(m.startswith("FAIL probed throughput") for m in messages)
+        assert any(
+            m.startswith("FAIL mm+sampled throughput") for m in messages
+        )
+
+    def test_online_rows_gated_independently(self):
+        # a cheap sampling probe must not mask an expensive online probe
+        code, messages = check_bench.compare(
+            _probed_payload(ratio=0.95, online_ratio=0.95),
+            _probed_payload(ratio=0.95, online_ratio=0.80),
+        )
+        assert code == check_bench.REGRESSION
+        assert any("ok: mm+sampled throughput" in m for m in messages)
+        assert any(
+            m.startswith("FAIL mm+online throughput") for m in messages
+        )
+
+    def test_cheap_online_probe_passes(self):
+        code, messages = check_bench.compare(
+            _probed_payload(ratio=0.95, online_ratio=0.95),
+            _probed_payload(ratio=0.95, online_ratio=0.95),
+        )
+        assert code == check_bench.OK
+        assert any("mm+online throughput" in m for m in messages)
 
     def test_probe_tolerance_loosens_the_floor(self):
         code, _ = check_bench.compare(
@@ -272,7 +303,7 @@ class TestProbedGate:
             _hotloop_payload(), _hotloop_payload()
         )
         assert code == check_bench.OK
-        assert not any("probed throughput" in m for m in messages)
+        assert not any("of unprobed" in m for m in messages)
 
     def test_probe_tolerance_cli_flag(self, tmp_path):
         base = tmp_path / "base.json"

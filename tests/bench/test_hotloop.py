@@ -3,7 +3,12 @@
 import pytest
 
 from repro.bench import hotloop
-from repro.bench.hotloop import HOTLOOP_CONFIG, bench_hotloop, key_stream
+from repro.bench.hotloop import (
+    HOTLOOP_CONFIG,
+    SAMPLED_MMS,
+    bench_hotloop,
+    key_stream,
+)
 from repro.mmu import MM_NAMES
 from repro.paging import POLICIES
 
@@ -60,6 +65,12 @@ class TestBenchHotloop:
         assert [n for n in names if n.startswith("mm:")] == [
             f"mm:{m}" for m in MM_NAMES
         ]
+        assert sorted(n for n in names if n.startswith("mm+sampled:")) == [
+            f"mm+sampled:{m}" for m in sorted(SAMPLED_MMS)
+        ]
+        assert sorted(n for n in names if n.startswith("mm+online:")) == [
+            f"mm+online:{m}" for m in sorted(SAMPLED_MMS)
+        ]
         assert payload["kind"] == "bench_hotloop"
         assert payload["format"] == 1
         assert payload["config"] == small_config
@@ -72,6 +83,20 @@ class TestBenchHotloop:
         for a, b in zip(rows_a, rows_b):
             assert a["component"] == b["component"]
             assert a["counters"] == b["counters"]
+
+    def test_probed_rows_match_unprobed_counters(self, small_config):
+        """Neither the sampling probe nor the online analyses may perturb
+        the simulation — the check_bench probed gate relies on this."""
+        rows, _ = bench_hotloop()
+        by = {r["component"]: r for r in rows}
+        for prefix in ("mm+sampled:", "mm+online:"):
+            probed = [n for n in by if n.startswith(prefix)]
+            assert sorted(probed) == [
+                f"{prefix}{m}" for m in sorted(SAMPLED_MMS)
+            ]
+            for name in probed:
+                twin = by[name.replace(prefix, "mm:", 1)]
+                assert by[name]["counters"] == twin["counters"], name
 
     def test_seed_override_recorded_in_config(self, small_config):
         _, payload = bench_hotloop(seed=3)

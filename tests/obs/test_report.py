@@ -42,6 +42,8 @@ def _hotloop_payload():
              "counters": counters},
             {"component": "mm+sampled:thp", "ops": 100, "ops_per_s": 5.7e5,
              "counters": counters},
+            {"component": "mm+online:thp", "ops": 100, "ops_per_s": 5.82e5,
+             "counters": counters},
         ],
     }
 
@@ -92,8 +94,10 @@ class TestRendering:
 
     def test_hotloop_report_has_probe_overhead_table(self):
         text = render_text(build_report([_hotloop_payload()]))
-        assert "sampling-probe overhead" in text
+        assert "probe overhead" in text
+        assert "sampled" in text and "online" in text
         assert "0.95" in text  # 5.7e5 / 6e5
+        assert "0.97" in text  # 5.82e5 / 6e5
 
     def test_trend_note_against_baseline_dir(self, tmp_path):
         baseline = dict(_hotloop_payload(), geomean_ops_per_s=4e5)

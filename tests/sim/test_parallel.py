@@ -19,7 +19,15 @@ import pytest
 
 from repro.bench import diff_records, make_base_mm
 from repro.mmu import BasePageMM
-from repro.obs import NullProbe, ObsSnapshot, SamplingProbe, TraceRecorder
+from repro.obs import (
+    HeartbeatConfig,
+    NullProbe,
+    ObsSnapshot,
+    SamplingProbe,
+    TraceRecorder,
+    aggregate,
+    read_spool,
+)
 from repro.sim import (
     SimTask,
     TaskResult,
@@ -36,6 +44,12 @@ POSIX_TIMERS = hasattr(signal, "setitimer")
 def _payload(records):
     """Shape a record list like a saved result file, for diff_records."""
     return {"rows": [r.as_row() for r in records]}
+
+
+def _no_wall(rows):
+    """Metrics rows minus the monotonic ``wall`` stamp — the only field
+    allowed to differ between a serial and a parallel replay."""
+    return [{k: v for k, v in row.items() if k != "wall"} for row in rows]
 
 
 class CrashOnce:
@@ -144,9 +158,13 @@ class TestDeterminism:
         trace = _trace(2000)
         serial = run_records(_grid(3), trace=trace, jobs=1, metrics_every=300)
         pooled = run_records(_grid(3), trace=trace, jobs=3, metrics_every=300)
-        assert [r.metrics.rows() for r in serial] == [
-            r.metrics.rows() for r in pooled
+        assert [_no_wall(r.metrics.rows()) for r in serial] == [
+            _no_wall(r.metrics.rows()) for r in pooled
         ]
+        # every row carries a wall stamp, and stamps are monotone per task
+        for r in serial + pooled:
+            walls = [row["wall"] for row in r.metrics.rows()]
+            assert walls == sorted(walls)
 
     def test_enabled_shared_probe_forces_serial(self, caplog):
         probe = TraceRecorder(capacity=64)
@@ -177,7 +195,10 @@ class TestDeterminism:
         pooled = sweep_huge_page_sizes(trace, jobs=4, **kwargs)
         merged_serial = ObsSnapshot.merge_all(r.snapshot for r in serial)
         merged_pooled = ObsSnapshot.merge_all(r.snapshot for r in pooled)
-        assert merged_serial == merged_pooled
+        assert merged_serial.counters == merged_pooled.counters
+        assert merged_serial.hists == merged_pooled.hists
+        assert merged_serial.meta == merged_pooled.meta
+        assert _no_wall(merged_serial.rows) == _no_wall(merged_pooled.rows)
         assert merged_serial.meta["runs"] == len(serial) == 3
         # snapshot counters are the exact per-run ledgers, summed
         assert merged_serial.counters["ios"] == sum(r.ios for r in serial)
@@ -332,3 +353,85 @@ class TestPicklability:
         ):
             clone = pickle.loads(pickle.dumps(factory))
             assert callable(clone)
+
+
+class TestHeartbeatTelemetry:
+    """The live-spool contract: heartbeats observe without perturbing, the
+    spool aggregates to the same totals regardless of sharding, and the
+    fault-tolerance path leaves structured retry records behind."""
+
+    def _heartbeat(self, tmp_path, name, interval=512):
+        return HeartbeatConfig(
+            spool=str(tmp_path / f"{name}.jsonl"), interval=interval
+        )
+
+    def test_pooled_spool_aggregates_like_serial(self, tmp_path):
+        trace = _trace(4000)
+        serial_hb = self._heartbeat(tmp_path, "serial")
+        pooled_hb = self._heartbeat(tmp_path, "pooled")
+        serial = run_records(_grid(6), trace=trace, jobs=1, heartbeat=serial_hb)
+        pooled = run_records(
+            _grid(6), trace=trace, jobs=4, chunksize=1, heartbeat=pooled_hb
+        )
+        # telemetry never perturbs the simulation
+        assert diff_records(_payload(serial), _payload(pooled)) == []
+        a = aggregate(read_spool(serial_hb.spool))
+        b = aggregate(read_spool(pooled_hb.spool))
+        # same tasks, same final counters, everything done — bit-identical
+        # totals whether one process wrote the spool or five did
+        assert [t["task"] for t in a["tasks"]] == [t["task"] for t in b["tasks"]]
+        assert all(t["state"] == "done" for t in a["tasks"] + b["tasks"])
+        assert a["totals"]["counters"] == b["totals"]["counters"]
+        assert a["totals"]["counters"]["accesses"] == 6 * len(trace)
+        assert sum(t["done"] for t in b["tasks"]) == 6 * len(trace)
+
+    def test_merged_spool_is_well_ordered(self, tmp_path):
+        trace = _trace(4000)
+        hb = self._heartbeat(tmp_path, "order", interval=400)
+        run_records(_grid(6), trace=trace, jobs=4, chunksize=1, heartbeat=hb)
+        records = read_spool(hb.spool)
+        # writers interleave, but every record line survived intact ...
+        assert all(r["kind"] in ("task_start", "phase", "heartbeat",
+                                "task_end") for r in records)
+        # ... wall stamps are monotone per worker (one clock per process)
+        walls: dict[str, float] = {}
+        for r in records:
+            assert r["wall"] >= walls.get(r["worker"], 0.0)
+            walls[r["worker"]] = r["wall"]
+        # ... and each task's lifecycle reads start -> rising progress -> end
+        for key in range(6):
+            cell = [r for r in records if r.get("task") == key]
+            assert cell[0]["kind"] == "task_start"
+            assert cell[-1]["kind"] == "task_end"
+            dones = [r["done"] for r in cell if r["kind"] == "heartbeat"]
+            assert dones == sorted(dones)
+            assert cell[-1]["accesses"] == len(trace)
+
+    def test_heartbeat_composes_with_snapshot_probes(self, tmp_path):
+        trace = _trace(2000)
+        hb = self._heartbeat(tmp_path, "compose")
+        records = run_records(
+            _grid(2), trace=trace, jobs=2, chunksize=1, heartbeat=hb,
+            snapshot=partial(SamplingProbe, 1 / 16, seed=3),
+        )
+        assert all(r.snapshot is not None for r in records)
+        merged = ObsSnapshot.merge_all(r.snapshot for r in records)
+        assert merged.hists["reuse_distance"].n > 0
+        beats = [r for r in read_spool(hb.spool) if r["kind"] == "heartbeat"]
+        assert beats  # both observers ran in the same replay
+
+    def test_retry_leaves_structured_record(self, tmp_path):
+        hb = self._heartbeat(tmp_path, "retry")
+        task = SimTask(
+            mm_factory=RaiseOnce(tmp_path / "marker"), key=5, warmup=10
+        )
+        (result,) = run_tasks([task], trace=_trace(500), jobs=1, heartbeat=hb)
+        assert result.ok and result.attempts == 2
+        retries = [r for r in read_spool(hb.spool) if r["kind"] == "task_retry"]
+        assert len(retries) == 1
+        assert retries[0]["task"] == 5
+        assert retries[0]["attempt"] == 1
+        assert "transient failure" in retries[0]["error"]
+        assert retries[0]["worker"] == "parent"
+        # the aggregate surfaces it too
+        assert aggregate(read_spool(hb.spool))["retries"] == retries

@@ -105,3 +105,22 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "decoupled-Z" in out and "h_max" in out
+
+    def test_top_once_on_missing_spool(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "absent.jsonl"), "--once"]) == 0
+        assert "spool is empty" in capsys.readouterr().out
+
+    def test_fig1_heartbeat_spool_feeds_top(self, capsys, tmp_path):
+        spool = tmp_path / "fig1.jsonl"
+        assert (
+            main(["fig1", "--panel", "a", "--scale", "4096",
+                  "--accesses", "4000", "--tlb", "16", "--jobs", "2",
+                  "--heartbeat-spool", str(spool),
+                  "--heartbeat-interval", "1000"]) == 0
+        )
+        assert "Figure 1a" in capsys.readouterr().out
+        assert spool.exists()
+        assert main(["top", str(spool), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "done" in out
+        assert "aggregate:" in out and "ETA" in out

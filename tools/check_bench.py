@@ -30,13 +30,15 @@ Two checks, two exit codes:
   and same-speed runs pass.
 
 For hotloop payloads an additional *within-payload* gate compares each
-``mm+sampled:<name>`` row (the run with a ``SamplingProbe`` attached)
-against its unprobed ``mm:<name>`` twin in the **new** run: the counters
-must be identical (a probe must never perturb the simulation — exit 2),
-and the geometric-mean throughput ratio may not fall below
-``1 - --probe-tolerance`` (default 0.10 — the "sampling observability is
-within 10% of unprobed" contract; exit 1). Within one payload both rows
-ran on the same machine moments apart, so the ratio is noise-robust.
+probed row — ``mm+sampled:<name>`` (a ``SamplingProbe`` attached) and
+``mm+online:<name>`` (the streaming ``OnlineWorkingSet`` /
+``OnlineStackDistance`` probes attached) — against its unprobed
+``mm:<name>`` twin in the **new** run: the counters must be identical (a
+probe must never perturb the simulation — exit 2), and per prefix the
+geometric-mean throughput ratio may not fall below
+``1 - --probe-tolerance`` (default 0.10 — the "observability is within
+10% of unprobed" contract; exit 1). Within one payload both rows ran on
+the same machine moments apart, so the ratio is noise-robust.
 
 Stdlib-only on purpose: the gate runs before (and independent of) the
 package itself.
@@ -110,45 +112,56 @@ def _throughput_gate(
     return OK
 
 
+#: probed hotloop row prefixes gated against their unprobed ``mm:`` twins.
+PROBED_PREFIXES = ("mm+sampled:", "mm+online:")
+
+
 def _probed_gate(
     payload: dict, probe_tolerance: float, messages: list[str]
 ) -> int:
-    """Gate ``mm+sampled:*`` rows against their ``mm:*`` twins (one payload).
+    """Gate probed rows against their ``mm:*`` twins (one payload).
 
-    Counters must be identical (MISMATCH otherwise: the probe perturbed
-    the simulation) and the geomean probed/unprobed throughput ratio must
-    stay above ``1 - probe_tolerance`` (REGRESSION otherwise: the probe
-    knocked an algorithm off its fast path or got too expensive).
+    Applies to every prefix in :data:`PROBED_PREFIXES` (``mm+sampled:``
+    and ``mm+online:``), gated independently. Counters must be identical
+    (MISMATCH otherwise: the probe perturbed the simulation) and per
+    prefix the geomean probed/unprobed throughput ratio must stay above
+    ``1 - probe_tolerance`` (REGRESSION otherwise: the probe knocked an
+    algorithm off its fast path or got too expensive).
     """
     rows = {r["component"]: r for r in payload["rows"]}
-    pairs = [
-        (name, rows[name.replace("mm+sampled:", "mm:", 1)], rows[name])
-        for name in sorted(rows)
-        if name.startswith("mm+sampled:")
-        and name.replace("mm+sampled:", "mm:", 1) in rows
-    ]
-    if not pairs:
-        return OK
     code = OK
-    ratios = []
-    for name, plain, probed in pairs:
-        if plain.get("counters") != probed.get("counters"):
-            code = MISMATCH
-            messages.append(
-                f"FAIL {name}: counters differ from its unprobed twin "
-                f"{plain.get('counters')} -> {probed.get('counters')} "
-                "(a probe must never perturb the simulation)"
-            )
-        ratios.append(probed["ops_per_s"] / plain["ops_per_s"])
-    geomean_ratio = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
-    line = (
-        f"probed throughput: {geomean_ratio:.1%} of unprobed across "
-        f"{len(pairs)} fast-path MMs (floor {1 - probe_tolerance:.0%})"
-    )
-    if geomean_ratio < 1 - probe_tolerance:
-        messages.append(f"FAIL {line}")
-        return max(code, REGRESSION)
-    messages.append(f"ok: {line}")
+    for prefix in PROBED_PREFIXES:
+        pairs = [
+            (name, rows[name.replace(prefix, "mm:", 1)], rows[name])
+            for name in sorted(rows)
+            if name.startswith(prefix)
+            and name.replace(prefix, "mm:", 1) in rows
+        ]
+        if not pairs:
+            continue
+        ratios = []
+        for name, plain, probed in pairs:
+            if plain.get("counters") != probed.get("counters"):
+                code = MISMATCH
+                messages.append(
+                    f"FAIL {name}: counters differ from its unprobed twin "
+                    f"{plain.get('counters')} -> {probed.get('counters')} "
+                    "(a probe must never perturb the simulation)"
+                )
+            ratios.append(probed["ops_per_s"] / plain["ops_per_s"])
+        geomean_ratio = math.exp(
+            sum(math.log(r) for r in ratios) / len(ratios)
+        )
+        line = (
+            f"{prefix.rstrip(':')} throughput: {geomean_ratio:.1%} of "
+            f"unprobed across {len(pairs)} fast-path MMs "
+            f"(floor {1 - probe_tolerance:.0%})"
+        )
+        if geomean_ratio < 1 - probe_tolerance:
+            messages.append(f"FAIL {line}")
+            code = max(code, REGRESSION)
+        else:
+            messages.append(f"ok: {line}")
     return code
 
 
@@ -298,8 +311,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--probe-tolerance", type=float, default=0.10,
-        help="allowed fractional throughput cost of a SamplingProbe, "
-             "gated within the new hotloop payload (default: %(default)s)",
+        help="allowed fractional throughput cost of an attached probe "
+             "(sampling or online analysis), gated per prefix within the "
+             "new hotloop payload (default: %(default)s)",
     )
     args = parser.parse_args(argv)
     try:
