@@ -7,7 +7,14 @@ slower. Each component is timed on its own fixed key stream:
 * ``tlb`` — :class:`~repro.tlb.TLB` lookup + demand fill;
 * ``cache:<policy>`` — :class:`~repro.paging.PageCache.access` under every
   registered replacement policy;
-* ``mm:<name>`` — ``run()`` for every registry algorithm;
+* ``mm:<name>`` — ``run()`` for every registry algorithm under the
+  configured simulation engine (``mm_engine``, default ``"array"`` — the
+  struct-of-arrays batch engine; algorithms it does not cover fall back
+  to the object replay with identical counters);
+* ``mm@object:<name>`` — the object-engine twin of ``mm:<name>`` for the
+  fast-path algorithms, so the probe-overhead gate compares probed runs
+  (which ride the object fast paths) against a like-for-like twin and the
+  array-engine speedup is visible inside one payload;
 * ``mm+sampled:<name>`` — ``run()`` with a batch-safe
   :class:`~repro.obs.sampling.SamplingProbe` attached, for every fast-path
   algorithm. The probe must not perturb the simulation (identical
@@ -65,6 +72,7 @@ HOTLOOP_CONFIG: dict = {
     "cache_pages": 1024,  # cache component capacity
     "mm_tlb_entries": 256,  # registry-MM tlb size
     "mm_ram_pages": 4096,  # registry-MM ram size
+    "mm_engine": "array",  # engine for the mm:<name> rows
     "sampled_stride": 64,  # SamplingProbe rate is 1/this for mm+sampled
     "online_tau": 1024,  # OnlineWorkingSet window for mm+online
     "online_sample_every": 256,  # OnlineWorkingSet window stride
@@ -205,10 +213,13 @@ _PROBE_VARIANTS = (
 )
 
 
-def _mm_once(name: str, trace, cfg, *, probe_factory=None) -> tuple[float, dict]:
+def _mm_once(
+    name: str, trace, cfg, *, probe_factory=None, engine: str = "object"
+) -> tuple[float, dict]:
     """One fresh-MM run, optionally with a freshly built probe attached."""
     mm = make_mm(
-        name, cfg["mm_tlb_entries"], cfg["mm_ram_pages"], seed=cfg["seed"]
+        name, cfg["mm_tlb_entries"], cfg["mm_ram_pages"], seed=cfg["seed"],
+        engine=engine,
     )
     if probe_factory is not None:
         mm.probe = probe_factory(cfg)
@@ -219,39 +230,45 @@ def _mm_once(name: str, trace, cfg, *, probe_factory=None) -> tuple[float, dict]
 
 def _bench_mm(name: str, trace, cfg) -> dict:
     def once():
-        return _mm_once(name, trace, cfg)
+        return _mm_once(name, trace, cfg, engine=cfg["mm_engine"])
 
     elapsed, counters = _best_of(once, cfg["repeats"])
     return _row(f"mm:{name}", len(trace), elapsed, counters)
 
 
 def _bench_mm_probed(name: str, trace, cfg) -> list[dict]:
-    """Time the plain and probed runs of one fast-path MM, interleaved.
+    """Time the plain, object-twin, and probed runs of one fast-path MM,
+    interleaved.
 
-    The probed counters must match the plain row exactly (probes never
+    The ``mm:`` row uses the configured ``mm_engine``; the ``mm@object:``
+    twin re-runs it on the object engine, giving the probe gate a
+    like-for-like denominator (probes ride the object fast paths) and
+    making the array-engine speedup measurable within one payload. The
+    probed counters must match the plain rows exactly (probes never
     perturb the simulation) and throughput must stay within the gate's
     probe tolerance — together these pin that each probe rides the fast
-    path instead of forcing the per-access replay. Alternating plain /
-    probed within the same repeat loop exposes every side of those
+    path instead of forcing the per-access replay. Alternating the
+    variants within the same repeat loop exposes every side of those
     ratios to the same machine conditions, so slow clock or load drift
     cancels out of the gate instead of masquerading as probe overhead.
     """
-    best = {"mm": math.inf}
-    counters: dict = {"mm": {}}
-    for prefix, _ in _PROBE_VARIANTS:
-        best[prefix] = math.inf
-        counters[prefix] = {}
+    variants: list[tuple[str, dict]] = [
+        ("mm", {"engine": cfg["mm_engine"]}),
+        ("mm@object", {}),
+    ]
+    variants += [
+        (prefix, {"probe_factory": factory})
+        for prefix, factory in _PROBE_VARIANTS
+    ]
+    best = {prefix: math.inf for prefix, _ in variants}
+    counters: dict = {prefix: {} for prefix, _ in variants}
     for _ in range(max(1, cfg["repeats"])):
-        elapsed, counters["mm"] = _mm_once(name, trace, cfg)
-        best["mm"] = min(best["mm"], elapsed)
-        for prefix, factory in _PROBE_VARIANTS:
-            elapsed, counters[prefix] = _mm_once(
-                name, trace, cfg, probe_factory=factory
-            )
+        for prefix, kwargs in variants:
+            elapsed, counters[prefix] = _mm_once(name, trace, cfg, **kwargs)
             best[prefix] = min(best[prefix], elapsed)
     return [
         _row(f"{prefix}:{name}", len(trace), best[prefix], counters[prefix])
-        for prefix in ("mm", *(p for p, _ in _PROBE_VARIANTS))
+        for prefix, _ in variants
     ]
 
 

@@ -21,10 +21,13 @@ from .differential import (
     ROW_FIELDS,
     DiffReport,
     Divergence,
+    EngineDiff,
     StreamTap,
     diff_against_golden,
+    diff_engine_ledgers,
     diff_mms,
     first_divergence,
+    golden_totals,
     load_golden,
     record_stream,
     save_golden,
@@ -49,6 +52,9 @@ __all__ = [
     "record_stream",
     "first_divergence",
     "diff_mms",
+    "EngineDiff",
+    "diff_engine_ledgers",
+    "golden_totals",
     "save_golden",
     "load_golden",
     "diff_against_golden",

@@ -34,9 +34,12 @@ __all__ = [
     "StreamTap",
     "Divergence",
     "DiffReport",
+    "EngineDiff",
     "record_stream",
     "first_divergence",
     "diff_mms",
+    "diff_engine_ledgers",
+    "golden_totals",
     "save_golden",
     "load_golden",
     "diff_against_golden",
@@ -225,6 +228,88 @@ def diff_mms(
         divergence=first_divergence(left_rows, right_rows, fields=fields),
         compared=tuple(fields) if fields is not None else ROW_FIELDS,
     )
+
+
+@dataclass(slots=True)
+class EngineDiff:
+    """Ledger-level parity verdict between two simulation engines.
+
+    The array engine emits no per-access events (that is the point), so
+    engine parity is checked on the full final ledger — every counter,
+    including the algorithm-specific ``extra`` entries. ``mismatches``
+    maps each differing counter to its ``(left, right)`` values.
+    """
+
+    left_engine: str
+    right_engine: str
+    left_counters: dict
+    right_counters: dict
+    mismatches: dict
+
+    @property
+    def identical(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        head = f"{self.left_engine} vs {self.right_engine}"
+        if not self.mismatches:
+            return f"{head}: ledgers identical"
+        parts = ", ".join(
+            f"{k}: {a} vs {b}" for k, (a, b) in sorted(self.mismatches.items())
+        )
+        return f"{head}: ledgers diverge — {parts}"
+
+
+def diff_engine_ledgers(
+    mm_factory,
+    trace,
+    *,
+    warmup: int = 0,
+    left: str = "object",
+    right: str = "array",
+) -> EngineDiff:
+    """Replay *trace* through two factory-built algorithms, one per engine,
+    and compare their final ledgers counter by counter.
+
+    *mm_factory* is a zero-arg factory (e.g. the result of
+    :func:`repro.mmu.mm_factory`), so both sides start from identical
+    fresh state and any divergence is the engines disagreeing about the
+    simulation itself.
+    """
+    from ..sim.simulator import simulate  # local import: sim imports check lazily
+
+    left_led = simulate(mm_factory(), trace, warmup=warmup, engine=left)
+    right_led = simulate(mm_factory(), trace, warmup=warmup, engine=right)
+    lc, rc = left_led.as_dict(), right_led.as_dict()
+    mismatches = {
+        key: (lc.get(key), rc.get(key))
+        for key in sorted(set(lc) | set(rc))
+        if lc.get(key) != rc.get(key)
+    }
+    return EngineDiff(
+        left_engine=left,
+        right_engine=right,
+        left_counters=lc,
+        right_counters=rc,
+        mismatches=mismatches,
+    )
+
+
+def golden_totals(rows) -> dict:
+    """Aggregate a golden event stream into ledger-comparable totals.
+
+    Sums the chargeable per-access events so an engine that cannot emit
+    events (the array engine) can still be diffed against a committed
+    golden stream: its measurement-phase ledger must show exactly these
+    ``accesses`` / ``tlb_misses`` / ``ios`` / ``decoding_misses``.
+    """
+    return {
+        "accesses": len(rows),
+        "tlb_misses": sum(r[2] for r in rows),
+        "ios": sum(r[3] for r in rows),
+        "decoding_misses": sum(r[4] for r in rows),
+        "evictions": sum(r[5] for r in rows),
+    }
 
 
 def save_golden(path, rows, *, algorithm: str, meta: dict | None = None) -> Path:

@@ -268,7 +268,11 @@ def _default_window(measured: int) -> int:
 
 
 def _cmd_fig1(args) -> None:
-    scale = args.scale if args.scale is not None else ({"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel])
+    scale = (
+        args.scale
+        if args.scale is not None
+        else {"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel]
+    )
     workload, ram_pages = figure1_workload(args.panel, scale, seed=args.seed)
     metrics_every = None
     if args.metrics_out:
@@ -349,7 +353,11 @@ def _cmd_trace(args) -> None:
     from .obs import IntervalMetrics, Timer, TraceRecorder, accesses_per_second
     from .sim import simulate
 
-    scale = args.scale if args.scale is not None else ({"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel])
+    scale = (
+        args.scale
+        if args.scale is not None
+        else {"a": 1 << 18, "b": 1 << 16, "c": 14}[args.panel]
+    )
     workload, ram_pages = figure1_workload(args.panel, scale, seed=args.seed)
     trace = workload.generate(args.accesses, seed=args.seed)
     warmup = int(len(trace) * args.warmup_fraction)

@@ -73,7 +73,9 @@ class HardwareProfile:
         )
 
 
-def estimate_runtime_ns(ledger, profile: "HardwareProfile", *, base_access_ns: float = 1.0) -> float:
+def estimate_runtime_ns(
+    ledger, profile: "HardwareProfile", *, base_access_ns: float = 1.0
+) -> float:
     """Translate a :class:`~repro.core.model.CostLedger` into wall time.
 
     The cost model's abstract units become nanoseconds on *profile*: every

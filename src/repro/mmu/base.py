@@ -26,6 +26,20 @@ from ..obs.events import NULL_PROBE, Probe
 
 __all__ = ["MemoryManagementAlgorithm", "MMInspector", "as_int_list"]
 
+#: lazily imported array-engine module; ``False`` marks "numpy missing".
+_array_engine = None
+
+
+def _load_array_engine():
+    global _array_engine
+    if _array_engine is None:
+        try:
+            from . import array_engine as mod
+        except ImportError:  # pragma: no cover - numpy-less fallback
+            mod = False
+        _array_engine = mod
+    return _array_engine
+
 
 class MMInspector:
     """Read-through state-inspection surface for the invariant oracle.
@@ -137,6 +151,12 @@ class MemoryManagementAlgorithm(ABC):
 
     def __init__(self) -> None:
         self.ledger = CostLedger()
+        #: simulation engine: ``"object"`` replays access by access,
+        #: ``"array"`` tries the struct-of-arrays batch engine first
+        #: (:mod:`repro.mmu.array_engine`) and falls back to the object
+        #: replay when no batch handler applies (unsupported algorithm,
+        #: per-access probe, non-LRU policy, pending paging failures).
+        self.engine: str = "object"
         #: observer of this algorithm's events; NULL_PROBE means unobserved.
         self.probe: Probe = NULL_PROBE
         #: extra-counter defaults re-seeded after every reset_stats();
@@ -156,6 +176,16 @@ class MemoryManagementAlgorithm(ABC):
         exact ints and skip per-element ``int()`` boxing — the hot-loop
         contract documented in ``docs/API.md``.
         """
+        if self.engine == "array":
+            engine = _load_array_engine()
+            if engine is False:
+                raise RuntimeError(
+                    "engine='array' requires numpy; it is not installed"
+                )
+            out = engine.try_run(self, trace)
+            if out is not None:
+                return out
+            # no batch handler applies — fall through to the object replay
         probe = self.probe
         if probe.enabled:
             if not probe.batch_safe:

@@ -173,9 +173,13 @@ class DecoupledMM(MemoryManagementAlgorithm):
         keep this path and get one ``on_batch`` flush afterwards."""
         probe = self.probe
         if (
-            probe.enabled
-            and (not probe.batch_safe or probe.batch_interval is not None)
-        ) or (type(self).access is not DecoupledMM.access):
+            self.engine != "object"
+            or (
+                probe.enabled
+                and (not probe.batch_safe or probe.batch_interval is not None)
+            )
+            or (type(self).access is not DecoupledMM.access)
+        ):
             return super().run(trace)
         if not probe.enabled:
             return self.system.run(trace)

@@ -125,9 +125,13 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
         # on_batch flush at the end
         probe = self.probe
         if (
-            probe.enabled
-            and (not probe.batch_safe or probe.batch_interval is not None)
-        ) or (type(self).access is not PhysicalHugePageMM.access):
+            self.engine != "object"
+            or (
+                probe.enabled
+                and (not probe.batch_safe or probe.batch_interval is not None)
+            )
+            or (type(self).access is not PhysicalHugePageMM.access)
+        ):
             return super().run(trace)
         t0 = self.ledger.accesses
         before = self.ledger.snapshot() if probe.enabled else None

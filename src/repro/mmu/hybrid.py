@@ -106,9 +106,13 @@ class HybridMM(MemoryManagementAlgorithm):
         Batch-safe probes keep this path and get one ``on_batch`` flush."""
         probe = self.probe
         if (
-            probe.enabled
-            and (not probe.batch_safe or probe.batch_interval is not None)
-        ) or (type(self).access is not HybridMM.access):
+            self.engine != "object"
+            or (
+                probe.enabled
+                and (not probe.batch_safe or probe.batch_interval is not None)
+            )
+            or (type(self).access is not HybridMM.access)
+        ):
             return super().run(trace)
         t0 = self.ledger.accesses
         before = self.ledger.snapshot() if probe.enabled else None

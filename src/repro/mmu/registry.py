@@ -27,7 +27,7 @@ from .thp import THPStyleMM
 from .virtualized import NestedTranslationMM
 from .writeback import WritebackHugePageMM
 
-__all__ = ["MM_BUILDERS", "MM_NAMES", "make_mm", "mm_factory"]
+__all__ = ["ENGINES", "MM_BUILDERS", "MM_NAMES", "make_mm", "mm_factory"]
 
 #: default huge-page size for the physical / nested / write-back entries.
 _DEFAULT_H = 16
@@ -86,23 +86,45 @@ MM_BUILDERS: dict[str, Callable[..., MemoryManagementAlgorithm]] = {
 MM_NAMES: tuple[str, ...] = tuple(sorted(MM_BUILDERS))
 
 
+#: engine names accepted by :func:`make_mm` / :func:`mm_factory`.
+ENGINES: tuple[str, ...] = ("object", "array")
+
+
 def make_mm(
-    name: str, tlb_entries: int, ram_pages: int, *, seed=None
+    name: str, tlb_entries: int, ram_pages: int, *, seed=None, engine: str = "object"
 ) -> MemoryManagementAlgorithm:
-    """Build the registered algorithm *name* with registry defaults."""
+    """Build the registered algorithm *name* with registry defaults.
+
+    ``engine="array"`` selects the struct-of-arrays batch engine
+    (:mod:`repro.mmu.array_engine`); algorithms or probes it cannot batch
+    fall back to the object replay per ``run`` call, with identical
+    counters and cache state either way.
+    """
     try:
         builder = MM_BUILDERS[name]
     except KeyError:
         raise ValueError(
             f"unknown algorithm {name!r}; registered: {', '.join(MM_NAMES)}"
         ) from None
-    return builder(tlb_entries, ram_pages, seed=seed)
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}"
+        )
+    mm = builder(tlb_entries, ram_pages, seed=seed)
+    mm.engine = engine
+    return mm
 
 
-def mm_factory(name: str, tlb_entries: int, ram_pages: int, *, seed=None):
+def mm_factory(
+    name: str, tlb_entries: int, ram_pages: int, *, seed=None, engine: str = "object"
+):
     """Picklable zero-arg factory for *name* (for :class:`~repro.sim.SimTask`)."""
     if name not in MM_BUILDERS:
         raise ValueError(
             f"unknown algorithm {name!r}; registered: {', '.join(MM_NAMES)}"
         )
-    return partial(make_mm, name, tlb_entries, ram_pages, seed=seed)
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}"
+        )
+    return partial(make_mm, name, tlb_entries, ram_pages, seed=seed, engine=engine)

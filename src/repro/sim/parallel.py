@@ -103,6 +103,9 @@ class SimTask:
     #: oracle deep-sweep cadence (``None`` = default; meaningful only with
     #: ``validate=True``).
     deep_every: int | None = None
+    #: simulation engine for this cell (``None`` keeps the factory-built
+    #: algorithm's own ``engine``; see :func:`repro.sim.simulate`).
+    engine: str | None = None
 
 
 @dataclass(slots=True)
@@ -211,6 +214,7 @@ def _execute(
                 metrics=metrics,
                 validate=task.validate,
                 deep_every=task.deep_every,
+                engine=task.engine,
             )
     except Exception as exc:
         if bus is not None:

@@ -49,8 +49,16 @@ def simulate(
     metrics: IntervalMetrics | None = None,
     validate: bool = False,
     deep_every: int | None = None,
+    engine: str | None = None,
 ) -> CostLedger:
     """Replay *trace* through *mm*; counters reset after *warmup* accesses.
+
+    *engine* overrides the algorithm's simulation engine for this call and
+    beyond (``"object"`` or ``"array"``; ``None`` keeps ``mm.engine``).
+    The array engine batch-replays supported algorithms and falls back to
+    the object replay otherwise — costs and cache state are identical, so
+    probes, metrics, and validation compose with either engine (per-access
+    probes and the invariant oracle force the object path by design).
 
     With *probe* given, the warm-up and measurement phases are announced
     via ``on_phase`` (absolute trace indices) and every serviced request
@@ -70,6 +78,8 @@ def simulate(
     trace = np.asarray(trace)
     if warmup < 0 or warmup > len(trace):
         raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
+    if engine is not None:
+        mm.engine = engine
     if validate:
         # local import: check sits above sim in the layering (it imports
         # mmu and obs); importing it lazily keeps the module graph acyclic

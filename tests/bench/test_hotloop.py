@@ -65,6 +65,9 @@ class TestBenchHotloop:
         assert [n for n in names if n.startswith("mm:")] == [
             f"mm:{m}" for m in MM_NAMES
         ]
+        assert sorted(n for n in names if n.startswith("mm@object:")) == [
+            f"mm@object:{m}" for m in sorted(SAMPLED_MMS)
+        ]
         assert sorted(n for n in names if n.startswith("mm+sampled:")) == [
             f"mm+sampled:{m}" for m in sorted(SAMPLED_MMS)
         ]
@@ -97,6 +100,19 @@ class TestBenchHotloop:
             for name in probed:
                 twin = by[name.replace(prefix, "mm:", 1)]
                 assert by[name]["counters"] == twin["counters"], name
+
+    def test_engine_twins_match_counters(self, small_config):
+        """The ``mm:`` rows run on the configured engine (array) and the
+        ``mm@object:`` twins re-run on the object engine; both must
+        simulate identically — the check_bench engine gate relies on it."""
+        assert small_config["mm_engine"] == "array"
+        rows, _ = bench_hotloop()
+        by = {r["component"]: r for r in rows}
+        for name in sorted(SAMPLED_MMS):
+            assert (
+                by[f"mm@object:{name}"]["counters"]
+                == by[f"mm:{name}"]["counters"]
+            ), name
 
     def test_seed_override_recorded_in_config(self, small_config):
         _, payload = bench_hotloop(seed=3)

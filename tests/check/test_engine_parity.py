@@ -1,0 +1,56 @@
+"""Engine parity on the committed golden streams.
+
+CI's engine-parity job runs this module under both numpy 1.26 and 2.x.
+For every committed golden cell (registry algorithm × workload) it
+replays the identical trace on the object and array engines and fails on
+any counter divergence; the array-engine ledger is additionally pinned
+against the committed per-access rows, aggregated to ledger totals (the
+array engine emits no events, so totals are the strongest golden check
+it can face).
+"""
+
+import pytest
+
+from repro.check import diff_engine_ledgers, golden_totals, load_golden
+from repro.mmu.registry import make_mm
+
+from .goldens import (
+    RAM_PAGES,
+    SEED,
+    TLB_ENTRIES,
+    WARMUP,
+    build_trace,
+    golden_cases,
+)
+
+CASES = list(golden_cases())
+CASE_IDS = [f"{algorithm}-{workload}" for algorithm, workload, _ in CASES]
+
+
+@pytest.mark.parametrize(("algorithm", "workload", "path"), CASES, ids=CASE_IDS)
+class TestEngineParity:
+    def test_engines_agree_on_full_ledger(self, algorithm, workload, path):
+        def factory():
+            return make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=SEED)
+
+        report = diff_engine_ledgers(
+            factory, build_trace(workload), warmup=WARMUP
+        )
+        assert report.identical, (
+            f"{algorithm}/{workload}: {report.describe()}"
+        )
+
+    def test_array_ledger_matches_golden_totals(self, algorithm, workload, path):
+        _, rows = load_golden(path)
+        totals = golden_totals(rows)
+        mm = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=SEED, engine="array")
+        trace = build_trace(workload)
+        mm.run(trace[:WARMUP])
+        evictions0 = mm._eviction_count()
+        mm.reset_stats()
+        ledger = mm.run(trace[WARMUP:])
+        assert ledger.accesses == totals["accesses"]
+        assert ledger.tlb_misses == totals["tlb_misses"]
+        assert ledger.ios == totals["ios"]
+        assert ledger.decoding_misses == totals["decoding_misses"]
+        assert mm._eviction_count() - evictions0 == totals["evictions"]

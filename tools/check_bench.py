@@ -88,8 +88,8 @@ def _config_mismatch(baseline: dict, new: dict) -> list[str]:
     )
     return [
         f"FAIL configs differ ({', '.join(changed)}): the runs are not "
-        "comparable — regenerate the baseline with "
-        "`python -m repro bench` and commit it"
+        "comparable — regenerate both baselines with "
+        "`python tools/regen_baselines.py` and commit them"
     ]
 
 
@@ -112,14 +112,26 @@ def _throughput_gate(
     return OK
 
 
-#: probed hotloop row prefixes gated against their unprobed ``mm:`` twins.
+#: probed hotloop row prefixes gated against their unprobed twins.
 PROBED_PREFIXES = ("mm+sampled:", "mm+online:")
+
+
+def _unprobed_twin(rows: dict, name: str, prefix: str) -> dict | None:
+    """The unprobed twin of a probed row: the object-engine re-run
+    (``mm@object:``) when present — probes ride the object fast paths, so
+    that is the like-for-like denominator — else the plain ``mm:`` row
+    (payloads from before the array engine)."""
+    for plain_prefix in ("mm@object:", "mm:"):
+        twin = rows.get(name.replace(prefix, plain_prefix, 1))
+        if twin is not None:
+            return twin
+    return None
 
 
 def _probed_gate(
     payload: dict, probe_tolerance: float, messages: list[str]
 ) -> int:
-    """Gate probed rows against their ``mm:*`` twins (one payload).
+    """Gate probed rows against their unprobed twins (one payload).
 
     Applies to every prefix in :data:`PROBED_PREFIXES` (``mm+sampled:``
     and ``mm+online:``), gated independently. Counters must be identical
@@ -132,10 +144,10 @@ def _probed_gate(
     code = OK
     for prefix in PROBED_PREFIXES:
         pairs = [
-            (name, rows[name.replace(prefix, "mm:", 1)], rows[name])
+            (name, _unprobed_twin(rows, name, prefix), rows[name])
             for name in sorted(rows)
             if name.startswith(prefix)
-            and name.replace(prefix, "mm:", 1) in rows
+            and _unprobed_twin(rows, name, prefix) is not None
         ]
         if not pairs:
             continue
@@ -162,6 +174,34 @@ def _probed_gate(
             code = max(code, REGRESSION)
         else:
             messages.append(f"ok: {line}")
+    return code
+
+
+def _engine_twin_gate(payload: dict, messages: list[str]) -> int:
+    """``mm@object:<name>`` rows re-run ``mm:<name>`` on the object engine;
+    both replay the same deterministic stream, so any counter divergence
+    means the two engines disagree about the simulation (MISMATCH)."""
+    rows = {r["component"]: r for r in payload["rows"]}
+    code = OK
+    checked = 0
+    for name in sorted(rows):
+        if not name.startswith("mm@object:"):
+            continue
+        twin = rows.get(name.replace("mm@object:", "mm:", 1))
+        if twin is None:
+            continue
+        checked += 1
+        if rows[name].get("counters") != twin.get("counters"):
+            code = MISMATCH
+            messages.append(
+                f"FAIL {name}: counters differ from its array-engine twin "
+                f"{twin.get('counters')} -> {rows[name].get('counters')} "
+                "(the engines must simulate identically)"
+            )
+    if checked and code == OK:
+        messages.append(
+            f"ok: {checked} engine twin(s), array and object counters identical"
+        )
     return code
 
 
@@ -288,6 +328,7 @@ def compare_hotloop(
             messages,
         ),
     )
+    code = max(code, _engine_twin_gate(new, messages))
     code = max(code, _probed_gate(new, probe_tolerance, messages))
     return code, messages
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Regenerate the committed perf baselines under benchmarks/baselines/.
+
+Runs the full (non-smoke) bench sweep and the hot-loop microbenchmark
+with their preset configs and overwrites ``BENCH_sweep.json`` and
+``BENCH_hotloop.json`` in place. Run this whenever a bench preset
+changes (new rows, new config keys, retuned sizes) — the check_bench
+config gate makes stale baselines fail CI with a MISMATCH — then commit
+both files together with the change that invalidated them.
+
+Usage::
+
+    python tools/regen_baselines.py            # both baselines
+    python tools/regen_baselines.py --only hotloop
+    python tools/regen_baselines.py --jobs 4   # sweep parallelism
+
+Counters in the payloads are machine-independent (seeded streams), but
+throughputs are not: regenerating on a slower box than CI loosens the
+throughput gate, never tightens correctness.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO / "src"))
+
+BASELINE_DIR = _REPO / "benchmarks" / "baselines"
+
+
+def regen_sweep(jobs: int) -> Path:
+    from repro.bench import bench_sweep, save_bench
+
+    # CI's bench-smoke job measures the --smoke grid, so the committed
+    # baseline must be recorded with the same config or the gate MISMATCHes
+    records, payload = bench_sweep(smoke=True, jobs=jobs)
+    path = save_bench(payload, BASELINE_DIR / "BENCH_sweep.json")
+    print(
+        f"sweep: {payload['total_accesses']} accesses over "
+        f"{len(records)} cells -> {path}"
+    )
+    return path
+
+
+def regen_hotloop() -> Path:
+    from repro.bench import bench_hotloop, save_bench
+
+    rows, payload = bench_hotloop()
+    path = save_bench(payload, BASELINE_DIR / "BENCH_hotloop.json")
+    print(
+        f"hotloop: {len(rows)} components, geomean "
+        f"{payload['geomean_ops_per_s'] / 1e3:.1f} kops/s -> {path}"
+    )
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=("sweep", "hotloop"),
+        default=None,
+        help="regenerate a single baseline instead of both",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes for the sweep (default: 2, matching CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.only in (None, "sweep"):
+        regen_sweep(args.jobs)
+    if args.only in (None, "hotloop"):
+        regen_hotloop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
