@@ -16,6 +16,8 @@ substrate it stands on:
 * :mod:`repro.sim` / :mod:`repro.workloads` / :mod:`repro.bench` — the
   Section 6 trace-driven simulator, the Figure 1 workloads, and the
   benchmark harness;
+* :mod:`repro.tenancy` — multi-tenant simulation: ASID-striped address
+  spaces sharing one algorithm, tenant schedulers, and churn sweeps;
 * :mod:`repro.obs` — observability: probe-based event tracing, interval
   time-series metrics, and wall-clock run profiling (all zero-overhead
   when unused).
@@ -54,6 +56,7 @@ from .mmu import BasePageMM, DecoupledMM, HybridMM, PhysicalHugePageMM
 from .obs import IntervalMetrics, NullProbe, Probe, Timer, TraceRecorder, timed
 from .paging import PageCache, make_policy
 from .sim import simulate, sweep_huge_page_sizes
+from .tenancy import MultiTenantSim, Tenant
 from .tlb import TLB
 from .workloads import (
     BimodalWorkload,
@@ -94,6 +97,8 @@ __all__ = [
     "TLB",
     "simulate",
     "sweep_huge_page_sizes",
+    "Tenant",
+    "MultiTenantSim",
     "BimodalWorkload",
     "RandomWalkWorkload",
     "Graph500Workload",

@@ -211,6 +211,60 @@ class InvariantOracle:
             )
         self._phi_shadow[vpn] = (frame, ev)
 
+    # ------------------------------------------------------- asid invariants
+
+    def check_asid_isolation(self, stride: int, asid: int, vpns) -> None:
+        """φ-isolation: a tenant-local request stream stays in its slice.
+
+        *vpns* are tenant-local page numbers about to be (or just) serviced
+        under *asid*; every one must fall in ``[0, stride)``, else the
+        striding contract would install a translation in another tenant's
+        slice. O(len) on a numpy trace (one min/max pair).
+        """
+        if len(vpns) == 0:
+            return
+        if hasattr(vpns, "min"):
+            lo, hi = int(vpns.min()), int(vpns.max())
+        else:
+            lo, hi = min(vpns), max(vpns)
+        if lo < 0 or hi >= stride:
+            bad = lo if lo < 0 else hi
+            self._fail(
+                "phi-isolation",
+                f"asid {asid} requested local page {bad} outside its "
+                f"slice of {stride} pages",
+                vpn=bad,
+            )
+
+    def check_asid_coverage(self, stride: int, live_asids, t: int | None = None) -> None:
+        """ASID-coverage: every resident translation lies in a live slice.
+
+        Audits the inspector's :meth:`~repro.mmu.MMInspector.translation_spans`
+        surface (skipped when the algorithm does not enumerate its TLB):
+        no unit straddles a slice boundary, and no unit belongs to an ASID
+        outside *live_asids* — i.e. shootdowns never leave stale entries.
+        """
+        spans = self.inspector.translation_spans()
+        if spans is None:
+            return
+        live = set(live_asids)
+        for lo, hi in spans:
+            asid = lo // stride
+            if (hi - 1) // stride != asid:
+                self._fail(
+                    "asid-coverage",
+                    f"translation unit [{lo}, {hi}) straddles the slice "
+                    f"boundary at stride {stride}",
+                    t=t, vpn=lo,
+                )
+            if asid not in live:
+                self._fail(
+                    "asid-coverage",
+                    f"stale translation unit [{lo}, {hi}) for dead asid "
+                    f"{asid} (shootdown missed it)",
+                    t=t, vpn=lo,
+                )
+
     def deep_check(self, t: int | None = None) -> None:
         """Full structural sweep (capacities, buckets, self-checks)."""
         ins = self.inspector
@@ -324,6 +378,19 @@ class ValidatingMM(MemoryManagementAlgorithm):
 
     def reset_stats(self) -> None:
         self.inner.reset_stats()
+
+    # asid contract: stride bookkeeping lives on the inner algorithm (its
+    # access() is the one replayed), mirrored here so run_asid/access_asid
+    # on the wrapper stride identically.
+    def translation_alignment(self) -> int:
+        return self.inner.translation_alignment()
+
+    def bind_asid_space(self, va_pages: int) -> int:
+        self.asid_stride = self.inner.bind_asid_space(va_pages)
+        return self.asid_stride
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        return self.inner.shootdown(lo, hi)
 
     def check_invariants(self) -> None:
         """Explicit full sweep (mirrors the inner algorithms' helpers)."""

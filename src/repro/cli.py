@@ -17,6 +17,10 @@
   single frame for CI logs;
 * ``check``     — validated sweep: every registered algorithm × workload
   under the invariant oracle; non-zero exit on any violation;
+* ``tenants``   — multi-tenant churn sweep: ASID-striped tenants sharing
+  each algorithm under a scheduler, with exit shootdowns; per-cell costs,
+  switches, and shootdown drops (``--snapshot-out`` writes the merged
+  observability snapshot);
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
 * ``maxload``   — balls-and-bins strategies vs theory;
 * ``policies``  — the replacement-policy zoo vs offline OPT;
@@ -200,6 +204,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overhead", action="store_true",
                    help="also run the grid unvalidated and report the "
                         "validation wall-clock ratio")
+
+    p = sub.add_parser(
+        "tenants",
+        help="multi-tenant churn sweep: algorithms × tenant counts × "
+             "schedulers over one shared TLB/RAM",
+    )
+    p.add_argument("--algorithms", nargs="+", default=None, metavar="NAME",
+                   help="subset of registered algorithms (default: all)")
+    p.add_argument("--tenants", type=_positive_int, nargs="+",
+                   default=[2, 8],
+                   help="tenant counts to sweep (default: %(default)s)")
+    p.add_argument("--schedulers", nargs="+", default=["round-robin"],
+                   metavar="NAME",
+                   help="schedulers to sweep (round-robin, jittered, "
+                        "priority; default: %(default)s)")
+    p.add_argument("--quantum", type=_positive_int, default=64,
+                   help="accesses per turn (default: %(default)s)")
+    p.add_argument("--accesses", type=_positive_int, default=2000,
+                   help="accesses per tenant (default: %(default)s)")
+    p.add_argument("--pages", type=_positive_int, default=1024,
+                   help="va pages per tenant (default: %(default)s)")
+    p.add_argument("--tlb", type=_positive_int, default=64)
+    p.add_argument("--ram", type=_positive_int, default=4096)
+    p.add_argument("--churn", type=float, default=0.5,
+                   help="fraction of the run over which tenant arrivals "
+                        "are staggered (default: %(default)s)")
+    p.add_argument("--workload", choices=["zipf", "uniform"], default="zipf")
+    p.add_argument("--epsilon", type=float, default=0.01,
+                   help="eps pricing the cost column (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--validate", action="store_true",
+                   help="run every cell under the invariant oracle "
+                        "(ASID isolation/coverage included)")
+    p.add_argument("--jobs", type=_jobs, default=1,
+                   help="worker processes for the grid (0 = all CPUs)")
+    p.add_argument("--snapshot-out", default=None, metavar="FILE.json",
+                   help="write the merged ObsSnapshot over all cells "
+                        "(bit-identical for any --jobs)")
 
     p = sub.add_parser("eq3", help="Theorem 4 / eq. (3) comparison")
     p.add_argument("--workload", choices=["bimodal", "zipf"], default="bimodal")
@@ -476,6 +518,75 @@ def _cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_tenants(args) -> int:
+    from .check import InvariantViolation
+    from .mmu.registry import MM_NAMES
+    from .tenancy import SCHEDULERS, TenancyCellSpec, run_tenancy_grid
+
+    algorithms = args.algorithms or list(MM_NAMES)
+    unknown = [a for a in algorithms if a not in MM_NAMES]
+    if unknown:
+        raise SystemExit(f"tenants: unknown algorithms {unknown} "
+                         f"(registered: {list(MM_NAMES)})")
+    bad = [s for s in args.schedulers if s not in SCHEDULERS]
+    if bad:
+        raise SystemExit(f"tenants: unknown schedulers {bad} "
+                         f"(registered: {sorted(SCHEDULERS)})")
+    specs = [
+        TenancyCellSpec(
+            algorithm=algorithm,
+            tenants=k,
+            scheduler=scheduler,
+            quantum=args.quantum,
+            accesses_per_tenant=args.accesses,
+            va_pages_per_tenant=args.pages,
+            tlb_entries=args.tlb,
+            ram_pages=args.ram,
+            workload=args.workload,
+            churn=args.churn,
+            seed=args.seed,
+            validate=args.validate,
+        )
+        for algorithm in algorithms
+        for k in args.tenants
+        for scheduler in args.schedulers
+    ]
+    try:
+        rows, merged = run_tenancy_grid(
+            specs, jobs=args.jobs, epsilon=args.epsilon
+        )
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION: {exc}")
+        return 1
+    # Write before printing: a closed stdout pipe (| head) must not lose
+    # the snapshot file.
+    if args.snapshot_out:
+        merged.to_json(args.snapshot_out)
+    print(format_table([
+        {
+            "algorithm": r["algorithm"],
+            "tenants": r["tenants"],
+            "scheduler": r["scheduler"],
+            "cost": f"{r['cost']:.2f}",
+            "ios": r["ios"],
+            "tlb_misses": r["tlb_misses"],
+            "switches": r["switches"],
+            "shootdowns": r["shootdowns"],
+            "drops": r["shootdown_drops"],
+        }
+        for r in rows
+    ]))
+    print(
+        f"\n{len(rows)} cells (quantum={args.quantum}, churn={args.churn}, "
+        f"workload={args.workload}, jobs={args.jobs}"
+        + (", validated" if args.validate else "")
+        + ") — lower cost at equal tenants = better multi-tenant translation"
+    )
+    if args.snapshot_out:
+        print(f"merged snapshot written to {args.snapshot_out}")
+    return 0
+
+
 def _cmd_eq3(args) -> None:
     from .workloads import BimodalWorkload, ZipfWorkload
 
@@ -619,6 +730,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "top": _cmd_top,
     "check": _cmd_check,
+    "tenants": _cmd_tenants,
     "describe": _cmd_describe,
     "eq3": _cmd_eq3,
     "maxload": _cmd_maxload,

@@ -14,13 +14,27 @@ attached, :meth:`run` switches to an instrumented loop that derives typed
 events (``access``, ``tlb_miss``, ``io``, ``eviction``, ``decoding_miss``)
 from per-access ledger deltas, so all algorithms are observable without
 touching their ``access`` implementations.
+
+**ASID access contract.** Multi-tenant simulation (:mod:`repro.tenancy`)
+shares one algorithm instance between address spaces. The contract is
+address-space striding: :meth:`bind_asid_space` carves the virtual space
+into power-of-two slices of ``asid_stride`` base pages (at least one
+translation unit each, see :meth:`translation_alignment`), and
+:meth:`run_asid` / :meth:`access_asid` service tenant-local page numbers
+offset into slice ``asid``. Because slices are aligned to the algorithm's
+translation coverage, every TLB unit number encodes ``(asid, local unit)``
+exactly like a hardware ASID tag — no entry can straddle tenants, and
+ASID 0 is the identity mapping (``run_asid(0, t) == run(t)`` bit for bit).
+:meth:`shootdown` invalidates the TLB entries covering a page range
+(tenant exit, φ change); it is TLB-only and free in the cost model, like
+a hardware invalidation IPI.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from .._util import as_int_list
+from .._util import as_int_list, next_power_of_two
 from ..core import CostLedger
 from ..obs.events import NULL_PROBE, Probe
 
@@ -119,6 +133,17 @@ class MMInspector:
         tail as a distribution rather than a max."""
         return None
 
+    def translation_spans(self):
+        """Base-page ranges ``(lo, hi)`` covered by the resident TLB entries.
+
+        One half-open range per resident translation unit, order
+        unspecified; None when the algorithm exposes no enumerable TLB
+        surface (the oracle then skips the ASID-coverage rule). Feeds
+        :meth:`~repro.check.InvariantOracle.check_asid_coverage`: under the
+        striding contract every span must lie wholly inside one live
+        tenant's slice."""
+        return None
+
     def deep_check(self) -> None:
         """Full structural self-check; raises AssertionError on breakage."""
 
@@ -163,10 +188,88 @@ class MemoryManagementAlgorithm(ABC):
         #: subclasses that keep algorithm-specific counters in
         #: ``ledger.extra`` register them here.
         self._extra_defaults: dict = {}
+        #: base pages per ASID slice, set by :meth:`bind_asid_space`
+        #: (None until an address-space layout is bound).
+        self.asid_stride: int | None = None
 
     @abstractmethod
     def access(self, vpn: int) -> None:
         """Service one virtual-page request, charging costs to the ledger."""
+
+    # ------------------------------------------------------- asid contract
+
+    def translation_alignment(self) -> int:
+        """Base pages covered by one TLB entry (a power of two).
+
+        ASID slices are aligned to this so no translation unit can straddle
+        two tenants; subclasses with huge-page coverage override it.
+        """
+        return 1
+
+    def bind_asid_space(self, va_pages: int) -> int:
+        """Carve the virtual space into ASID slices of *va_pages* or more.
+
+        The stride is the smallest power of two ≥ ``max(va_pages,
+        translation_alignment())``, so slice boundaries align with TLB
+        units and the vpn→unit shift maps ``asid·stride + v`` to a
+        ``(asid, local unit)`` pair, exactly like a tagged TLB. Rebinding
+        with the same resulting stride is a no-op; changing the stride of a
+        populated address space would silently re-tag live entries, so it
+        raises ValueError instead.
+        """
+        if va_pages < 1:
+            raise ValueError(f"va_pages must be positive, got {va_pages}")
+        stride = next_power_of_two(max(int(va_pages), self.translation_alignment()))
+        if self.asid_stride is not None and self.asid_stride != stride:
+            raise ValueError(
+                f"asid stride already bound to {self.asid_stride}; "
+                f"rebinding to {stride} would re-tag live translations"
+            )
+        self.asid_stride = stride
+        return stride
+
+    def _asid_base(self, asid: int) -> int:
+        if self.asid_stride is None:
+            raise RuntimeError("call bind_asid_space() before ASID-tagged access")
+        if asid < 0:
+            raise ValueError(f"asid must be non-negative, got {asid}")
+        return asid * self.asid_stride
+
+    def access_asid(self, asid: int, vpn: int) -> None:
+        """Service tenant-local page *vpn* inside address space *asid*."""
+        self.access(self._asid_base(asid) + vpn)
+
+    def run_asid(self, asid: int, trace) -> CostLedger:
+        """Service a tenant-local *trace* inside address space *asid*.
+
+        ASID 0 is the identity mapping: the trace is handed to :meth:`run`
+        untouched, so a single tenant bound at ASID 0 is bit-identical to
+        a plain single-address-space replay. Other ASIDs shift the trace
+        into their slice (one vectorized add for numpy traces), keeping
+        every subclass fast path engaged.
+        """
+        base = self._asid_base(asid)
+        if base == 0:
+            return self.run(trace)
+        if hasattr(trace, "dtype"):
+            return self.run(trace + base)
+        return self.run([vpn + base for vpn in as_int_list(trace)])
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        """Invalidate every TLB entry intersecting base pages ``[lo, hi)``.
+
+        Returns the number of entries dropped. TLB-only, like a hardware
+        shootdown IPI: RAM residency is untouched (stale frames age out via
+        normal replacement) and no cost is charged (invalidation is free in
+        the AT model — only re-filling costs ε, which the subsequent misses
+        account). Subclasses override; the base class models no TLB.
+        """
+        raise NotImplementedError(f"{self.name} does not model TLB shootdowns")
+
+    def shootdown_asid(self, asid: int) -> int:
+        """Shoot down every TLB entry in *asid*'s slice (tenant exit)."""
+        base = self._asid_base(asid)
+        return self.shootdown(base, base + self.asid_stride)
 
     def run(self, trace) -> CostLedger:
         """Service every request in *trace*; return this algorithm's ledger.

@@ -82,6 +82,13 @@ class DecoupledSystemInspector(MMInspector):
     def bucket_loads(self):
         return self.system.bucket_loads()
 
+    def translation_spans(self):
+        coverage = self.system.hmax * self.unit
+        return [
+            (hpn * coverage, (hpn + 1) * coverage)
+            for hpn in self.system.tlb.resident()
+        ]
+
     def deep_check(self) -> None:
         self.system.check_invariants()
         self.system.tlb.check_invariants()
@@ -189,8 +196,32 @@ class DecoupledMM(MemoryManagementAlgorithm):
         probe.on_batch(t0, trace, ledger, before)
         return ledger
 
+    def translation_alignment(self) -> int:
+        return self.system.hmax
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        return _shootdown_system(self.system, lo, hi, unit=1)
+
     def _eviction_count(self) -> int:
         return self.system.ram.evictions
 
     def inspector(self) -> MMInspector:
         return DecoupledSystemInspector(self, self.system)
+
+
+def _shootdown_system(system, lo: int, hi: int, *, unit: int) -> int:
+    """Invalidate a :class:`~repro.core.simulation.DecoupledSystem`'s TLB
+    entries intersecting base pages ``[lo, hi)`` (*unit* base pages per
+    system page). The scheme's ``T`` set is kept in sync via ``tlb_evict``,
+    exactly as on a capacity eviction — ψ survives (it lives in the
+    scheme, not the TLB), so a re-fill after the shootdown decodes the
+    same frames."""
+    coverage = system.hmax * unit
+    victims = [
+        hpn for hpn in system.tlb.resident()
+        if hpn * coverage < hi and (hpn + 1) * coverage > lo
+    ]
+    for hpn in victims:
+        system.tlb.invalidate(hpn)
+        system.scheme.tlb_evict(hpn)
+    return len(victims)

@@ -47,6 +47,10 @@ class _PhysicalInspector(MMInspector):
     def tlb_covers(self, vpn: int) -> bool:
         return (vpn // self.mm.huge_page_size) in self.mm.tlb
 
+    def translation_spans(self):
+        h = self.mm.huge_page_size
+        return [(hpn * h, hpn * h + h) for hpn in self.mm.tlb.resident()]
+
     def deep_check(self) -> None:
         self.mm.tlb.check_invariants()
         self.mm.ram.check_invariants()
@@ -153,6 +157,19 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
         if probe.enabled:
             probe.on_batch(t0, trace, ledger, before)
         return ledger
+
+    def translation_alignment(self) -> int:
+        return self.huge_page_size
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        h = self.huge_page_size
+        victims = [
+            hpn for hpn in self.tlb.resident()
+            if hpn * h < hi and (hpn + 1) * h > lo
+        ]
+        for hpn in victims:
+            self.tlb.remove(hpn)
+        return len(victims)
 
     def _eviction_count(self) -> int:
         return self.ram.evictions

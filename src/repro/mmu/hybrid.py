@@ -29,7 +29,7 @@ from ..core import (
 )
 from ..paging import LRUPolicy, ReplacementPolicy
 from .base import MemoryManagementAlgorithm, MMInspector
-from .decoupled import DecoupledSystemInspector
+from .decoupled import DecoupledSystemInspector, _shootdown_system
 
 __all__ = ["HybridMM"]
 
@@ -130,6 +130,12 @@ class HybridMM(MemoryManagementAlgorithm):
         if probe.enabled:
             probe.on_batch(t0, trace, self.ledger, before)
         return self.ledger
+
+    def translation_alignment(self) -> int:
+        return self.coverage
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        return _shootdown_system(self.system, lo, hi, unit=self.chunk)
 
     def _eviction_count(self) -> int:
         return self.system.ram.evictions

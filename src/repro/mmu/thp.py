@@ -70,6 +70,13 @@ class _THPInspector(MMInspector):
         # re-fault) — the only access whose coverage is legitimately void
         return None if promoted_now else False
 
+    def translation_spans(self):
+        h = self.mm.h
+        return [
+            (key * h, (key + 1) * h) if kind == _HUGE else (key, key + 1)
+            for kind, key in self.mm.tlb.resident()
+        ]
+
     def deep_check(self) -> None:
         self.mm.check_invariants()
         self.mm.tlb.check_invariants()
@@ -265,6 +272,23 @@ class THPStyleMM(MemoryManagementAlgorithm):
         )
         self._lru.insert(unit, ledger.accesses)
         ledger.extra["promotions"] += 1
+
+    def translation_alignment(self) -> int:
+        return self.h
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        h = self.h
+        victims = []
+        for unit in self.tlb.resident():
+            kind, key = unit
+            span_lo, span_hi = (
+                (key * h, (key + 1) * h) if kind == _HUGE else (key, key + 1)
+            )
+            if span_lo < hi and span_hi > lo:
+                victims.append(unit)
+        for unit in victims:
+            self.tlb.remove(unit)
+        return len(victims)
 
     # ------------------------------------------------------------ diagnostics
 

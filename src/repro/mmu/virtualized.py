@@ -46,6 +46,10 @@ class _NestedInspector(MMInspector):
     def tlb_covers(self, vpn: int) -> bool:
         return (vpn // self.mm.h) in self.mm.tlb
 
+    def translation_spans(self):
+        h = self.mm.h
+        return [(hpn * h, hpn * h + h) for hpn in self.mm.tlb.resident()]
+
     def deep_check(self) -> None:
         self.mm.tlb.check_invariants()
         self.mm.nested_tlb.check_invariants()
@@ -117,6 +121,33 @@ class NestedTranslationMM(MemoryManagementAlgorithm):
             self._nested_walk(vpn)
         if not self.ram.access(hpn):
             ledger.ios += self.h
+
+    def translation_alignment(self) -> int:
+        return self.h
+
+    def shootdown(self, lo: int, hi: int) -> int:
+        h = self.h
+        victims = [
+            hpn for hpn in self.tlb.resident()
+            if hpn * h < hi and (hpn + 1) * h > lo
+        ]
+        for hpn in victims:
+            self.tlb.remove(hpn)
+        # nested entries: data-page translations (depth 0) are keyed by the
+        # full vpn; page-table nodes at depth d cover an aligned prefix
+        # range. Nodes wholly inside the range are tenant-private and
+        # flushed with it; nodes straddling the boundary are shared
+        # upper-level structure and survive (as cached EPT interior nodes
+        # survive a guest address-space teardown).
+        top = self.guest_levels * self.bits_per_level
+        nested_victims = []
+        for depth, prefix in self.nested_tlb.resident():
+            span = 1 << (top - depth * self.bits_per_level) if depth else 1
+            if prefix * span >= lo and (prefix + 1) * span <= hi:
+                nested_victims.append((depth, prefix))
+        for key in nested_victims:
+            self.nested_tlb.remove(key)
+        return len(victims) + len(nested_victims)
 
     def _eviction_count(self) -> int:
         return self.ram.evictions

@@ -12,7 +12,10 @@ join with :meth:`merge`.
 bucket-wise, rows concatenate, and ``meta`` sums ``runs`` while requiring
 every other key to agree), so any reduction tree over the same ordered
 shard list yields the same snapshot — the property that makes
-``jobs=4`` bit-identical to ``jobs=1``.
+``jobs=4`` bit-identical to ``jobs=1``. The same reduction serves
+per-tenant attribution: :class:`~repro.tenancy.MultiTenantSim` builds one
+snapshot per tenant ledger and merges them into an aggregate whose
+counters equal the shared machine's ledger field for field.
 
 Counters come from the ledger, not from sampling, so they are exact; the
 sampled quantities (``sampled_accesses``, ``tracked_accesses``,

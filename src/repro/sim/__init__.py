@@ -7,6 +7,7 @@ from .parallel import (
     SimTask,
     TaskResult,
     resolve_jobs,
+    run_callables,
     run_records,
     run_tasks,
     spawn_seeds,
@@ -26,6 +27,7 @@ __all__ = [
     "TaskResult",
     "run_tasks",
     "run_records",
+    "run_callables",
     "spawn_seeds",
     "resolve_jobs",
     "figure1_curves",

@@ -64,6 +64,7 @@ __all__ = [
     "TaskResult",
     "run_tasks",
     "run_records",
+    "run_callables",
     "spawn_seeds",
     "resolve_jobs",
 ]
@@ -409,6 +410,41 @@ def run_tasks(
         chunksize=chunksize,
         mp_context=mp_context,
     )
+
+
+def _call(fn):
+    """Module-level trampoline so ``executor.map`` stays picklable."""
+    return fn()
+
+
+def run_callables(
+    fns: Sequence[Callable[[], Any]],
+    *,
+    jobs: int | None = 1,
+    chunksize: int | None = None,
+    mp_context=None,
+) -> list[Any]:
+    """Run zero-arg callables, returning their results in input order.
+
+    The generic sibling of :func:`run_tasks` for grids that are not plain
+    ``simulate()`` cells (e.g. multi-tenant sweeps): each *fn* must be
+    picklable when ``jobs != 1`` (module-level function or
+    ``functools.partial`` of one) and fully describe its cell, so
+    ``jobs=4`` returns results identical to ``jobs=1``. Exceptions
+    propagate — callers wanting per-cell fault tolerance should catch
+    inside the callable.
+    """
+    fns = list(fns)
+    jobs = resolve_jobs(jobs)
+    if not fns:
+        return []
+    if jobs == 1:
+        return [fn() for fn in fns]
+    csize = chunksize or _default_chunksize(len(fns), jobs)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(fns)), mp_context=mp_context
+    ) as pool:
+        return list(pool.map(_call, fns, chunksize=csize))
 
 
 def run_records(tasks: Sequence[SimTask], **kwargs) -> list[RunRecord]:

@@ -1,0 +1,44 @@
+"""Multi-tenant address-space simulation (the intro's shared-TLB setting).
+
+Tenants — each an address space with its own workload, φ/ψ view, and cost
+slice — are multiplexed over one shared memory-management algorithm via
+the ASID contract of :mod:`repro.mmu.base`: per-tenant page striding in a
+shared translation structure, tagged lookups, and TLB shootdowns on exit.
+Schedulers pick who runs each quantum; sweeps compare the registry
+algorithms under tenant churn.
+"""
+
+from .scheduler import (
+    SCHEDULERS,
+    JitteredScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from .sim import MultiTenantResult, MultiTenantSim, ShootdownEvent, TenantRecord
+from .sweep import (
+    TenancyCellSpec,
+    build_tenants,
+    run_tenancy_cell,
+    run_tenancy_grid,
+)
+from .tenant import Tenant
+
+__all__ = [
+    "Tenant",
+    "MultiTenantSim",
+    "MultiTenantResult",
+    "TenantRecord",
+    "ShootdownEvent",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "JitteredScheduler",
+    "PriorityScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "TenancyCellSpec",
+    "build_tenants",
+    "run_tenancy_cell",
+    "run_tenancy_grid",
+]

@@ -1,0 +1,158 @@
+"""Tenant schedulers: who runs next, and for how many accesses.
+
+A scheduler answers one question per turn — *(which runnable ASID, what
+quantum)* — from nothing but the runnable set and the global clock, so a
+given (scheduler, tenant mix) pair replays identically on every engine
+and job count. Three policies cover the sweeps:
+
+* :class:`RoundRobinScheduler` — fixed quantum, strict cyclic order (the
+  deterministic baseline; one tenant degenerates to a single stream).
+* :class:`JitteredScheduler` — round-robin order with geometrically
+  jittered quantum lengths, mirroring
+  :class:`~repro.workloads.InterleavedWorkload`'s trace-level jitter so
+  trace-generated and simulator-driven interleavings are comparable.
+* :class:`PriorityScheduler` — stride scheduling: each tenant accumulates
+  virtual time at rate ``1/priority``; the lowest pass runs next, so CPU
+  share is proportional to priority without starvation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from .._util import as_rng, check_positive_int
+from .tenant import Tenant
+
+__all__ = [
+    "Scheduler",
+    "RoundRobinScheduler",
+    "JitteredScheduler",
+    "PriorityScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+]
+
+
+class Scheduler(ABC):
+    """Turn-by-turn tenant selection policy."""
+
+    #: short registry name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, quantum: int = 64) -> None:
+        self.quantum = check_positive_int(quantum, "quantum")
+
+    def bind(self, tenants: Sequence[Tenant]) -> None:
+        """Called once by the driver before the first turn; policies that
+        use static tenant attributes (priority) capture them here."""
+
+    @abstractmethod
+    def pick(self, runnable: Sequence[int], clock: int) -> tuple[int, int]:
+        """Choose ``(asid, quantum)`` from the non-empty *runnable* ASIDs.
+
+        *runnable* is sorted ascending; *clock* is the accesses issued
+        machine-wide so far. The returned quantum is a request — the
+        driver clips it to the tenant's remaining accesses (and to the
+        warmup boundary), and feeds the next turn accordingly.
+        """
+
+
+class RoundRobinScheduler(Scheduler):
+    """Strict cyclic order over the runnable set, fixed quantum."""
+
+    name = "round-robin"
+
+    def __init__(self, quantum: int = 64) -> None:
+        super().__init__(quantum)
+        self._last: int | None = None
+
+    def _next_cyclic(self, runnable: Sequence[int]) -> int:
+        last = self._last
+        if last is not None:
+            for asid in runnable:
+                if asid > last:
+                    self._last = asid
+                    return asid
+        self._last = runnable[0]
+        return runnable[0]
+
+    def pick(self, runnable: Sequence[int], clock: int) -> tuple[int, int]:
+        return self._next_cyclic(runnable), self.quantum
+
+
+class JitteredScheduler(RoundRobinScheduler):
+    """Cyclic order with geometrically jittered quantum lengths.
+
+    Each turn ends early with per-access probability *jitter* — the same
+    ``min(quantum, Geometric(jitter))`` draw as
+    :class:`~repro.workloads.InterleavedWorkload`, so a trace generated
+    there and a simulator-driven run here see the same switch statistics.
+    """
+
+    name = "jittered"
+
+    def __init__(self, quantum: int = 64, jitter: float = 0.25, seed=None) -> None:
+        super().__init__(quantum)
+        if not (0.0 <= jitter < 1.0):
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.jitter = jitter
+        self._rng = as_rng(seed)
+
+    def pick(self, runnable: Sequence[int], clock: int) -> tuple[int, int]:
+        asid = self._next_cyclic(runnable)
+        q = self.quantum
+        if self.jitter and q > 1:
+            q = min(q, int(self._rng.geometric(self.jitter)))
+        return asid, q
+
+
+class PriorityScheduler(Scheduler):
+    """Stride scheduling: proportional share by tenant priority.
+
+    Tenant ``i``'s *pass* advances by ``quantum / priority_i`` each time it
+    runs; the runnable tenant with the lowest pass (ties to the lowest
+    ASID) runs next. Long-run CPU share converges to
+    ``priority_i / Σ priority`` and nobody starves.
+    """
+
+    name = "priority"
+
+    def __init__(self, quantum: int = 64) -> None:
+        super().__init__(quantum)
+        self._priority: dict[int, int] = {}
+        self._pass: dict[int, float] = {}
+
+    def bind(self, tenants: Sequence[Tenant]) -> None:
+        self._priority = {asid: t.priority for asid, t in enumerate(tenants)}
+
+    def pick(self, runnable: Sequence[int], clock: int) -> tuple[int, int]:
+        # late arrivals join at the minimum live pass, not zero, so they
+        # cannot monopolize the machine paying back virtual time they
+        # never owed
+        floor = min(
+            (self._pass[a] for a in runnable if a in self._pass), default=0.0
+        )
+        for asid in runnable:
+            if asid not in self._pass:
+                self._pass[asid] = floor
+        asid = min(runnable, key=lambda a: (self._pass[a], a))
+        self._pass[asid] += self.quantum / self._priority.get(asid, 1)
+        return asid, self.quantum
+
+
+SCHEDULERS = {
+    cls.name: cls
+    for cls in (RoundRobinScheduler, JitteredScheduler, PriorityScheduler)
+}
+
+
+def make_scheduler(name: str, quantum: int = 64, **kwargs) -> Scheduler:
+    """Build a registry scheduler by name (see :data:`SCHEDULERS`)."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose one of {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(quantum, **kwargs)

@@ -8,7 +8,19 @@ and let tenants' entries compete for capacity instead. These two wrappers
 make the difference measurable on interleaved traces.
 
 Both wrap the plain :class:`~repro.tlb.tlb.TLB` and present a
-``lookup(asid, hpn)`` / ``fill(asid, hpn, value)`` interface.
+``lookup(asid, hpn)`` / ``fill(asid, hpn, value)`` interface, plus the
+full statistics/maintenance surface of :class:`~repro.tlb.tlb.TLB`
+(``fills``, ``accesses``, ``reset_stats``, ``resident``, ``peek``,
+``invalidate``, ``check_invariants``) so tests and probes can treat any
+of the three interchangeably.
+
+These wrappers study the *tagging policy* in isolation. Whole-system
+multi-tenant runs instead use the first-class ASID contract on
+:class:`~repro.mmu.base.MemoryManagementAlgorithm` (``bind_asid_space`` /
+``run_asid`` / ``shootdown_asid``), where the stride encodes the ASID into
+the translation unit number itself — the same tag, realised in address
+space rather than in a tuple key, which is what lets every registered
+algorithm participate without changing its TLB type.
 """
 
 from __future__ import annotations
@@ -29,6 +41,8 @@ class AsidTaggedTLB:
         value_bits: int = 64,
         policy: ReplacementPolicy | None = None,
     ) -> None:
+        self.entries = entries
+        self.value_bits = value_bits
         self._tlb = TLB(entries, value_bits, policy or LRUPolicy())
         self.switches = 0
         self._current_asid: int | None = None
@@ -39,8 +53,37 @@ class AsidTaggedTLB:
             self._current_asid = asid
         return self._tlb.lookup((asid, hpn))
 
-    def fill(self, asid: int, hpn: int, value: int = 0) -> None:
-        self._tlb.fill((asid, hpn), value)
+    def fill(self, asid: int, hpn: int, value: int = 0) -> tuple[int, int] | None:
+        """Install the tagged entry; return the evicted ``(asid, hpn)`` key
+        (possibly another tenant's — capacity is shared) or None."""
+        return self._tlb.fill((asid, hpn), value)
+
+    def update(self, asid: int, hpn: int, value: int) -> None:
+        self._tlb.update((asid, hpn), value)
+
+    def invalidate(self, asid: int, hpn: int) -> None:
+        """Drop one tagged entry (a single-page shootdown)."""
+        self._tlb.invalidate((asid, hpn))
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Shoot down every entry of *asid*; return how many were dropped.
+
+        Other tenants' entries are untouched — the tagged TLB's selling
+        point over a flush."""
+        victims = [key for key in self._tlb.resident() if key[0] == asid]
+        for key in victims:
+            self._tlb.invalidate(key)
+        return len(victims)
+
+    def peek(self, asid: int, hpn: int) -> int | None:
+        return self._tlb.peek((asid, hpn))
+
+    def resident(self):
+        """Iterate over resident ``(asid, hpn)`` keys."""
+        return self._tlb.resident()
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._tlb
 
     @property
     def hits(self) -> int:
@@ -51,15 +94,44 @@ class AsidTaggedTLB:
         return self._tlb.misses
 
     @property
+    def fills(self) -> int:
+        return self._tlb.fills
+
+    @property
+    def accesses(self) -> int:
+        return self._tlb.accesses
+
+    @property
     def miss_rate(self) -> float:
         return self._tlb.miss_rate
+
+    def reset_stats(self) -> None:
+        self._tlb.reset_stats()
+        self.switches = 0
+
+    def check_invariants(self) -> None:
+        """The inner TLB's structural invariants, plus: every key is an
+        ``(asid, hpn)`` pair of non-negative ints."""
+        self._tlb.check_invariants()
+        for key in self._tlb.resident():
+            assert (
+                isinstance(key, tuple)
+                and len(key) == 2
+                and key[0] >= 0
+                and key[1] >= 0
+            ), f"malformed tagged key {key!r}"
 
     def __len__(self) -> int:
         return len(self._tlb)
 
 
 class FlushingTLB:
-    """Legacy behaviour: the whole TLB is invalidated on every ASID change."""
+    """Legacy behaviour: the whole TLB is invalidated on every ASID change.
+
+    Statistics (``hits``/``misses``/``fills``/``switches``) live on the
+    wrapper and survive flushes; the inner TLB is rebuilt empty on each
+    ASID change.
+    """
 
     def __init__(
         self,
@@ -75,6 +147,7 @@ class FlushingTLB:
         self.switches = 0
         self.hits = 0
         self.misses = 0
+        self.fills = 0
 
     def lookup(self, asid: int, hpn: int) -> int | None:
         if asid != self._current_asid:
@@ -90,15 +163,70 @@ class FlushingTLB:
             self.hits += 1
         return out
 
-    def fill(self, asid: int, hpn: int, value: int = 0) -> None:
+    def fill(self, asid: int, hpn: int, value: int = 0) -> int | None:
         if asid != self._current_asid:
             raise ValueError("fill must follow a lookup for the same ASID")
-        self._tlb.fill(hpn, value)
+        victim = self._tlb.fill(hpn, value)
+        self.fills += 1
+        return victim
+
+    def update(self, asid: int, hpn: int, value: int) -> None:
+        if asid != self._current_asid:
+            raise KeyError(f"asid {asid} has no resident entries (flushed)")
+        self._tlb.update(hpn, value)
+
+    def invalidate(self, asid: int, hpn: int) -> None:
+        """Drop one entry of the *current* ASID; entries of any other ASID
+        were already flushed, so asking for them is an error."""
+        if asid != self._current_asid:
+            raise KeyError(f"asid {asid} has no resident entries (flushed)")
+        self._tlb.invalidate(hpn)
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Shoot down *asid*'s entries; a no-op unless it is current (any
+        other tenant's entries are gone by construction)."""
+        if asid != self._current_asid:
+            return 0
+        dropped = len(self._tlb)
+        if dropped:
+            self._tlb = TLB(self.entries, self.value_bits, self._policy_factory())
+        return dropped
+
+    def peek(self, asid: int, hpn: int) -> int | None:
+        if asid != self._current_asid:
+            return None
+        return self._tlb.peek(hpn)
+
+    def resident(self):
+        """Iterate over resident ``(asid, hpn)`` keys (current ASID only —
+        everything else has been flushed)."""
+        asid = self._current_asid
+        return iter(()) if asid is None else ((asid, hpn) for hpn in self._tlb.resident())
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        asid, hpn = key
+        return asid == self._current_asid and hpn in self._tlb
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
 
     @property
     def miss_rate(self) -> float:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self._tlb.reset_stats()
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.switches = 0
+
+    def check_invariants(self) -> None:
+        """The live inner TLB's invariants, plus capacity."""
+        self._tlb.check_invariants()
+        assert len(self._tlb) <= self.entries
 
     def __len__(self) -> int:
         return len(self._tlb)

@@ -33,11 +33,24 @@ class InterleavedWorkload(Workload):
     jitter:
         With a seed-drawn probability each turn ends early, breaking exact
         periodicity (0 = strict round-robin).
+    slice_pages:
+        Pages per tenant slice; default is the largest member's
+        ``va_pages``. Override to match an externally imposed stride —
+        e.g. :class:`~repro.tenancy.MultiTenantSim` strides ASIDs by a
+        power of two aligned to the algorithm's translation units, and a
+        matching ``slice_pages`` makes this generator's trace directly
+        comparable to an ASID-tagged run.
     """
 
     name = "interleaved"
 
-    def __init__(self, tenants, quantum: int = 64, jitter: float = 0.0) -> None:
+    def __init__(
+        self,
+        tenants,
+        quantum: int = 64,
+        jitter: float = 0.0,
+        slice_pages: int | None = None,
+    ) -> None:
         tenants = list(tenants)
         if not tenants:
             raise ValueError("need at least one tenant workload")
@@ -46,7 +59,15 @@ class InterleavedWorkload(Workload):
         if not (0.0 <= jitter < 1.0):
             raise ValueError(f"jitter must be in [0, 1), got {jitter}")
         self.jitter = jitter
-        self._slice = max(t.va_pages for t in tenants)
+        widest = max(t.va_pages for t in tenants)
+        if slice_pages is None:
+            slice_pages = widest
+        elif check_positive_int(slice_pages, "slice_pages") < widest:
+            raise ValueError(
+                f"slice_pages {slice_pages} cannot hold the widest tenant "
+                f"({widest} pages)"
+            )
+        self._slice = slice_pages
         super().__init__(self._slice * len(tenants))
 
     def tenant_slice(self, i: int) -> range:

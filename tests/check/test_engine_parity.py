@@ -7,13 +7,29 @@ any counter divergence; the array-engine ledger is additionally pinned
 against the committed per-access rows, aggregated to ledger totals (the
 array engine emits no events, so totals are the strongest golden check
 it can face).
+
+The multi-tenant goldens (``tests/tenancy/goldens.py``) extend the same
+pinning to ASID-striped runs: the object engine must reproduce the
+committed stream row for row, and the array engine — which may decline
+multi-tenant segments and silently fall back to the object replay — must
+land on exactly the golden totals, proving the fallback is silent *and*
+correct.
 """
 
 import pytest
 
-from repro.check import diff_engine_ledgers, golden_totals, load_golden
+from repro.check import (
+    StreamTap,
+    diff_engine_ledgers,
+    first_divergence,
+    golden_totals,
+    load_golden,
+)
 from repro.mmu.registry import make_mm
+from repro.obs import NULL_PROBE
 
+from ..tenancy.goldens import build_sim
+from ..tenancy.goldens import golden_cases as mt_golden_cases
 from .goldens import (
     RAM_PAGES,
     SEED,
@@ -54,3 +70,48 @@ class TestEngineParity:
         assert ledger.ios == totals["ios"]
         assert ledger.decoding_misses == totals["decoding_misses"]
         assert mm._eviction_count() - evictions0 == totals["evictions"]
+
+
+MT_CASES = list(mt_golden_cases())
+MT_IDS = [f"{algorithm}-t{k}" for algorithm, k, _ in MT_CASES]
+
+
+@pytest.mark.parametrize(("algorithm", "k", "path"), MT_CASES, ids=MT_IDS)
+class TestMultiTenantEngineParity:
+    def test_object_engine_matches_golden_stream(self, algorithm, k, path):
+        _, golden_rows = load_golden(path)
+        sim = build_sim(algorithm, k, engine="object")
+        tap = StreamTap()
+        sim.mm.probe = tap
+        try:
+            sim.run()
+        finally:
+            sim.mm.probe = NULL_PROBE
+        div = first_divergence(tap.as_tuples(), golden_rows)
+        assert div is None, f"{algorithm}/t{k}: {div.describe()}"
+
+    def test_array_engine_falls_back_to_golden_totals(self, algorithm, k, path):
+        # no probe here: an attached tap would itself force the object
+        # path, hiding exactly the fallback this test pins
+        _, golden_rows = load_golden(path)
+        totals = golden_totals(golden_rows)
+        sim = build_sim(algorithm, k, engine="array")
+        result = sim.run()
+        ledger = result.ledger
+        assert ledger.accesses == totals["accesses"]
+        assert ledger.tlb_misses == totals["tlb_misses"]
+        assert ledger.ios == totals["ios"]
+        assert ledger.decoding_misses == totals["decoding_misses"]
+        assert sim.mm._eviction_count() == totals["evictions"]
+        result.verify_counter_sums()
+
+    def test_engines_agree_on_tenant_ledgers(self, algorithm, k, path):
+        res_obj = build_sim(algorithm, k, engine="object").run()
+        res_arr = build_sim(algorithm, k, engine="array").run()
+        assert res_obj.ledger.as_dict() == res_arr.ledger.as_dict()
+        assert res_obj.switches == res_arr.switches
+        assert [e.dropped for e in res_obj.shootdowns] == [
+            e.dropped for e in res_arr.shootdowns
+        ]
+        for a, b in zip(res_obj.records, res_arr.records):
+            assert a.ledger.snapshot() == b.ledger.snapshot(), a.name

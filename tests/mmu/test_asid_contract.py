@@ -1,0 +1,137 @@
+"""The first-class ASID access contract, over every registered algorithm.
+
+``bind_asid_space`` / ``access_asid`` / ``run_asid`` / ``shootdown_asid``
+live on :class:`MemoryManagementAlgorithm` itself, so every algorithm in
+the registry participates in multi-tenant runs without changing its TLB
+type. This pins the contract's arithmetic (power-of-two strides aligned to
+translation coverage), its error surface, the ASID-0 identity, and the
+shootdown/translation-span interplay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mmu.registry import MM_NAMES, make_mm
+from repro._util import next_power_of_two
+
+VA_PAGES = 300  # deliberately not a power of two
+TLB_ENTRIES = 32
+RAM_PAGES = 2048
+
+
+def _mm(name, **kw):
+    return make_mm(name, TLB_ENTRIES, RAM_PAGES, seed=0, **kw)
+
+
+def _trace(n=400, pages=VA_PAGES, seed=5):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, pages, size=n, dtype=np.int64)
+
+
+@pytest.mark.parametrize("name", MM_NAMES)
+class TestBindArithmetic:
+    def test_alignment_is_a_positive_power_of_two(self, name):
+        align = _mm(name).translation_alignment()
+        assert align >= 1
+        assert next_power_of_two(align) == align
+
+    def test_stride_covers_slice_and_alignment(self, name):
+        mm = _mm(name)
+        stride = mm.bind_asid_space(VA_PAGES)
+        assert stride == next_power_of_two(max(VA_PAGES, mm.translation_alignment()))
+        assert stride % mm.translation_alignment() == 0
+        assert mm.asid_stride == stride
+
+    def test_same_stride_rebind_is_a_noop(self, name):
+        mm = _mm(name)
+        stride = mm.bind_asid_space(VA_PAGES)
+        assert mm.bind_asid_space(VA_PAGES) == stride
+        # any va_pages rounding to the same power of two is fine too
+        assert mm.bind_asid_space(stride) == stride
+
+    def test_different_stride_rebind_rejected(self, name):
+        mm = _mm(name)
+        stride = mm.bind_asid_space(VA_PAGES)
+        with pytest.raises(ValueError, match="already bound"):
+            mm.bind_asid_space(4 * stride)
+
+
+@pytest.mark.parametrize("name", MM_NAMES)
+class TestAccessErrors:
+    def test_access_before_bind_rejected(self, name):
+        mm = _mm(name)
+        with pytest.raises(RuntimeError, match="bind_asid_space"):
+            mm.access_asid(0, 0)
+        with pytest.raises(RuntimeError, match="bind_asid_space"):
+            mm.run_asid(1, _trace(8))
+
+    def test_negative_asid_rejected(self, name):
+        mm = _mm(name)
+        mm.bind_asid_space(VA_PAGES)
+        with pytest.raises(ValueError, match="non-negative"):
+            mm.access_asid(-1, 0)
+
+
+@pytest.mark.parametrize("name", MM_NAMES)
+class TestAsidZeroIdentity:
+    def test_run_asid_zero_matches_plain_run(self, name):
+        trace = _trace()
+        plain = _mm(name)
+        plain.run(trace)
+        tagged = _mm(name)
+        tagged.bind_asid_space(VA_PAGES)
+        tagged.run_asid(0, trace)
+        assert tagged.ledger.as_dict() == plain.ledger.as_dict()
+
+    def test_nonzero_asid_offsets_by_the_stride(self, name):
+        mm = _mm(name)
+        stride = mm.bind_asid_space(VA_PAGES)
+        mm.access_asid(3, 7)
+        spans = mm.inspector().translation_spans()
+        if spans is None:
+            return  # algorithm opted out of span reporting
+        assert spans, "an access must create at least one translation unit"
+        assert all(3 * stride <= lo and hi <= 4 * stride for lo, hi in spans)
+
+
+@pytest.mark.parametrize("name", MM_NAMES)
+class TestShootdown:
+    def test_shootdown_asid_clears_the_slice_only(self, name):
+        mm = _mm(name)
+        mm.bind_asid_space(VA_PAGES)
+        mm.run_asid(1, _trace(300))
+        mm.run_asid(2, _trace(300, seed=6))
+        before = mm.ledger.as_dict()
+        dropped = mm.shootdown_asid(1)
+        assert dropped >= 0
+        assert mm.ledger.as_dict() == before  # shootdowns are ledger-free
+        spans = mm.inspector().translation_spans()
+        if spans is None:
+            return
+        stride = mm.asid_stride
+        assert all(lo // stride == 2 for lo, hi in spans)
+
+    def test_spans_sit_inside_one_slice(self, name):
+        mm = _mm(name)
+        stride = mm.bind_asid_space(VA_PAGES)
+        for asid in (0, 1, 5):
+            mm.run_asid(asid, _trace(200, seed=asid))
+        spans = mm.inspector().translation_spans()
+        if spans is None:
+            return
+        for lo, hi in spans:
+            assert lo < hi
+            assert lo // stride == (hi - 1) // stride, (
+                f"unit [{lo}, {hi}) straddles a slice boundary at {stride}"
+            )
+
+    def test_slice_is_cold_after_shootdown(self, name):
+        mm = _mm(name)
+        trace = _trace(200)
+        mm.bind_asid_space(VA_PAGES)
+        mm.run_asid(1, trace)
+        warm_misses = mm.ledger.tlb_misses
+        mm.shootdown_asid(1)
+        mm.run_asid(1, trace)
+        # the replay re-misses at least once: its TLB entries are gone
+        assert mm.ledger.tlb_misses > warm_misses

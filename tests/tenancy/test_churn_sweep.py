@@ -1,0 +1,60 @@
+"""Acceptance: a 120-tenant churn sweep under the oracle, zero violations.
+
+The ISSUE's bar: at least 100 tenants arriving and exiting over one shared
+algorithm, every access audited by the invariant oracle (ASID isolation
+and coverage included), completing with no violation and exact per-tenant
+cost attribution.
+"""
+
+import pytest
+
+from repro.mmu.registry import make_mm
+from repro.sim import spawn_seeds
+from repro.tenancy import MultiTenantSim, Tenant
+from repro.workloads import ZipfWorkload
+
+N_TENANTS = 120
+ACCESSES = 300
+VA_PAGES = 96
+
+
+def _churn_tenants():
+    seeds = spawn_seeds(42, N_TENANTS)
+    total = N_TENANTS * ACCESSES
+    return [
+        Tenant(
+            f"t{i}",
+            workload=ZipfWorkload(VA_PAGES, s=1.0),
+            accesses=ACCESSES,
+            # arrivals staggered over ~the first two thirds of the run:
+            # tenants continuously enter while earlier ones exit
+            arrival=(2 * total * i) // (3 * N_TENANTS),
+            priority=1 + i % 3,
+            seed=seeds[i],
+        )
+        for i in range(N_TENANTS)
+    ]
+
+
+@pytest.mark.parametrize("algorithm", ["base-page", "decoupled"])
+def test_churn_sweep_survives_the_oracle(algorithm):
+    mm = make_mm(algorithm, 48, 4096, seed=0)
+    sim = MultiTenantSim(
+        mm,
+        _churn_tenants(),
+        "round-robin",
+        quantum=47,
+        validate=True,  # any invariant violation raises and fails here
+    )
+    result = sim.run()
+
+    result.verify_counter_sums()
+    assert result.ledger.accesses == N_TENANTS * ACCESSES
+    assert len(result.records) == N_TENANTS
+    assert all(r.ledger.accesses == ACCESSES for r in result.records)
+    # every tenant exited through a shootdown, and the churn actually
+    # overlapped (far more switches than tenants)
+    assert len(result.shootdowns) == N_TENANTS
+    assert result.switches > N_TENANTS
+    # nothing survives the last exit
+    assert sim.mm.inspector().translation_spans() == []

@@ -1,0 +1,72 @@
+"""Single-tenant parity pin: MultiTenantSim is a strict generalization.
+
+One tenant driven through :class:`~repro.tenancy.MultiTenantSim` must be
+bit-identical — on the full ledger surface, ``as_dict()`` extras included
+— to plain :func:`repro.sim.simulate` on the same algorithm and trace,
+for **every** registry algorithm: ASID 0 is the identity mapping and
+segmented ``run`` calls are contractually identical to one unsegmented
+call, so the quantum boundaries must leave no trace in the counters.
+"""
+
+import pytest
+
+from repro.mmu.registry import MM_NAMES, make_mm
+from repro.sim import simulate
+from repro.tenancy import MultiTenantSim, Tenant
+from repro.workloads import ZipfWorkload
+
+VA_PAGES = 1024
+TLB_ENTRIES = 64
+RAM_PAGES = 2048
+ACCESSES = 3000
+WARMUP = 1000
+SEED = 7
+
+
+def _trace():
+    return ZipfWorkload(VA_PAGES, s=1.0).generate(ACCESSES, seed=SEED)
+
+
+@pytest.mark.parametrize("algorithm", MM_NAMES)
+class TestSingleTenantParity:
+    def test_ledger_bit_identical_to_simulate(self, algorithm):
+        trace = _trace()
+        plain = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=0)
+        expected = simulate(plain, trace, warmup=WARMUP)
+
+        mm = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=0)
+        sim = MultiTenantSim(
+            mm, [Tenant("solo", trace=trace)], quantum=97, warmup=WARMUP
+        )
+        result = sim.run()
+        assert result.ledger.as_dict() == expected.as_dict()
+        # the sole tenant is credited exactly the machine's counters
+        assert result.records[0].ledger.snapshot() == expected.snapshot()
+        result.verify_counter_sums()
+
+    def test_quantum_size_never_changes_counters(self, algorithm):
+        trace = _trace()
+        baselines = []
+        for quantum in (1, 64, ACCESSES):
+            mm = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=0)
+            sim = MultiTenantSim(
+                mm, [Tenant("solo", trace=trace)], quantum=quantum
+            )
+            baselines.append(sim.run().ledger.as_dict())
+        assert baselines[0] == baselines[1] == baselines[2]
+
+    def test_validated_run_is_cost_identical(self, algorithm):
+        trace = _trace()
+        mm = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=0)
+        plain = MultiTenantSim(
+            mm, [Tenant("solo", trace=trace)], quantum=97, warmup=WARMUP
+        ).run()
+        mm2 = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=0)
+        validated = MultiTenantSim(
+            mm2,
+            [Tenant("solo", trace=trace)],
+            quantum=97,
+            warmup=WARMUP,
+            validate=True,
+        ).run()
+        assert validated.ledger.as_dict() == plain.ledger.as_dict()

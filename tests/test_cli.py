@@ -32,6 +32,14 @@ class TestParser:
         # None = kind-dependent default (BENCH_sweep.json / BENCH_hotloop.json)
         assert args.out is None
 
+    def test_tenants_defaults(self):
+        args = build_parser().parse_args(["tenants"])
+        assert args.algorithms is None  # None = all registered
+        assert args.tenants == [2, 8]
+        assert args.schedulers == ["round-robin"]
+        assert args.quantum == 64
+        assert args.validate is False
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
@@ -105,6 +113,27 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "decoupled-Z" in out and "h_max" in out
+
+    def test_tenants_small_validated(self, capsys, tmp_path):
+        snap = tmp_path / "snap.json"
+        assert (
+            main(["tenants", "--algorithms", "base-page", "decoupled",
+                  "--tenants", "3", "--accesses", "300", "--pages", "128",
+                  "--tlb", "16", "--ram", "512", "--quantum", "37",
+                  "--validate", "--snapshot-out", str(snap)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "decoupled" in out and "shootdowns" in out
+        assert "validated" in out
+        payload = json.loads(snap.read_text())
+        assert payload["counters"]["accesses"] == 2 * 3 * 300
+        assert payload["meta"]["runs"] == 2 * 3  # one per tenant record
+
+    def test_tenants_rejects_unknown_names(self):
+        with pytest.raises(SystemExit, match="unknown algorithms"):
+            main(["tenants", "--algorithms", "segment-table"])
+        with pytest.raises(SystemExit, match="unknown schedulers"):
+            main(["tenants", "--schedulers", "fifo"])
 
     def test_top_once_on_missing_spool(self, capsys, tmp_path):
         assert main(["top", str(tmp_path / "absent.jsonl"), "--once"]) == 0

@@ -1,0 +1,177 @@
+"""Surface parity for the ASID wrappers, mirroring TestTLBSurfaceParity.
+
+:class:`AsidTaggedTLB` and :class:`FlushingTLB` promise the full
+statistics/maintenance surface of the plain :class:`TLB` (``fills``,
+``accesses``, ``reset_stats``, ``resident``, ``peek``, ``invalidate``,
+``check_invariants``) so probes and the multi-tenant driver can treat the
+three interchangeably. This pins that surface, the wrapper-specific
+semantics (flush-survival of counters, ``invalidate_asid``), and the
+recency-stamp monotonicity of fills through the wrappers.
+"""
+
+import pytest
+
+from repro.paging import LRUPolicy
+from repro.tlb import AsidTaggedTLB, FlushingTLB
+
+ASID_FACTORIES = {
+    "tagged": lambda **kw: AsidTaggedTLB(entries=8, value_bits=16, **kw),
+    "flushing": lambda **kw: FlushingTLB(entries=8, value_bits=16, **kw),
+}
+
+
+class TestAsidSurfaceParity:
+    @pytest.mark.parametrize("flavour", sorted(ASID_FACTORIES))
+    def test_counter_surface(self, flavour):
+        tlb = ASID_FACTORIES[flavour]()
+        assert tlb.value_bits == 16
+        assert tlb.lookup(0, 3) is None
+        tlb.fill(0, 3, 9)
+        assert tlb.lookup(0, 3) == 9
+        assert (tlb.hits, tlb.misses, tlb.fills) == (1, 1, 1)
+        assert tlb.accesses == 2 and tlb.miss_rate == 0.5
+        tlb.check_invariants()
+        tlb.reset_stats()
+        assert (tlb.hits, tlb.misses, tlb.fills) == (0, 0, 0)
+        assert tlb.switches == 0  # reset covers the wrapper counter too
+        assert (0, 3) in tlb  # stats reset keeps residency
+
+    @pytest.mark.parametrize("flavour", sorted(ASID_FACTORIES))
+    def test_value_bits_enforced(self, flavour):
+        tlb = ASID_FACTORIES[flavour]()
+        tlb.lookup(0, 1)
+        tlb.fill(0, 1, (1 << 16) - 1)
+        with pytest.raises(ValueError, match="w=16"):
+            tlb.fill(0, 2, 1 << 16)
+
+    @pytest.mark.parametrize("flavour", sorted(ASID_FACTORIES))
+    def test_update_invalidate_peek(self, flavour):
+        tlb = ASID_FACTORIES[flavour]()
+        tlb.lookup(0, 4)
+        tlb.fill(0, 4, 7)
+        tlb.update(0, 4, 8)
+        assert tlb.peek(0, 4) == 8
+        accesses = tlb.accesses
+        assert tlb.peek(0, 4) == 8  # peek never touches stats
+        assert tlb.accesses == accesses
+        tlb.invalidate(0, 4)
+        assert tlb.peek(0, 4) is None
+        assert len(tlb) == 0
+
+    @pytest.mark.parametrize("flavour", sorted(ASID_FACTORIES))
+    def test_resident_yields_tagged_keys(self, flavour):
+        tlb = ASID_FACTORIES[flavour]()
+        tlb.lookup(2, 5)
+        tlb.fill(2, 5)
+        tlb.fill(2, 6)
+        assert sorted(tlb.resident()) == [(2, 5), (2, 6)]
+        tlb.check_invariants()
+
+    @pytest.mark.parametrize("flavour", sorted(ASID_FACTORIES))
+    def test_reset_stats_zeroes_switches(self, flavour):
+        tlb = ASID_FACTORIES[flavour]()
+        tlb.lookup(0, 1)
+        tlb.lookup(1, 1)
+        tlb.lookup(0, 1)
+        assert tlb.switches == 2
+        tlb.reset_stats()
+        assert tlb.switches == 0 and tlb.accesses == 0
+
+
+class TestInvalidateAsid:
+    def test_tagged_drops_only_the_target_tenant(self):
+        tlb = AsidTaggedTLB(entries=8)
+        for asid, hpn in [(0, 1), (0, 2), (1, 1), (1, 3)]:
+            tlb.lookup(asid, hpn)
+            tlb.fill(asid, hpn)
+        assert tlb.invalidate_asid(0) == 2
+        assert sorted(tlb.resident()) == [(1, 1), (1, 3)]
+        assert tlb.invalidate_asid(0) == 0  # idempotent
+        tlb.check_invariants()
+
+    def test_flushing_only_current_asid_can_be_dropped(self):
+        tlb = FlushingTLB(entries=8)
+        tlb.lookup(0, 1)
+        tlb.fill(0, 1)
+        assert tlb.invalidate_asid(1) == 0  # already flushed by construction
+        assert tlb.invalidate_asid(0) == 1
+        assert len(tlb) == 0
+
+    def test_flushing_rejects_foreign_maintenance(self):
+        tlb = FlushingTLB(entries=8)
+        tlb.lookup(0, 1)
+        tlb.fill(0, 1)
+        with pytest.raises(KeyError, match="flushed"):
+            tlb.invalidate(1, 1)
+        with pytest.raises(KeyError, match="flushed"):
+            tlb.update(1, 1, 0)
+        assert tlb.peek(1, 1) is None
+        with pytest.raises(ValueError):
+            tlb.fill(1, 1)
+
+
+class TestFlushSemantics:
+    def test_fills_survive_flushes(self):
+        tlb = FlushingTLB(entries=8)
+        for asid in (0, 1, 0, 1):
+            if tlb.lookup(asid, 3) is None:
+                tlb.fill(asid, 3)
+        # every switch flushed the single entry, so every round refilled it
+        assert tlb.fills == 4
+        assert (tlb.hits, tlb.misses) == (0, 4)
+        assert tlb.accesses == 4
+
+    def test_tagged_capacity_eviction_reports_victim(self):
+        tlb = AsidTaggedTLB(entries=2)
+        tlb.lookup(0, 1)
+        tlb.fill(0, 1)
+        tlb.fill(0, 2)
+        victim = tlb.fill(1, 9)  # full: somebody's entry goes
+        assert victim == (0, 1)  # LRU across tenants — capacity is shared
+        tlb.check_invariants()
+
+
+class _StampRecordingLRU(LRUPolicy):
+    """LRU that records insert stamps, to observe fills through a wrapper."""
+
+    def __init__(self):
+        super().__init__()
+        self.stamps = []
+
+    def insert(self, key, time):
+        self.stamps.append(time)
+        super().insert(key, time)
+
+
+class TestWrapperStampMonotonicity:
+    """The wrappers must not regress the strict fill-stamp clock: multiple
+    fills under one access still get strictly increasing recency stamps."""
+
+    def test_tagged_multi_fill_stamps_strictly_increase(self):
+        rec = _StampRecordingLRU()
+        tlb = AsidTaggedTLB(entries=8, policy=rec)
+        assert tlb.lookup(0, 0) is None  # one access...
+        tlb.fill(0, 0)
+        tlb.fill(0, 1)  # ...installing three entries
+        tlb.fill(1, 0)
+        assert rec.stamps == sorted(set(rec.stamps)), (
+            f"fill stamps not strictly monotone: {rec.stamps}"
+        )
+
+    def test_flushing_stamps_restart_after_flush(self):
+        stamps = []
+
+        class Rec(_StampRecordingLRU):
+            def insert(self, key, time):
+                stamps.append(time)
+                LRUPolicy.insert(self, key, time)
+
+        tlb = FlushingTLB(entries=8, policy_factory=Rec)
+        tlb.lookup(0, 0)
+        tlb.fill(0, 0)
+        tlb.fill(0, 1)
+        assert stamps == sorted(set(stamps))
+        tlb.lookup(1, 0)  # flush: fresh inner TLB, fresh clock
+        tlb.fill(1, 0)
+        tlb.fill(1, 1)
+        assert stamps[2:] == sorted(set(stamps[2:]))
