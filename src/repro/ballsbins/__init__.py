@@ -8,6 +8,7 @@ curves of eqs. (5)–(6) and Theorem 2.
 """
 
 from .adversary import batch_turnover, cyclic_reinsertion, fifo_churn, fill, random_churn
+from .batch import BatchDecisions, replay_game_events
 from .analysis import (
     GameResult,
     greedy_max_load_bound,
@@ -26,6 +27,8 @@ from .strategies import (
 
 __all__ = [
     "BallsAndBinsGame",
+    "BatchDecisions",
+    "replay_game_events",
     "PlacementStrategy",
     "OneChoiceStrategy",
     "GreedyStrategy",

@@ -1,0 +1,136 @@
+"""Vectorized replay of interleaved balls-and-bins event streams.
+
+The array engine's decoupled/hybrid handler knows a whole RAM segment's
+insert/evict event stream up front (offline-LRU miss positions and death
+positions), but :class:`~.game.BallsAndBinsGame` only exposes per-event
+``insert``/``delete`` — a Python round-trip through ``place()`` object
+dispatch and dict bookkeeping per RAM miss, which is exactly what capped
+those rows at 1.4–1.7× (ROADMAP open item 1).
+
+:func:`replay_game_events` replays the same stream in bulk:
+
+1. deduplicate the touched balls and hash **all** their candidate bins in
+   one vectorized pass per choice (``HashFamily`` guarantees scalar/vector
+   parity);
+2. run the strategy's ``batch_place`` hook — a tight event loop over plain
+   Python lists of bin loads (and front/back loads for Iceberg), no dict
+   churn, no per-event object dispatch;
+3. commit the game state in bulk: loads written back in place, the load
+   histogram rebuilt from one ``bincount``, counters advanced, and the
+   live-ball map folded to each ball's **last applied event**.
+
+The result is a *decision stream*: the chosen bin per applied insert (-1
+for a failing one), the first-match candidate index the TLB encoder would
+store (``choice_index`` semantics, collision-normalized), and the index of
+the first failing insert. State after the call is bit-identical to the
+per-event game stopped right after that failure — the mid-segment bailout
+contract the array engine relies on.
+
+Event interleave convention (the array engine's): for insert index ``k``,
+if ``k >= first_evt`` the eviction ``k - first_evt`` is applied immediately
+before it, so ``len(evicts) == max(0, len(inserts) - first_evt)``. Streams
+must be valid (no insert of a live ball, no evict of a dead one); the
+kernel trusts the caller and does not re-validate per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BatchDecisions", "replay_game_events"]
+
+
+@dataclass(slots=True)
+class BatchDecisions:
+    """The decision stream of one bulk replay.
+
+    ``bins[k]``/``choices[k]`` cover every **applied** insert — all of them
+    on a clean run, or inserts ``0..failed`` when one fails (the failure is
+    applied: it counts, but places nothing and shows as ``-1``).
+    """
+
+    bins: list[int]  #: chosen bin per applied insert (-1 = paging failure)
+    choices: list[int]  #: first-match candidate index per applied insert
+    failed: int  #: index of the first failing insert, or -1
+
+    @property
+    def applied(self) -> int:
+        """Number of inserts applied (the failing one included)."""
+        return len(self.bins)
+
+
+def replay_game_events(game, inserts, evicts, first_evt: int = 0):
+    """Bulk-replay an interleaved insert/evict stream against *game*.
+
+    Equivalent to the per-event ``insert``/``delete`` call sequence under
+    the interleave convention above, stopping right after the first failing
+    insert. Returns the :class:`BatchDecisions`, or None when the game's
+    strategy has no ``batch_place`` hook (callers replay per-event).
+    """
+    strategy = game.strategy
+    batch_place = getattr(strategy, "batch_place", None)
+    if batch_place is None:
+        return None
+    n_ins = len(inserts)
+    if first_evt < 0:
+        raise ValueError(f"first_evt must be >= 0, got {first_evt}")
+    if len(evicts) != max(0, n_ins - first_evt):
+        raise ValueError(
+            f"{len(evicts)} evictions do not interleave with {n_ins} "
+            f"inserts at first_evt={first_evt} "
+            f"(need {max(0, n_ins - first_evt)})"
+        )
+    if n_ins == 0:
+        return BatchDecisions([], [], -1)
+
+    ins_arr = np.asarray(inserts, dtype=np.int64)
+    if len(evicts):
+        all_balls = np.concatenate(
+            [ins_arr, np.asarray(evicts, dtype=np.int64)]
+        )
+    else:
+        all_balls = ins_arr
+    balls, inverse = np.unique(all_balls, return_inverse=True)
+    inverse = inverse.tolist()
+    ins_u = inverse[:n_ins]
+    ev_u = inverse[n_ins:]
+    uniq = balls.tolist()
+
+    bin_get = game._bin_of.get
+    bin_of = [bin_get(b, -1) for b in uniq]
+    loads = game.loads.tolist()
+    bins, choices, peak, failed = batch_place(
+        balls, uniq, ins_u, ev_u, first_evt, loads, bin_of
+    )
+
+    # ---- commit: loads, histogram, counters, live-ball map ----------------
+    n_applied = len(bins)
+    game.loads[:] = loads
+    counts = np.bincount(game.loads)
+    load_counts = game._load_counts
+    load_counts.clear()
+    for level, count in enumerate(counts.tolist()):
+        if count:
+            load_counts[level] = count
+    game._max_load = len(counts) - 1  # bincount's last level is the max
+    if peak > game.peak_load:
+        game.peak_load = peak
+    game.insertions += n_applied
+    game.deletions += max(0, n_applied - first_evt)
+    if failed >= 0:
+        game.failures += 1
+    # the last applied event per ball decides whether it is live
+    final: dict[int, int] = {}
+    for k in range(n_applied):
+        if k >= first_evt:
+            final[ev_u[k - first_evt]] = -1
+        final[ins_u[k]] = bins[k]
+    bin_map = game._bin_of
+    for u, b in final.items():
+        if b < 0:
+            bin_map.pop(uniq[u], None)
+        else:
+            bin_map[uniq[u]] = b
+    return BatchDecisions(bins, choices, failed)

@@ -43,6 +43,24 @@ class PlacementStrategy(ABC):
     choices: int = 1
     #: short registry name.
     name: str = "abstract"
+    #: Optional bulk-replay hook consumed by
+    #: :func:`repro.ballsbins.batch.replay_game_events`. Concrete strategies
+    #: implement it as a method with the signature
+    #: ``batch_place(balls, uniq, ins_u, ev_u, first_evt, loads, bin_of)``
+    #: where *balls* is an int64 array of the distinct balls touched by the
+    #: stream, *uniq* the same values as a Python list, *ins_u*/*ev_u* the
+    #: per-event indices into *balls*, *first_evt* the insert index at which
+    #: evictions start interleaving, and *loads*/*bin_of* mutable Python
+    #: lists of current bin loads and per-distinct-ball bins (-1 = not
+    #: live). It must replay the stream with ``place``'s exact semantics —
+    #: stopping right after the first failing insert — mutating *loads*,
+    #: *bin_of*, and any strategy-internal state, and return
+    #: ``(bins, choices, peak, failed)``: the chosen bin per applied insert
+    #: (-1 for the failure), the first-match candidate index per applied
+    #: insert (``choice_index`` semantics), the highest load any insert
+    #: produced, and the failing insert's index (-1 if none). ``None`` means
+    #: the strategy has no batch path and callers must replay per-event.
+    batch_place = None
 
     def __init__(self) -> None:
         self._family: HashFamily | None = None
@@ -64,6 +82,23 @@ class PlacementStrategy(ABC):
         """The hashed candidate bins for *ball* (used by TLB encodings)."""
         return self.family(ball)
 
+    def candidate(self, ball, i: int) -> int:
+        """``candidates(ball)[i]`` evaluating only the *i*-th hash.
+
+        The TLB decode hot path stores the choice index and needs just this
+        one bin back — recomputing all ``k`` hashes there is wasted work.
+        """
+        return self.family[i](ball)
+
+    def batch_candidates(self, balls: np.ndarray) -> list[list[int]]:
+        """Candidate bins for a vector of *balls*: one list per choice.
+
+        One vectorized hash pass per choice (scalar/vector parity is part of
+        the :class:`~repro.hashing.MultiplyShiftHash` contract), returned as
+        plain lists because the batch replay loop indexes them per event.
+        """
+        return [h.many(balls).tolist() for h in self.family.functions]
+
     @abstractmethod
     def place(self, ball, loads: np.ndarray) -> int | None:
         """Pick a bin for *ball* given current bin *loads*; None on failure."""
@@ -83,6 +118,49 @@ class PlacementStrategy(ABC):
         raise ValueError(f"bin {bin_index} is not a candidate for ball {ball!r}")
 
 
+def _greedy_batch_place(cands, capacity, ins_u, ev_u, first_evt, loads, bin_of):
+    """Shared Greedy[d] replay loop (plain and always-go-left variants).
+
+    ``place`` semantics exactly: full bins are skipped, strict ``<`` keeps
+    the first (leftmost) candidate on load ties — which also makes the
+    recorded choice index the first candidate mapping to the chosen bin.
+    """
+    bins: list[int] = []
+    choices: list[int] = []
+    peak = 0
+    failed = -1
+    j = 0
+    for k, u in enumerate(ins_u):
+        if k >= first_evt:
+            eu = ev_u[j]
+            j += 1
+            loads[bin_of[eu]] -= 1
+            bin_of[eu] = -1
+        best = -1
+        best_load = 0
+        ci = 0
+        for i, c in enumerate(cands):
+            b = c[u]
+            load = loads[b]
+            if capacity is not None and load >= capacity:
+                continue
+            if best < 0 or load < best_load:
+                best, best_load, ci = b, load, i
+        if best < 0:
+            bins.append(-1)
+            choices.append(-1)
+            failed = k
+            break
+        new = loads[best] + 1
+        loads[best] = new
+        if new > peak:
+            peak = new
+        bin_of[u] = best
+        bins.append(best)
+        choices.append(ci)
+    return bins, choices, peak, failed
+
+
 class OneChoiceStrategy(PlacementStrategy):
     """``k = 1``: the ball goes to its single hashed bin, full or not."""
 
@@ -94,6 +172,32 @@ class OneChoiceStrategy(PlacementStrategy):
         if self._capacity is not None and loads[b] >= self._capacity:
             return None
         return b
+
+    def batch_place(self, balls, uniq, ins_u, ev_u, first_evt, loads, bin_of):
+        (c0,) = self.batch_candidates(balls)
+        capacity = self._capacity
+        bins: list[int] = []
+        peak = 0
+        failed = -1
+        j = 0
+        for k, u in enumerate(ins_u):
+            if k >= first_evt:
+                eu = ev_u[j]
+                j += 1
+                loads[bin_of[eu]] -= 1
+                bin_of[eu] = -1
+            b = c0[u]
+            if capacity is not None and loads[b] >= capacity:
+                bins.append(-1)
+                failed = k
+                break
+            new = loads[b] + 1
+            loads[b] = new
+            if new > peak:
+                peak = new
+            bin_of[u] = b
+            bins.append(b)
+        return bins, [0] * len(bins), peak, failed
 
 
 class GreedyStrategy(PlacementStrategy):
@@ -117,6 +221,17 @@ class GreedyStrategy(PlacementStrategy):
             if best_load is None or load < best_load:
                 best, best_load = b, load
         return best
+
+    def batch_place(self, balls, uniq, ins_u, ev_u, first_evt, loads, bin_of):
+        return _greedy_batch_place(
+            self.batch_candidates(balls),
+            self._capacity,
+            ins_u,
+            ev_u,
+            first_evt,
+            loads,
+            bin_of,
+        )
 
 
 class GreedyLeftStrategy(PlacementStrategy):
@@ -159,6 +274,32 @@ class GreedyLeftStrategy(PlacementStrategy):
             if best_load is None or load < best_load:  # strict: ties stay left
                 best, best_load = b, load
         return best
+
+    def candidate(self, ball, i: int) -> int:
+        group = self._group
+        lo = i * group
+        hi = (i + 1) * group if i < self.d - 1 else self.family.range
+        return lo + self.family[i](ball) % (hi - lo)
+
+    def batch_candidates(self, balls: np.ndarray) -> list[list[int]]:
+        group = self._group
+        out = []
+        for i, h in enumerate(self.family.functions):
+            lo = i * group
+            hi = (i + 1) * group if i < self.d - 1 else self.family.range
+            out.append((lo + h.many(balls) % (hi - lo)).tolist())
+        return out
+
+    def batch_place(self, balls, uniq, ins_u, ev_u, first_evt, loads, bin_of):
+        return _greedy_batch_place(
+            self.batch_candidates(balls),
+            self._capacity,
+            ins_u,
+            ev_u,
+            first_evt,
+            loads,
+            bin_of,
+        )
 
     def choice_index(self, ball, bin_index: int) -> int:
         for i, b in enumerate(self.candidates(ball)):
@@ -222,6 +363,91 @@ class IcebergStrategy(PlacementStrategy):
         self._back[best] += 1
         self._layer[ball] = False
         return best
+
+    def batch_place(self, balls, uniq, ins_u, ev_u, first_evt, loads, bin_of):
+        cands = self.batch_candidates(balls)
+        front_c = cands[0]
+        back_c = cands[1:]
+        capacity = self._capacity
+        front_capacity = self.front_capacity
+        front = self._front.tolist()
+        back = self._back.tolist()
+        layer_map = self._layer
+        lget = layer_map.get
+        layer = [lget(b, False) for b in uniq]
+        bins: list[int] = []
+        choices: list[int] = []
+        peak = 0
+        failed = -1
+        j = 0
+        for k, u in enumerate(ins_u):
+            if k >= first_evt:
+                eu = ev_u[j]
+                j += 1
+                eb = bin_of[eu]
+                loads[eb] -= 1
+                bin_of[eu] = -1
+                if layer[eu]:
+                    front[eb] -= 1
+                else:
+                    back[eb] -= 1
+            fb = front_c[u]
+            if front[fb] < front_capacity and (
+                capacity is None or loads[fb] < capacity
+            ):
+                front[fb] += 1
+                new = loads[fb] + 1
+                loads[fb] = new
+                if new > peak:
+                    peak = new
+                layer[u] = True
+                bin_of[u] = fb
+                bins.append(fb)
+                choices.append(0)
+                continue
+            best = -1
+            best_load = 0
+            ci = 0
+            for i, c in enumerate(back_c):
+                b = c[u]
+                if capacity is not None and loads[b] >= capacity:
+                    continue
+                bl = back[b]
+                if best < 0 or bl < best_load:
+                    best, best_load, ci = b, bl, i + 1
+            if best < 0:
+                bins.append(-1)
+                choices.append(-1)
+                failed = k
+                break
+            back[best] += 1
+            new = loads[best] + 1
+            loads[best] = new
+            if new > peak:
+                peak = new
+            layer[u] = False
+            bin_of[u] = best
+            # the encoder stores the FIRST candidate index mapping to the
+            # chosen bin, so a spill landing on its own front bin (hash
+            # collision h₀ = hᵢ) must encode as choice 0
+            if front_c[u] == best:
+                ci = 0
+            bins.append(best)
+            choices.append(ci)
+        self._front[:] = front
+        self._back[:] = back
+        # layer-map commit: the last applied event per ball wins
+        final: dict[int, int] = {}
+        for k in range(len(bins)):
+            if k >= first_evt:
+                final[ev_u[k - first_evt]] = -1
+            final[ins_u[k]] = bins[k]
+        for u, b in final.items():
+            if b < 0:
+                layer_map.pop(uniq[u], None)
+            else:
+                layer_map[uniq[u]] = layer[u]
+        return bins, choices, peak, failed
 
     def unplace(self, ball, bin_index: int) -> None:
         is_front = self._layer.pop(ball)

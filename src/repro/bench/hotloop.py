@@ -15,6 +15,12 @@ slower. Each component is timed on its own fixed key stream:
   fast-path algorithms, so the probe-overhead gate compares probed runs
   (which ride the object fast paths) against a like-for-like twin and the
   array-engine speedup is visible inside one payload;
+* ``mm:<name>+fail`` / ``mm@object:<name>+fail`` — the same engine pair
+  over a deliberately undersized cell (:data:`FAILURE_MMS`) whose stream
+  fails mid-run, so the engine-identity gate also covers the batch
+  kernel's paging-failure bailout path; the gate additionally requires
+  these rows to report ``paging_failures > 0`` (the cell must keep
+  failing, or the rows silently stop testing the bailout);
 * ``mm+sampled:<name>`` — ``run()`` with a batch-safe
   :class:`~repro.obs.sampling.SamplingProbe` attached, for every fast-path
   algorithm. The probe must not perturb the simulation (identical
@@ -59,7 +65,13 @@ from ..paging import POLICIES, PageCache, make_policy
 from ..tlb import TLB
 from .smoke import BENCH_FORMAT, machine_info
 
-__all__ = ["HOTLOOP_CONFIG", "SAMPLED_MMS", "bench_hotloop", "key_stream"]
+__all__ = [
+    "FAILURE_MMS",
+    "HOTLOOP_CONFIG",
+    "SAMPLED_MMS",
+    "bench_hotloop",
+    "key_stream",
+]
 
 #: Fixed microbenchmark shape; two payloads are comparable iff equal.
 HOTLOOP_CONFIG: dict = {
@@ -78,6 +90,9 @@ HOTLOOP_CONFIG: dict = {
     "online_sample_every": 256,  # OnlineWorkingSet window stride
     "online_ws_stride": 64,  # OnlineWorkingSet rate is 1/this
     "online_sd_stride": 256,  # OnlineStackDistance rate is 1/this
+    "fail_accesses": 4_000,  # trace length per mm failure row
+    "fail_hot_percent": 50,  # hot share of the failure key streams
+    "fail_mm_seed": 2,  # mm seed for the failure rows (streams use "seed")
     "repeats": 5,  # best-of timing repeats per component
     "seed": 0,
 }
@@ -85,6 +100,16 @@ HOTLOOP_CONFIG: dict = {
 #: MMs with a batched/vectorized fast path — the ``mm+sampled`` and
 #: ``mm+online`` sets.
 SAMPLED_MMS: tuple[str, ...] = ("physical-huge", "decoupled", "hybrid", "thp")
+
+#: paging-failure cells (``mm:<name>+fail`` rows): TLB/RAM deliberately
+#: undersized for the key-stream working set, so the allocator runs out of
+#: frames and the stream fails mid-run — the engine-identity gate then
+#: also covers the array engine's bailout accounting. The same geometry
+#: backs the committed failure goldens (``tests/check/goldens.py``).
+FAILURE_MMS: dict = {
+    "decoupled": {"tlb_entries": 32, "ram_pages": 64, "universe": 1024},
+    "hybrid": {"tlb_entries": 32, "ram_pages": 128, "universe": 512},
+}
 
 
 def key_stream(
@@ -185,6 +210,8 @@ def _ledger_counters(ledger) -> dict:
         "ios": ledger.ios,
         "tlb_hits": ledger.tlb_hits,
         "tlb_misses": ledger.tlb_misses,
+        "decoding_misses": ledger.decoding_misses,
+        "paging_failures": ledger.paging_failures,
     }
 
 
@@ -272,6 +299,50 @@ def _bench_mm_probed(name: str, trace, cfg) -> list[dict]:
     ]
 
 
+def _bench_mm_fail(name: str, cfg) -> list[dict]:
+    """Time one paging-failure cell on both engines, interleaved.
+
+    Same twin discipline as :func:`_bench_mm_probed`: the ``mm:`` row runs
+    the configured engine, the ``mm@object:`` row re-runs the identical
+    stream on the object engine, and the check_bench engine gate holds
+    their counters — here including ``paging_failures`` — bit-identical.
+    The cell geometry comes from :data:`FAILURE_MMS`; the mm seed is
+    pinned separately (``fail_mm_seed``) because the failure pattern is a
+    property of allocator hashing, not of the key stream.
+    """
+    geom = FAILURE_MMS[name]
+    trace = np.asarray(
+        key_stream(
+            cfg["fail_accesses"],
+            geom["universe"],
+            geom["universe"] // 8,
+            cfg["fail_hot_percent"],
+            seed=cfg["seed"],
+        ),
+        dtype=np.int64,
+    )
+    variants = (("mm", cfg["mm_engine"]), ("mm@object", "object"))
+    best = {prefix: math.inf for prefix, _ in variants}
+    counters: dict = {prefix: {} for prefix, _ in variants}
+    for _ in range(max(1, cfg["repeats"])):
+        for prefix, engine in variants:
+            mm = make_mm(
+                name,
+                geom["tlb_entries"],
+                geom["ram_pages"],
+                seed=cfg["fail_mm_seed"],
+                engine=engine,
+            )
+            with Timer() as t:
+                ledger = mm.run(trace)
+            best[prefix] = min(best[prefix], t.elapsed)
+            counters[prefix] = _ledger_counters(ledger)
+    return [
+        _row(f"{prefix}:{name}+fail", len(trace), best[prefix], counters[prefix])
+        for prefix, _ in variants
+    ]
+
+
 def bench_hotloop(*, seed: int | None = None) -> tuple[list[dict], dict]:
     """Run every component microbenchmark; return ``(rows, payload)``.
 
@@ -305,6 +376,8 @@ def bench_hotloop(*, seed: int | None = None) -> tuple[list[dict], dict]:
                 probed_rows.extend(probed)
             else:
                 rows.append(_bench_mm(name, trace, cfg))
+        for name in sorted(FAILURE_MMS):
+            rows.extend(_bench_mm_fail(name, cfg))
         rows.extend(probed_rows)
 
     # geometric mean: a 2x regression in one component moves the aggregate

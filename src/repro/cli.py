@@ -230,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--churn", type=float, default=0.5,
                    help="fraction of the run over which tenant arrivals "
                         "are staggered (default: %(default)s)")
+    p.add_argument("--remap-every", type=_positive_int, default=None,
+                   metavar="TURNS",
+                   help="remap each tenant's phi every TURNS of its own "
+                        "turns (a 'phi-change' slice shootdown; "
+                        "default: never)")
     p.add_argument("--workload", choices=["zipf", "uniform"], default="zipf")
     p.add_argument("--epsilon", type=float, default=0.01,
                    help="eps pricing the cost column (default: %(default)s)")
@@ -544,6 +549,7 @@ def _cmd_tenants(args) -> int:
             ram_pages=args.ram,
             workload=args.workload,
             churn=args.churn,
+            remap_every=args.remap_every,
             seed=args.seed,
             validate=args.validate,
         )

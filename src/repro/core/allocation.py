@@ -33,6 +33,7 @@ from ..ballsbins import (
     IcebergStrategy,
     OneChoiceStrategy,
     PlacementStrategy,
+    replay_game_events,
 )
 
 __all__ = [
@@ -220,8 +221,48 @@ class BucketedAllocator(RAMAllocationScheme):
         if not (0 <= code < self.associativity):
             raise ValueError(f"code {code} out of range [0, {self.associativity})")
         choice, offset = divmod(code, self.bucket_size)
-        bucket = self.strategy.candidates(vpn)[choice]
+        # only the stored choice's hash — this runs on every TLB-hit
+        # translation, and the other k-1 candidates are never needed
+        bucket = self.strategy.candidate(vpn, choice)
         return bucket * self.bucket_size + offset
+
+    def bulk_replay(self, inserts, evicts, first_evt: int = 0):
+        """Apply an interleaved ``allocate``/``free`` event stream in bulk.
+
+        Same interleave convention as
+        :func:`repro.ballsbins.batch.replay_game_events`: the eviction
+        ``k - first_evt`` (when ``k >= first_evt``) lands immediately before
+        insert ``k``. Equivalent to the per-event call sequence — including
+        the LIFO slot order of ``_free_slots`` and stopping right after the
+        first failing insert.
+
+        Returns ``(codes, failed)``: ``codes[k]`` is the location code the
+        TLB encoder stores for applied insert ``k`` (None for the failing
+        one), *failed* the failing insert's index or -1. Returns None when
+        the strategy has no batch hook (callers replay per-event).
+        """
+        decisions = replay_game_events(self.game, inserts, evicts, first_evt)
+        if decisions is None:
+            return None
+        bucket_size = self.bucket_size
+        free_slots = self._free_slots
+        frame_of = self._frame_of
+        choices = decisions.choices
+        codes: list[int | None] = []
+        j = 0
+        for k, bucket in enumerate(decisions.bins):
+            if k >= first_evt:
+                frame = frame_of.pop(evicts[j])
+                j += 1
+                fb, offset = divmod(frame, bucket_size)
+                free_slots[fb].append(offset)
+            if bucket < 0:
+                codes.append(None)
+                break
+            offset = free_slots[bucket].pop()
+            frame_of[inserts[k]] = bucket * bucket_size + offset
+            codes.append(choices[k] * bucket_size + offset)
+        return codes, decisions.failed
 
     def __len__(self) -> int:
         return len(self._frame_of)

@@ -102,6 +102,62 @@ class DecouplingScheme:
         self.allocator.free(vpn)
         self._clear_psi_field(vpn)
 
+    def apply_events(
+        self, inserts: list[int], evicts: list[int], first_evt: int = 0
+    ) -> int | None:
+        """Bulk-apply an interleaved ``ram_evict``/``ram_insert`` stream.
+
+        Equivalent to the per-event calls under the batch interleave
+        convention (eviction ``k - first_evt`` immediately before insert
+        ``k``), with ψ maintenance folded into **one** pass over each
+        touched page's final state — a page placed and evicted five times
+        in the stream gets one field update, not ten.
+
+        ``on_value_update`` callbacks are suppressed for the whole batch:
+        callers owning a TLB must refresh resident values themselves (the
+        array engine rebuilds them wholesale during state sync).
+
+        Returns the index of the first failing insert — that insert is
+        applied (the page joins ``F``) and everything after it is not —
+        ``-1`` for a clean run, or None to decline: pre-existing failures
+        (mid-stream evictions of unplaced pages need per-event handling)
+        or an allocator without a bulk path.
+        """
+        if self._failed:
+            return None
+        bulk = getattr(self.allocator, "bulk_replay", None)
+        if bulk is None:
+            return None
+        out = bulk(inserts, evicts, first_evt)
+        if out is None:
+            return None
+        codes, failed = out
+        # last applied event per page wins: a location code (placed),
+        # -1 (evicted), or -2 (failed insert)
+        last: dict[int, int] = {}
+        for k, code in enumerate(codes):
+            if k >= first_evt:
+                last[evicts[k - first_evt]] = -1
+            last[inserts[k]] = -2 if code is None else code
+        active = self._active
+        callback = self.on_value_update
+        self.on_value_update = None
+        try:
+            for vpn, state in last.items():
+                if state >= 0:
+                    active.add(vpn)
+                    self._set_psi_field(vpn, state)
+                elif state == -1:
+                    active.discard(vpn)
+                    self._clear_psi_field(vpn)
+                else:
+                    active.add(vpn)
+                    self._failed.add(vpn)
+                    self._clear_psi_field(vpn)
+        finally:
+            self.on_value_update = callback
+        return failed
+
     # ----------------------------------------------------------- TLB events
 
     def tlb_insert(self, hpn: int) -> int:

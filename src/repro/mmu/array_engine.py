@@ -610,9 +610,11 @@ def _run_nested(mm, trace: np.ndarray):
 def _run_decoupled_system(system, units: np.ndarray, ledger):
     """Shared batch path for DecoupledSystem wrappers (decoupled/hybrid).
 
-    TLB and RAM counters fold from two kernels; RAM misses replay
-    sparsely and in order through the real scheme so ``φ``, the
-    allocator, and ``ψ`` stay exact.  Returns None to decline, else the
+    TLB and RAM counters fold from two kernels; the segment's whole RAM
+    miss/eviction stream is applied in one bulk pass
+    (``DecouplingScheme.apply_events`` → the vectorized balls-and-bins
+    replay kernel) so ``φ``, the allocator, and ``ψ`` stay exact without
+    a per-miss Python round-trip.  Returns None to decline, else the
     number of accesses completed: the full length normally, or — after a
     paging failure, whose costs recur per access — the index just past
     the failing access, with all state synchronized there so the caller
@@ -636,26 +638,27 @@ def _run_decoupled_system(system, units: np.ndarray, ledger):
     first_evt = rC - R0  # miss index at which evictions start
     io_unit = system.io_unit
     keys = kern_r.keys
-    evt = 0
-    for k, gpos in enumerate(miss_pos.tolist()):
-        if k >= first_evt:
-            scheme.ram_evict(int(keys[deaths[evt]]))
-            evt += 1
-        if scheme.ram_insert(int(keys[gpos])) is None:
-            done = gpos - R0 + 1  # through the failing access
-            ledger.accesses += done
-            th = int(
-                np.count_nonzero(
-                    kern_t.hit_mask(lC)[kern_t.R : kern_t.R + done]
-                )
-            )
-            ledger.tlb_hits += th
-            ledger.tlb_misses += done - th
-            ledger.ios += io_unit * (k + 1)
-            ledger.decoding_misses += 1
-            ledger.paging_failures += 1
-            _sync_decoupled(system, kern_t, kern_r, done)
-            return done
+    n_miss = int(miss_pos.size)
+    inserts = keys[miss_pos].tolist() if n_miss else []
+    n_ev = max(0, n_miss - first_evt)
+    evicts = keys[deaths[:n_ev]].tolist() if n_ev else []
+    failed = scheme.apply_events(inserts, evicts, first_evt)
+    if failed is None:
+        return None  # allocator has no bulk path; object engine
+    if failed >= 0:
+        gpos = int(miss_pos[failed])
+        done = gpos - R0 + 1  # through the failing access
+        ledger.accesses += done
+        th = int(
+            np.count_nonzero(kern_t.hit_mask(lC)[kern_t.R : kern_t.R + done])
+        )
+        ledger.tlb_hits += th
+        ledger.tlb_misses += done - th
+        ledger.ios += io_unit * (failed + 1)
+        ledger.decoding_misses += 1
+        ledger.paging_failures += 1
+        _sync_decoupled(system, kern_t, kern_r, done)
+        return done
     t_hits, t_misses = kern_t.counts(lC)
     ledger.accesses += n
     ledger.tlb_hits += t_hits

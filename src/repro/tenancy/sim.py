@@ -139,6 +139,14 @@ class MultiTenantSim:
         Shoot down a tenant's slice when it issues its last access
         (default). Disabling leaves the dead tenant's entries to age out,
         modelling ASID-generation reuse without flush.
+    remap_every:
+        Remap a tenant's φ every this-many of **its own** turns (None =
+        never): the OS relocates the tenant's pages (compaction,
+        migration), so every translation cached for its slice goes stale
+        and the slice is shot down with reason ``"phi-change"``. Like all
+        shootdowns here the flush itself is ledger-free — its price is the
+        TLB refill misses the tenant pays on its next turns, attributed to
+        that tenant by the usual delta accounting.
     validate:
         Run under the :mod:`repro.check` invariant oracle: every access
         audited, plus per-quantum ASID-isolation and per-exit
@@ -161,6 +169,7 @@ class MultiTenantSim:
         quantum: int = 64,
         warmup: int = 0,
         shootdown_on_exit: bool = True,
+        remap_every: int | None = None,
         validate: bool = False,
         deep_every: int | None = None,
         engine: str | None = None,
@@ -171,6 +180,8 @@ class MultiTenantSim:
         total = sum(t.accesses for t in tenants)
         if warmup < 0 or warmup > total:
             raise ValueError(f"warmup {warmup} outside [0, {total}]")
+        if remap_every is not None and remap_every < 1:
+            raise ValueError(f"remap_every must be >= 1, got {remap_every}")
         if engine is not None:
             mm.engine = engine
         if validate:
@@ -188,6 +199,7 @@ class MultiTenantSim:
         )
         self.warmup = warmup
         self.shootdown_on_exit = shootdown_on_exit
+        self.remap_every = remap_every
         self.validate = validate
         self.stride = mm.bind_asid_space(max(t.va_pages for t in tenants))
         self._oracle = mm.oracle if validate else None
@@ -264,6 +276,23 @@ class MultiTenantSim:
             last_asid = asid
             if not warmed and clock >= self.warmup:
                 warmed = self._reset_counters()
+            if (
+                self.remap_every is not None
+                and not tenant.done
+                and turns_of[asid] % self.remap_every == 0
+            ):
+                # the OS relocated this tenant's pages (φ remap —
+                # compaction/migration), so every translation cached for
+                # its slice is stale: shoot the slice down. ψ-side state
+                # survives, so refills decode the post-remap frames; the
+                # remap's price is exactly those refill misses.
+                self.shootdown_tenant(asid, reason="phi-change")
+                if self._oracle is not None:
+                    # the remap guarantee: nothing of the remapped slice
+                    # survives the flush
+                    self._oracle.check_asid_coverage(
+                        self.stride, live - {asid}, t=clock
+                    )
             if tenant.done:
                 live.discard(asid)
                 finished_at[asid] = clock

@@ -54,6 +54,9 @@ class TenancyCellSpec:
     #: fraction of the run over which arrivals are staggered (0 = all at
     #: t=0; 0.5 = arrivals spread over the first half) — tenant churn.
     churn: float = 0.0
+    #: φ-remap cadence: shoot down a tenant's slice (reason "phi-change")
+    #: every this-many of its own turns; None = never remap.
+    remap_every: int | None = None
     seed: int = 0
     validate: bool = False
     engine: str | None = None
@@ -66,6 +69,10 @@ class TenancyCellSpec:
             )
         if not (0.0 <= self.churn < 1.0):
             raise ValueError(f"churn must be in [0, 1), got {self.churn}")
+        if self.remap_every is not None and self.remap_every < 1:
+            raise ValueError(
+                f"remap_every must be >= 1, got {self.remap_every}"
+            )
 
 
 def build_tenants(spec: TenancyCellSpec) -> list[Tenant]:
@@ -113,6 +120,7 @@ def run_tenancy_cell(
         spec.scheduler,
         quantum=spec.quantum,
         warmup=spec.warmup,
+        remap_every=spec.remap_every,
         validate=spec.validate,
         engine=spec.engine,
     )

@@ -1,0 +1,209 @@
+"""Bit-identity of the bulk replay kernel against the per-event game.
+
+`replay_game_events` must leave a game in exactly the state the per-event
+``insert``/``delete`` sequence would — loads, live-ball map, histogram,
+counters, and (for Iceberg) front/back/layer state — including stopping
+right after a mid-stream paging failure. These tests fuzz random valid
+event streams for every strategy family and compare everything.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ballsbins import (
+    BallsAndBinsGame,
+    GreedyLeftStrategy,
+    GreedyStrategy,
+    IcebergStrategy,
+    OneChoiceStrategy,
+    replay_game_events,
+)
+from repro.ballsbins.batch import BatchDecisions
+
+N_BINS = 16
+CAPACITY = 3
+UNIVERSE = 400
+
+STRATEGIES = {
+    "one-choice": lambda: OneChoiceStrategy(),
+    "greedy2": lambda: GreedyStrategy(2),
+    "greedy3": lambda: GreedyStrategy(3),
+    "greedy-left": lambda: GreedyLeftStrategy(2),
+    "iceberg": lambda: IcebergStrategy(lam=2.0, d=2),
+}
+
+
+def _make_game(name, seed=7):
+    return BallsAndBinsGame(
+        N_BINS, STRATEGIES[name](), bin_capacity=CAPACITY, seed=seed
+    )
+
+
+def _state(game):
+    sig = {
+        "loads": game.loads.tolist(),
+        "bin_of": dict(game._bin_of),
+        "load_counts": dict(game._load_counts),
+        "max_load": game._max_load,
+        "peak_load": game.peak_load,
+        "insertions": game.insertions,
+        "deletions": game.deletions,
+        "failures": game.failures,
+    }
+    strat = game.strategy
+    if isinstance(strat, IcebergStrategy):
+        sig["front"] = strat._front.tolist()
+        sig["back"] = strat._back.tolist()
+        sig["layer"] = dict(strat._layer)
+    return sig
+
+
+def _warm(game, rng):
+    """Fill the game toward capacity so streams hit real contention."""
+    target = int(0.8 * N_BINS * CAPACITY)
+    balls = []
+    for ball in rng.sample(range(UNIVERSE), UNIVERSE // 2):
+        if len(game) >= target:
+            break
+        if game.insert(ball) is not None:
+            balls.append(ball)
+    return balls
+
+
+def _gen_stream(gen_game, rng, n_events, first_evt):
+    """A valid interleaved stream, junk-padded past any failure."""
+    inserts, evicts = [], []
+    next_ball = UNIVERSE
+    failed = False
+    for k in range(n_events):
+        if failed:
+            # junk continuation: must never be applied by the kernel
+            if k >= first_evt:
+                evicts.append(evicts[-1] if evicts else inserts[0])
+            inserts.append(next_ball)
+            next_ball += 1
+            continue
+        if k >= first_evt:
+            if not gen_game._bin_of:
+                break
+            victim = rng.choice(sorted(gen_game._bin_of))
+            gen_game.delete(victim)
+            evicts.append(victim)
+        ball = next_ball
+        next_ball += 1
+        inserts.append(ball)
+        if gen_game.insert(ball) is None:
+            failed = True
+    return inserts, evicts
+
+
+def _ref_replay(game, inserts, evicts, first_evt):
+    """The per-event reference: same interleave, stop after a failure."""
+    bins = []
+    failed = -1
+    j = 0
+    for k, ball in enumerate(inserts):
+        if k >= first_evt:
+            game.delete(evicts[j])
+            j += 1
+        b = game.insert(ball)
+        if b is None:
+            bins.append(-1)
+            failed = k
+            break
+        bins.append(b)
+    return bins, failed
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_replay_matches_per_event_game(name, seed):
+    rng = random.Random(seed)
+    gen_game = _make_game(name)
+    ref_game = _make_game(name)
+    bat_game = _make_game(name)
+    warm = _warm(gen_game, random.Random(seed))
+    for g in (ref_game, bat_game):
+        for ball in warm:
+            g.insert(ball)
+        # replicate warm-phase failures so counters start identical
+        g.failures = gen_game.failures
+        g.insertions = gen_game.insertions
+    first_evt = rng.choice([0, 1, 5])
+    inserts, evicts = _gen_stream(gen_game, rng, 120, first_evt)
+
+    ref_bins, ref_failed = _ref_replay(ref_game, inserts, evicts, first_evt)
+    decisions = replay_game_events(bat_game, inserts, evicts, first_evt)
+
+    assert isinstance(decisions, BatchDecisions)
+    assert decisions.bins == ref_bins
+    assert decisions.failed == ref_failed
+    assert decisions.applied == len(ref_bins)
+    assert _state(bat_game) == _state(ref_game)
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_choices_match_encoder_semantics(name):
+    """`choices[k]` is exactly `choice_index(ball, bins[k])` — the code the
+    TLB encoder stores, including first-match collision normalization."""
+    checked = 0
+    for seed in range(8):
+        rng = random.Random(seed)
+        gen_game = _make_game(name, seed=seed)
+        bat_game = _make_game(name, seed=seed)
+        warm = _warm(gen_game, random.Random(seed))
+        for ball in warm:
+            bat_game.insert(ball)
+        inserts, evicts = _gen_stream(gen_game, rng, 80, 2)
+        decisions = replay_game_events(bat_game, inserts, evicts, 2)
+        for ball, b, choice in zip(inserts, decisions.bins, decisions.choices):
+            if b < 0:
+                continue
+            assert choice == bat_game.strategy.choice_index(ball, b)
+            checked += 1
+    assert checked > 0
+
+
+class TestContract:
+    def test_declines_without_batch_hook(self):
+        class NoBatch(OneChoiceStrategy):
+            batch_place = None
+
+        game = BallsAndBinsGame(8, NoBatch(), bin_capacity=2, seed=0)
+        assert replay_game_events(game, [1, 2], [], 2) is None
+
+    def test_empty_stream_is_noop(self):
+        game = _make_game("greedy2")
+        before = _state(game)
+        decisions = replay_game_events(game, [], [], 0)
+        assert decisions.bins == [] and decisions.failed == -1
+        assert _state(game) == before
+
+    def test_mismatched_evictions_rejected(self):
+        game = _make_game("greedy2")
+        with pytest.raises(ValueError, match="interleave"):
+            replay_game_events(game, [1, 2, 3], [9], 0)
+        with pytest.raises(ValueError, match="first_evt"):
+            replay_game_events(game, [1], [], -1)
+
+    def test_loads_array_identity_preserved(self):
+        game = _make_game("one-choice")
+        loads = game.loads
+        replay_game_events(game, [1, 2, 3], [], 3)
+        assert game.loads is loads
+        assert int(loads.sum()) == 3
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_batch_candidates_match_scalar(name):
+    game = _make_game(name)
+    strat = game.strategy
+    balls = np.arange(0, 64, dtype=np.int64)
+    cols = strat.batch_candidates(balls)
+    assert len(cols) == strat.choices
+    for i, col in enumerate(cols):
+        for ball, bin_ in zip(balls.tolist(), col):
+            assert bin_ == strat.candidates(ball)[i]
+            assert bin_ == strat.candidate(ball, i)

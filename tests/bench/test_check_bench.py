@@ -346,3 +346,56 @@ class TestMain:
         path.write_text(json.dumps({"kind": "bench_sweep", "format": 99}))
         with pytest.raises(ValueError, match="format-1"):
             check_bench.load_payload(str(path))
+
+
+def _failure_payload(paging_failures=3, drift=0):
+    """A hotloop payload with one paging-failure engine-twin pair."""
+    payload = _hotloop_payload()
+    counters = {
+        "accesses": 4000,
+        "ios": 900,
+        "tlb_hits": 2500,
+        "tlb_misses": 1500,
+        "decoding_misses": 40,
+        "paging_failures": paging_failures,
+    }
+    payload["rows"] += [
+        {
+            "component": "mm:decoupled+fail",
+            "ops": 4000,
+            "ops_per_s": 500_000.0,
+            "counters": dict(counters),
+        },
+        {
+            "component": "mm@object:decoupled+fail",
+            "ops": 4000,
+            "ops_per_s": 150_000.0,
+            "counters": {**counters, "ios": counters["ios"] + drift},
+        },
+    ]
+    return payload
+
+
+class TestFailureRowGate:
+    """The engine-twin gate over the ``+fail`` paging-failure rows."""
+
+    def test_failing_rows_pass(self):
+        code, messages = check_bench.compare(
+            _failure_payload(), _failure_payload()
+        )
+        assert code == check_bench.OK
+        assert any("engine twin" in m for m in messages)
+
+    def test_engine_divergence_is_a_mismatch(self):
+        new = _failure_payload(drift=5)
+        code, messages = check_bench.compare(copy.deepcopy(new), new)
+        assert code == check_bench.MISMATCH
+        assert any("array-engine twin" in m for m in messages)
+
+    def test_zero_paging_failures_is_a_mismatch(self):
+        # a failure row that stopped failing no longer tests the bailout
+        # path — the gate must refuse it even though the twins agree
+        new = _failure_payload(paging_failures=0)
+        code, messages = check_bench.compare(copy.deepcopy(new), new)
+        assert code == check_bench.MISMATCH
+        assert any("no paging_failures" in m for m in messages)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.bench import hotloop
 from repro.bench.hotloop import (
+    FAILURE_MMS,
     HOTLOOP_CONFIG,
     SAMPLED_MMS,
     bench_hotloop,
@@ -64,10 +65,11 @@ class TestBenchHotloop:
         ]
         assert [n for n in names if n.startswith("mm:")] == [
             f"mm:{m}" for m in MM_NAMES
-        ]
-        assert sorted(n for n in names if n.startswith("mm@object:")) == [
-            f"mm@object:{m}" for m in sorted(SAMPLED_MMS)
-        ]
+        ] + [f"mm:{m}+fail" for m in sorted(FAILURE_MMS)]
+        assert sorted(n for n in names if n.startswith("mm@object:")) == sorted(
+            [f"mm@object:{m}" for m in SAMPLED_MMS]
+            + [f"mm@object:{m}+fail" for m in FAILURE_MMS]
+        )
         assert sorted(n for n in names if n.startswith("mm+sampled:")) == [
             f"mm+sampled:{m}" for m in sorted(SAMPLED_MMS)
         ]
@@ -113,6 +115,19 @@ class TestBenchHotloop:
                 by[f"mm@object:{name}"]["counters"]
                 == by[f"mm:{name}"]["counters"]
             ), name
+
+    def test_failure_rows_fail_and_agree_across_engines(self, small_config):
+        """The ``+fail`` cells must keep failing (else they stop covering
+        the array engine's bailout path) and both engines must account the
+        failures identically — the check_bench failure gate pins both."""
+        rows, _ = bench_hotloop()
+        by = {r["component"]: r for r in rows}
+        for name in sorted(FAILURE_MMS):
+            plain = by[f"mm:{name}+fail"]["counters"]
+            twin = by[f"mm@object:{name}+fail"]["counters"]
+            assert plain["paging_failures"] > 0, name
+            assert plain["decoding_misses"] > 0, name
+            assert plain == twin, name
 
     def test_seed_override_recorded_in_config(self, small_config):
         _, payload = bench_hotloop(seed=3)

@@ -19,10 +19,21 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.bench.hotloop import FAILURE_MMS, key_stream
 from repro.mmu.registry import MM_NAMES, make_mm
 from repro.workloads import MarkovPhaseWorkload, UniformWorkload, ZipfWorkload
 
-__all__ = ["GOLDEN_DIR", "WORKLOADS", "golden_cases", "build_trace", "build_mm"]
+__all__ = [
+    "GOLDEN_DIR",
+    "WORKLOADS",
+    "FAILURE_MMS",
+    "golden_cases",
+    "build_trace",
+    "build_mm",
+    "failure_cases",
+    "build_failure_trace",
+    "build_failure_mm",
+]
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
 
@@ -67,6 +78,63 @@ def golden_cases():
             yield algorithm, workload, GOLDEN_DIR / name
 
 
+# ------------------------------------------------- paging-failure cells
+#
+# RAM deliberately undersized for the key-stream working set, so the
+# allocator runs out of frames and the stream fails mid-run — at least
+# twice per cell (asserted at regen time). These pin the *failure*
+# accounting path: the array engine must bail out of its batch kernel at
+# the exact failing access with an object-identical ledger, cold and warm.
+# The header meta stamps the per-access failure indices (``failures``), a
+# pre-first-failure ``warm_split`` for resumed-segment tests, and the full
+# final ``ledger`` — the stream rows alone cannot carry ``paging_failures``
+# (it is not an evented counter).
+#
+# The cell geometry is shared with the ``mm:<name>+fail`` hot-loop rows
+# (:data:`repro.bench.hotloop.FAILURE_MMS`), so the bench engine-identity
+# gate and these goldens pin the same failing replays.
+
+FAIL_ACCESSES = 4000
+FAIL_SEED = 2  #: mm seed (the stream itself uses seed 0)
+
+
+def build_failure_trace(algorithm: str) -> list[int]:
+    """The deterministic failing key stream for one failure cell."""
+    universe = FAILURE_MMS[algorithm]["universe"]
+    return key_stream(FAIL_ACCESSES, universe, universe // 8, 50, seed=0)
+
+
+def build_failure_mm(algorithm: str, engine: str = "object"):
+    """A fresh undersized algorithm for one failure cell."""
+    cell = FAILURE_MMS[algorithm]
+    return make_mm(
+        algorithm,
+        cell["tlb_entries"],
+        cell["ram_pages"],
+        seed=FAIL_SEED,
+        engine=engine,
+    )
+
+
+def failure_cases():
+    """Every (algorithm, golden path) pair of the failure cells."""
+    for algorithm in FAILURE_MMS:
+        yield algorithm, GOLDEN_DIR / f"{algorithm}__fail.jsonl"
+
+
+def _failure_indices(algorithm: str, trace) -> list[int]:
+    """Trace indices of every paging failure, by per-access object replay
+    (segmented ``run`` calls are contractually identical to one call)."""
+    mm = build_failure_mm(algorithm)
+    indices, prev = [], 0
+    for i, page in enumerate(trace):
+        mm.run([page])
+        if mm.ledger.paging_failures != prev:
+            prev = mm.ledger.paging_failures
+            indices.append(i)
+    return indices
+
+
 def regenerate() -> None:
     from repro.check import record_stream, save_golden
 
@@ -89,6 +157,34 @@ def regenerate() -> None:
             },
         )
         print(f"wrote {path.name}: {len(rows)} rows")
+
+    for algorithm, path in failure_cases():
+        trace = build_failure_trace(algorithm)
+        failures = _failure_indices(algorithm, trace)
+        assert len(failures) >= 2, (
+            f"{algorithm} failure cell no longer fails twice: {failures}"
+        )
+        mm = build_failure_mm(algorithm)
+        rows = record_stream(mm, trace)
+        save_golden(
+            path,
+            rows,
+            algorithm=algorithm,
+            meta={
+                **FAILURE_MMS[algorithm],
+                "accesses": FAIL_ACCESSES,
+                "seed": FAIL_SEED,
+                "failures": failures,
+                # resumes with warm state but no failures yet, so the
+                # resumed segment itself exercises the bailout
+                "warm_split": failures[0] // 2,
+                "ledger": mm.ledger.as_dict(),
+            },
+        )
+        print(
+            f"wrote {path.name}: {len(rows)} rows, "
+            f"failures at {failures}"
+        )
 
 
 if __name__ == "__main__":

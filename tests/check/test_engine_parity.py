@@ -24,6 +24,7 @@ from repro.check import (
     first_divergence,
     golden_totals,
     load_golden,
+    record_stream,
 )
 from repro.mmu.registry import make_mm
 from repro.obs import NULL_PROBE
@@ -35,7 +36,10 @@ from .goldens import (
     SEED,
     TLB_ENTRIES,
     WARMUP,
+    build_failure_mm,
+    build_failure_trace,
     build_trace,
+    failure_cases,
     golden_cases,
 )
 
@@ -115,3 +119,74 @@ class TestMultiTenantEngineParity:
         ]
         for a, b in zip(res_obj.records, res_arr.records):
             assert a.ledger.snapshot() == b.ledger.snapshot(), a.name
+
+
+FAIL_CASES = list(failure_cases())
+FAIL_IDS = [algorithm for algorithm, _ in FAIL_CASES]
+
+
+@pytest.mark.parametrize(("algorithm", "path"), FAIL_CASES, ids=FAIL_IDS)
+class TestPagingFailureParity:
+    """Differential paging-failure accounting.
+
+    These cells are undersized on purpose so the stream fails mid-run
+    (at least twice — pinned at regen time). The array engine must bail
+    out of its batch kernel at the exact failing access with a ledger
+    bit-identical to the object engine's, whether the failing segment is
+    cold or resumes warm state, and the full-run stream must stay on the
+    committed golden.
+    """
+
+    def test_object_engine_matches_golden_stream(self, algorithm, path):
+        header, golden_rows = load_golden(path)
+        mm = build_failure_mm(algorithm)
+        rows = record_stream(mm, build_failure_trace(algorithm))
+        div = first_divergence(rows, golden_rows)
+        assert div is None, f"{algorithm}: {div.describe()}"
+        assert mm.ledger.as_dict() == header["ledger"]
+        assert header["ledger"]["paging_failures"] >= 2
+
+    def test_cold_segment_bails_at_the_failing_access(self, algorithm, path):
+        # truncate the trace right after the first failure: the array
+        # engine's bailout ledger at that access must equal the object
+        # engine's, field for field (accesses/tlb_hits/ios/... all of it)
+        header, _ = load_golden(path)
+        first_fail = header["failures"][0]
+        trace = build_failure_trace(algorithm)[: first_fail + 1]
+        obj = build_failure_mm(algorithm, engine="object")
+        arr = build_failure_mm(algorithm, engine="array")
+        obj.run(trace)
+        arr.run(trace)
+        assert obj.ledger.paging_failures == 1
+        assert obj.ledger.as_dict() == arr.ledger.as_dict()
+
+    def test_warm_resumed_segment_bails_identically(self, algorithm, path):
+        # warm both engines up to the pre-failure split, reset counters,
+        # then resume into the failure: the measurement-phase ledgers
+        # must agree at the exact failing access despite the warm state
+        header, _ = load_golden(path)
+        first_fail = header["failures"][0]
+        warm = header["warm_split"]
+        assert 0 < warm < first_fail
+        trace = build_failure_trace(algorithm)
+        ledgers = {}
+        for engine in ("object", "array"):
+            mm = build_failure_mm(algorithm, engine=engine)
+            mm.run(trace[:warm])
+            assert mm.ledger.paging_failures == 0
+            mm.reset_stats()
+            mm.run(trace[warm : first_fail + 1])
+            ledgers[engine] = mm.ledger.as_dict()
+        assert ledgers["object"]["paging_failures"] == 1
+        assert ledgers["object"] == ledgers["array"]
+
+    def test_array_ledger_matches_golden_totals(self, algorithm, path):
+        header, rows = load_golden(path)
+        totals = golden_totals(rows)
+        mm = build_failure_mm(algorithm, engine="array")
+        ledger = mm.run(build_failure_trace(algorithm))
+        assert ledger.accesses == totals["accesses"]
+        assert ledger.tlb_misses == totals["tlb_misses"]
+        assert ledger.ios == totals["ios"]
+        assert ledger.decoding_misses == totals["decoding_misses"]
+        assert ledger.as_dict() == header["ledger"]

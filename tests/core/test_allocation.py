@@ -190,3 +190,214 @@ class TestAllocatorProperties:
         for v, f in resident.items():
             assert a.frame_of(v) == f
             assert a.decode(v, a.encode(v)) == f
+
+
+class TestBulkReplay:
+    """`bulk_replay` must equal the per-event allocate/free sequence —
+    frames, codes, LIFO slot order, and the stop-after-failure contract."""
+
+    def _make(self, seed=3):
+        return IcebergAllocator(64, 8, lam=4.0, seed=seed)
+
+    def _stream(self, alloc, rng, n_events, first_evt):
+        """A valid stream generated against a scratch twin of *alloc*."""
+        inserts, evicts = [], []
+        ball = 1000
+        for k in range(n_events):
+            if k >= first_evt:
+                if not alloc._frame_of:
+                    break
+                victim = rng.choice(sorted(alloc._frame_of))
+                alloc.free(victim)
+                evicts.append(victim)
+            inserts.append(ball)
+            if alloc.allocate(ball) is None:
+                ball += 1
+                break
+            ball += 1
+        return inserts, evicts
+
+    def test_matches_per_event_replay(self):
+        import random
+
+        for seed in range(5):
+            rng = random.Random(seed)
+            gen = self._make(seed)
+            ref = self._make(seed)
+            bat = self._make(seed)
+            warm = [v for v in range(40) if gen.allocate(v) is not None]
+            for a in (ref, bat):
+                for v in range(40):
+                    a.allocate(v)
+                a.game.failures = gen.game.failures
+                a.game.insertions = gen.game.insertions
+            first_evt = rng.choice([0, 2])
+            inserts, evicts = self._stream(gen, rng, 60, first_evt)
+
+            ref_codes, ref_failed = [], -1
+            j = 0
+            for k, vpn in enumerate(inserts):
+                if k >= first_evt:
+                    ref.free(evicts[j])
+                    j += 1
+                if ref.allocate(vpn) is None:
+                    ref_codes.append(None)
+                    ref_failed = k
+                    break
+                ref_codes.append(ref.encode(vpn))
+
+            codes, failed = bat.bulk_replay(inserts, evicts, first_evt)
+            assert codes == ref_codes
+            assert failed == ref_failed
+            assert bat._frame_of == ref._frame_of
+            assert bat._free_slots == ref._free_slots  # exact LIFO order
+            assert warm  # the warm phase genuinely placed pages
+
+    def test_declines_without_batch_hook(self):
+        from repro.ballsbins import OneChoiceStrategy
+        from repro.core import BucketedAllocator
+
+        class NoBatch(OneChoiceStrategy):
+            batch_place = None
+
+        alloc = BucketedAllocator(32, 8, NoBatch(), seed=0)
+        assert alloc.bulk_replay([1, 2], [], 2) is None
+
+
+class TestDecodeSingleHash:
+    """The decode bugfix: only the stored choice's hash is evaluated."""
+
+    def test_decode_calls_candidate_not_candidates(self):
+        alloc = IcebergAllocator(64, 8, lam=4.0, seed=1)
+        calls = {"candidate": 0, "candidates": 0}
+        orig_candidate = alloc.strategy.candidate
+        orig_candidates = alloc.strategy.candidates
+        alloc.strategy.candidate = lambda b, i: (
+            calls.__setitem__("candidate", calls["candidate"] + 1)
+            or orig_candidate(b, i)
+        )
+        alloc.strategy.candidates = lambda b: (
+            calls.__setitem__("candidates", calls["candidates"] + 1)
+            or orig_candidates(b)
+        )
+        for vpn in range(20):
+            if alloc.allocate(vpn) is None:
+                continue
+            code = alloc.encode(vpn)
+            assert alloc.decode(vpn, code) == alloc.frame_of(vpn)
+        assert calls["candidate"] > 0
+        assert calls["candidates"] == 0  # encode uses choice_index, not this
+
+    def test_greedy_left_group_arithmetic_survives(self):
+        from repro.ballsbins import GreedyLeftStrategy
+        from repro.core import BucketedAllocator
+
+        alloc = BucketedAllocator(64, 8, GreedyLeftStrategy(2), seed=5)
+        for vpn in range(24):
+            if alloc.allocate(vpn) is None:
+                continue
+            assert alloc.decode(vpn, alloc.encode(vpn)) == alloc.frame_of(vpn)
+
+
+class _FixedHash:
+    """Deterministic stand-in for MultiplyShiftHash with forced collisions."""
+
+    def __init__(self, table, range_, salt):
+        self.table = dict(table)
+        self.range = range_
+        self.salt = salt
+
+    def __call__(self, x):
+        if x in self.table:
+            return self.table[x]
+        return (x * 2654435761 + self.salt) % self.range
+
+    def many(self, xs):
+        import numpy as np
+
+        return np.array([self(int(v)) for v in np.asarray(xs)], dtype=np.int64)
+
+
+class _FixedFamily:
+    def __init__(self, hashes):
+        self.functions = tuple(hashes)
+        self.k = len(hashes)
+        self.range = hashes[0].range
+
+    def __call__(self, x):
+        return tuple(h(x) for h in self.functions)
+
+    def __getitem__(self, i):
+        return self.functions[i]
+
+    def __len__(self):
+        return self.k
+
+
+class TestHashCollisionStability:
+    """When hᵢ(x) = hⱼ(x) (i < j), `choice_index` stores the first match
+    while Iceberg's layer bookkeeping may record the other layer. Pin that
+    encode→decode still lands the correct frame — decode only needs the
+    bin, never the layer — and that the batch kernel emits the same code."""
+
+    BALL = 77  # front bin 3, back candidates 3 (collides with front) and 5
+    FILLER = 33  # fills front bin 3's front slot first
+
+    def _make_iceberg(self):
+        alloc = IcebergAllocator(64, 8, lam=1.0, front_slack=0.0, seed=0)
+        n = 8
+        fam = _FixedFamily(
+            [
+                _FixedHash({self.BALL: 3, self.FILLER: 3}, n, salt=1),
+                _FixedHash({self.BALL: 3}, n, salt=2),  # h1 == h0: collision
+                _FixedHash({self.BALL: 5}, n, salt=3),
+            ]
+        )
+        alloc.strategy._family = fam
+        return alloc
+
+    def test_encode_decode_lands_the_frame_under_collision(self):
+        alloc = self._make_iceberg()
+        strat = alloc.strategy
+        assert strat.front_capacity == 1
+        assert alloc.allocate(self.FILLER) is not None  # front of bin 3 full
+        frame = alloc.allocate(self.BALL)
+        assert frame is not None
+        # the spill tied back bins 3 and 5 at load 0; first choice wins,
+        # so the ball sits in bin 3's BACK layer...
+        assert frame // alloc.bucket_size == 3
+        assert strat._layer[self.BALL] is False
+        # ...while the encoder stores the FIRST matching candidate index
+        code = alloc.encode(self.BALL)
+        assert strat.choice_index(self.BALL, 3) == 0
+        assert code // alloc.bucket_size == 0
+        # the decode contract survives the layer/choice divergence
+        assert alloc.decode(self.BALL, code) == frame
+        # and deletion unwinds the correct (back) layer
+        alloc.free(self.BALL)
+        assert int(strat._back[3]) == 0
+        assert int(strat._front[3]) == 1  # the filler's front slot
+
+    def test_batch_kernel_emits_the_same_code_under_collision(self):
+        ref = self._make_iceberg()
+        ref.allocate(self.FILLER)
+        ref.allocate(self.BALL)
+        bat = self._make_iceberg()
+        codes, failed = bat.bulk_replay([self.FILLER, self.BALL], [], 2)
+        assert failed == -1
+        assert codes == [ref.encode(self.FILLER), ref.encode(self.BALL)]
+        assert bat._frame_of == ref._frame_of
+        assert dict(bat.strategy._layer) == dict(ref.strategy._layer)
+
+    def test_greedy_collision_keeps_first_match(self):
+        alloc = GreedyAllocator(64, 8, seed=0)
+        fam = _FixedFamily(
+            [_FixedHash({self.BALL: 4}, 8, salt=1),
+             _FixedHash({self.BALL: 4}, 8, salt=2)]
+        )
+        alloc.strategy._family = fam
+        frame = alloc.allocate(self.BALL)
+        assert frame is not None and frame // alloc.bucket_size == 4
+        code = alloc.encode(self.BALL)
+        assert code // alloc.bucket_size == 0  # first match, never 1
+        assert alloc.decode(self.BALL, code) == frame

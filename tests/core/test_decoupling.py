@@ -180,3 +180,89 @@ class TestDecouplingProperty:
                 active.remove(v)
         assert scheme.active_set == frozenset(active)
         scheme.check_invariants()
+
+
+class TestApplyEvents:
+    """`apply_events` must leave ψ/A/F exactly where the per-event
+    `ram_evict`/`ram_insert` sequence would, in one folded pass."""
+
+    def _streams(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        gen = make_scheme(IcebergAllocator(64, 8, lam=4.0, seed=seed))
+        warm = []
+        for vpn in range(48):
+            if gen.ram_insert(vpn) is not None:
+                warm.append(vpn)
+            else:
+                gen.ram_evict(vpn)  # keep the generator failure-free
+        inserts, evicts = [], []
+        first_evt = rng.choice([0, 3])
+        vpn = 1000
+        for k in range(50):
+            if k >= first_evt:
+                victim = rng.choice(sorted(gen._active))
+                gen.ram_evict(victim)
+                evicts.append(victim)
+            inserts.append(vpn)
+            if gen.ram_insert(vpn) is None:
+                vpn += 1
+                break
+            vpn += 1
+        return warm, inserts, evicts, first_evt
+
+    @staticmethod
+    def _state(scheme):
+        return (
+            dict(scheme._psi),
+            set(scheme._active),
+            set(scheme._failed),
+            dict(scheme.allocator._frame_of),
+        )
+
+    def test_matches_per_event_sequence(self):
+        for seed in range(6):
+            warm, inserts, evicts, first_evt = self._streams(seed)
+            ref = make_scheme(IcebergAllocator(64, 8, lam=4.0, seed=seed))
+            bat = make_scheme(IcebergAllocator(64, 8, lam=4.0, seed=seed))
+            for s in (ref, bat):
+                for vpn in warm:
+                    s.ram_insert(vpn)
+            ref_failed = -1
+            j = 0
+            for k, vpn in enumerate(inserts):
+                if k >= first_evt:
+                    ref.ram_evict(evicts[j])
+                    j += 1
+                if ref.ram_insert(vpn) is None:
+                    ref_failed = k
+                    break
+            failed = bat.apply_events(inserts, evicts, first_evt)
+            assert failed == ref_failed
+            assert self._state(bat) == self._state(ref)
+            bat.check_invariants()
+
+    def test_declines_with_pre_existing_failures(self):
+        scheme = make_scheme()
+        scheme._failed.add(7)
+        scheme._active.add(7)
+        assert scheme.apply_events([1], [], 1) is None
+
+    def test_declines_without_bulk_allocator(self):
+        from repro.core import FullyAssociativeAllocator
+
+        alloc = FullyAssociativeAllocator(64)
+        codec = TLBValueCodec.for_allocator(64, alloc, hmax=4)
+        scheme = DecouplingScheme(alloc, codec)
+        assert scheme.apply_events([1], [], 1) is None
+
+    def test_callbacks_suppressed_but_restored(self):
+        fired = []
+        scheme = make_scheme(on_update=lambda hpn, value: fired.append(hpn))
+        scheme.tlb_insert(0)
+        assert scheme.apply_events([1, 2], [], 2) == -1
+        assert fired == []  # batch path never notifies
+        scheme.ram_insert(3)  # per-event path still does
+        assert scheme.on_value_update is not None
+        assert fired

@@ -137,6 +137,72 @@ class TestShootdowns:
         mm.system.check_invariants()
 
 
+class TestPhiRemap:
+    def test_remap_fires_at_the_cadence(self):
+        mm = BasePageMM(32, 1024)
+        sim = MultiTenantSim(
+            mm, _tenants(2, accesses=300), quantum=50, remap_every=2
+        )
+        result = sim.run()
+        remaps = [e for e in result.shootdowns if e.reason == "phi-change"]
+        exits = [e for e in result.shootdowns if e.reason == "exit"]
+        # 300 accesses at quantum 50 = 6 turns each; a remap every 2nd
+        # turn, except a tenant's final turn (the exit shootdown owns it)
+        assert len(remaps) == 4
+        assert len(exits) == 2
+        assert sum(e.dropped for e in remaps) > 0
+
+    def test_remap_is_ledger_free_and_fully_attributed(self):
+        for algorithm in ("base-page", "physical-huge", "decoupled", "hybrid"):
+            plain = make_mm(algorithm, 32, 2048, seed=0)
+            base = MultiTenantSim(plain, _tenants(3), quantum=41).run()
+            remapped_mm = make_mm(algorithm, 32, 2048, seed=0)
+            remapped = MultiTenantSim(
+                remapped_mm, _tenants(3), quantum=41, remap_every=3
+            ).run()
+            remapped.verify_counter_sums()
+            # the flush itself is free and touches only the TLB: the access
+            # count and the paging layer (ios) are unchanged, and its price
+            # shows up purely as a different TLB hit/miss split
+            assert remapped.ledger.accesses == base.ledger.accesses
+            assert remapped.ledger.ios == base.ledger.ios
+            assert any(
+                e.reason == "phi-change" for e in remapped.shootdowns
+            )
+
+    def test_remap_validates_under_the_asid_oracle(self):
+        mm = make_mm("decoupled", 32, 2048, seed=0)
+        result = MultiTenantSim(
+            mm, _tenants(3, accesses=400), quantum=29,
+            remap_every=2, validate=True,
+        ).run()
+        assert any(e.reason == "phi-change" for e in result.shootdowns)
+
+    def test_remap_engine_parity(self):
+        # phi-change shootdowns between quanta must leave both engines
+        # bit-identical — the array engine resumes from the flushed TLB
+        for algorithm in ("decoupled", "hybrid"):
+            ledgers = {}
+            for engine in ("object", "array"):
+                mm = make_mm(algorithm, 32, 2048, seed=0)
+                result = MultiTenantSim(
+                    mm, _tenants(3, accesses=500), quantum=37,
+                    remap_every=2, engine=engine,
+                ).run()
+                ledgers[engine] = (
+                    result.ledger.as_dict(),
+                    [r.ledger.snapshot() for r in result.records],
+                    len(result.shootdowns),
+                )
+            assert ledgers["object"] == ledgers["array"]
+
+    def test_remap_every_validation(self):
+        with pytest.raises(ValueError, match="remap_every"):
+            MultiTenantSim(
+                BasePageMM(8, 64), _tenants(1, accesses=10), remap_every=0
+            )
+
+
 class TestArrivalsAndWarmup:
     def test_late_arrival_fast_forwards_the_clock(self):
         tenants = [

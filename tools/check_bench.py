@@ -40,6 +40,12 @@ geometric-mean throughput ratio may not fall below
 10% of unprobed" contract; exit 1). Within one payload both rows ran on
 the same machine moments apart, so the ratio is noise-robust.
 
+The engine-identity gate holds every ``mm@object:<x>`` row to counters
+identical to its ``mm:<x>`` twin — including the ``mm:<name>+fail``
+paging-failure cells, which must additionally report
+``paging_failures > 0`` so the bailout path stays exercised (exit 2
+either way).
+
 Stdlib-only on purpose: the gate runs before (and independent of) the
 package itself.
 """
@@ -180,11 +186,26 @@ def _probed_gate(
 def _engine_twin_gate(payload: dict, messages: list[str]) -> int:
     """``mm@object:<name>`` rows re-run ``mm:<name>`` on the object engine;
     both replay the same deterministic stream, so any counter divergence
-    means the two engines disagree about the simulation (MISMATCH)."""
+    means the two engines disagree about the simulation (MISMATCH).
+
+    ``*+fail`` components are the paging-failure cells: besides matching
+    their twin they must report ``paging_failures > 0`` — a failure row
+    that stops failing silently stops exercising the batch engine's
+    bailout path, which is exactly what these rows exist to gate
+    (MISMATCH as well).
+    """
     rows = {r["component"]: r for r in payload["rows"]}
     code = OK
     checked = 0
     for name in sorted(rows):
+        if name.endswith("+fail") and not (
+            (rows[name].get("counters") or {}).get("paging_failures", 0) > 0
+        ):
+            code = MISMATCH
+            messages.append(
+                f"FAIL {name}: failure-path row reports no paging_failures "
+                "(the cell no longer exercises the bailout accounting)"
+            )
         if not name.startswith("mm@object:"):
             continue
         twin = rows.get(name.replace("mm@object:", "mm:", 1))
@@ -200,7 +221,8 @@ def _engine_twin_gate(payload: dict, messages: list[str]) -> int:
             )
     if checked and code == OK:
         messages.append(
-            f"ok: {checked} engine twin(s), array and object counters identical"
+            f"ok: {checked} engine twin(s), array and object counters "
+            "identical (failure rows failing as pinned)"
         )
     return code
 
