@@ -32,7 +32,12 @@ slower. Each component is timed on its own fixed key stream:
   the ``online_*_stride`` config rates) attached through a
   :class:`~repro.obs.events.MultiProbe`. Same contract, same gate: the
   online analyses ride the fast path and stay within
-  ``--probe-tolerance`` of the unprobed twin.
+  ``--probe-tolerance`` of the unprobed twin;
+* ``mm+attrib:<name>`` — ``run()`` with an
+  :class:`~repro.obs.attribution.AttributionProbe` observing the MM's
+  eviction sites. The ghost-list classification rides the structures' own
+  miss paths, so the same contract applies: counters identical to the
+  unprobed twin and throughput within ``--probe-tolerance``.
 
 Key streams come from a tiny in-module LCG (not numpy), so every counter
 in the payload is reproducible across numpy versions and the CI gate
@@ -54,6 +59,7 @@ import numpy as np
 
 from ..mmu import MM_NAMES, make_mm
 from ..obs import (
+    AttributionProbe,
     MultiProbe,
     OnlineStackDistance,
     OnlineWorkingSet,
@@ -90,6 +96,7 @@ HOTLOOP_CONFIG: dict = {
     "online_sample_every": 256,  # OnlineWorkingSet window stride
     "online_ws_stride": 64,  # OnlineWorkingSet rate is 1/this
     "online_sd_stride": 256,  # OnlineStackDistance rate is 1/this
+    "attrib_ghost_capacity": 65536,  # AttributionProbe ghost bound for mm+attrib
     "fail_accesses": 4_000,  # trace length per mm failure row
     "fail_hot_percent": 50,  # hot share of the failure key streams
     "fail_mm_seed": 2,  # mm seed for the failure rows (streams use "seed")
@@ -233,10 +240,15 @@ def _online_probe(cfg):
     ])
 
 
+def _attrib_probe(cfg):
+    return AttributionProbe(ghost_capacity=cfg["attrib_ghost_capacity"])
+
+
 #: probe factory per probed-row prefix; plain ``mm:`` rows use ``None``.
 _PROBE_VARIANTS = (
     ("mm+sampled", _sampled_probe),
     ("mm+online", _online_probe),
+    ("mm+attrib", _attrib_probe),
 )
 
 
@@ -250,6 +262,11 @@ def _mm_once(
     )
     if probe_factory is not None:
         mm.probe = probe_factory(cfg)
+        # provenance probes hook the MM's eviction sites, not the access
+        # stream — duck-typed so plain probes need no attach step
+        observe = getattr(mm.probe, "observe", None)
+        if observe is not None:
+            observe(mm)
     with Timer() as t:
         ledger = mm.run(trace)
     return t.elapsed, _ledger_counters(ledger)

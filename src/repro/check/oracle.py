@@ -392,6 +392,11 @@ class ValidatingMM(MemoryManagementAlgorithm):
     def shootdown(self, lo: int, hi: int) -> int:
         return self.inner.shootdown(lo, hi)
 
+    def attribution_sites(self) -> tuple:
+        # miss-attribution ghosts belong on the inner algorithm's real
+        # structures — the wrapper adds no caches of its own
+        return self.inner.attribution_sites()
+
     def check_invariants(self) -> None:
         """Explicit full sweep (mirrors the inner algorithms' helpers)."""
         self.oracle.deep_check()

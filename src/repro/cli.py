@@ -19,8 +19,9 @@
   under the invariant oracle; non-zero exit on any violation;
 * ``tenants``   — multi-tenant churn sweep: ASID-striped tenants sharing
   each algorithm under a scheduler, with exit shootdowns; per-cell costs,
-  switches, and shootdown drops (``--snapshot-out`` writes the merged
-  observability snapshot);
+  switches, and per-reason shootdown drops; ``--attrib`` adds per-cause
+  miss columns and the tenant interference matrix (``--snapshot-out``
+  writes the merged observability snapshot);
 * ``eq3``       — the Theorem 4 / eq. (3) comparison;
 * ``maxload``   — balls-and-bins strategies vs theory;
 * ``policies``  — the replacement-policy zoo vs offline OPT;
@@ -242,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", action="store_true",
                    help="run every cell under the invariant oracle "
                         "(ASID isolation/coverage included)")
+    p.add_argument("--attrib", action="store_true",
+                   help="attach an AttributionProbe per cell: per-cause "
+                        "TLB-miss columns in the table, attrib:*/interf:* "
+                        "counters (the interference matrix) in the "
+                        "snapshot")
     p.add_argument("--jobs", type=_jobs, default=1,
                    help="worker processes for the grid (0 = all CPUs)")
     p.add_argument("--snapshot-out", default=None, metavar="FILE.json",
@@ -552,6 +558,7 @@ def _cmd_tenants(args) -> int:
             remap_every=args.remap_every,
             seed=args.seed,
             validate=args.validate,
+            attrib=args.attrib,
         )
         for algorithm in algorithms
         for k in args.tenants
@@ -578,7 +585,20 @@ def _cmd_tenants(args) -> int:
             "tlb_misses": r["tlb_misses"],
             "switches": r["switches"],
             "shootdowns": r["shootdowns"],
-            "drops": r["shootdown_drops"],
+            "drops_exit": r["drops_exit"],
+            "drops_remap": r["drops_remap"],
+            **(
+                {
+                    "cold": r["tlb_cold"],
+                    "cap_self": r["tlb_capacity_self"],
+                    "cap_cross": r["tlb_capacity_cross"],
+                    "shoot": r["tlb_shootdown"],
+                    "remap": r["tlb_remap"],
+                    "promo": r["tlb_promotion_flush"],
+                }
+                if args.attrib
+                else {}
+            ),
         }
         for r in rows
     ]))

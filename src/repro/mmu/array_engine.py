@@ -416,6 +416,21 @@ def _unit_stream(trace: np.ndarray, unit: int) -> np.ndarray:
     return trace // unit
 
 
+def _replay_ghost(ghost, kernel: StreamKernel, C: int) -> None:
+    """Feed a miss-attribution ghost the cache's exact miss and eviction
+    sequence, derived sparsely from the kernel's miss positions and death
+    positions. The shared ``_SiteGhost.replay`` bulk path keeps the
+    classification bit-identical to the object replay's per-access order:
+    the first ``C - R`` misses fill free capacity, and every later miss
+    evicts the next entry of the ascending death sequence."""
+    mp = kernel.miss_positions(C)
+    if mp.size == 0:
+        return
+    ghost.replay(
+        kernel.keys[mp].tolist(), kernel.keys[kernel.deaths(C)].tolist()
+    )
+
+
 def _paged_fold(mm, trace: np.ndarray) -> StreamKernel:
     """Shared TLB+RAM fold for the physical-huge-page family; returns the
     RAM kernel so subclass handlers can reuse its death sequence."""
@@ -435,6 +450,10 @@ def _paged_fold(mm, trace: np.ndarray) -> StreamKernel:
     ledger.ios += h * kern_r.counts(mm.ram.capacity)[1]
     _sync_cache(mm.tlb, kern_t, mm.tlb.capacity)
     _sync_cache(mm.ram, kern_r, mm.ram.capacity)
+    if mm.tlb._ghost is not None:
+        _replay_ghost(mm.tlb._ghost, kern_t, mm.tlb.capacity)
+    if mm.ram._ghost is not None:
+        _replay_ghost(mm.ram._ghost, kern_r, mm.ram.capacity)
     return kern_r
 
 
@@ -772,6 +791,12 @@ def try_run(mm, trace):
     if probe.enabled and (
         not probe.batch_safe or probe.batch_interval is not None
     ):
+        return None
+    if mm._provenance is not None and handler is not _run_hugepage:
+        # eviction provenance is derived vectorized only for the
+        # base-page/physical-huge fold; every other handler falls back to
+        # the object replay, whose ghost hooks classify inline (the
+        # attribution contract test pins this fallback as silent + exact)
         return None
     arr = np.asarray(trace)
     if arr.ndim != 1 or arr.dtype.kind not in "iu":

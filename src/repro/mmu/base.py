@@ -174,6 +174,12 @@ class MemoryManagementAlgorithm(ABC):
     #: short registry name, set by subclasses.
     name: str = "abstract"
 
+    #: the attached :class:`~repro.obs.attribution.AttributionProbe`, when
+    #: this machine is provenance-observed (set by ``observe``); the array
+    #: engine checks it to decide between vectorized provenance replay
+    #: (hugepage family) and a silent object-engine fallback.
+    _provenance = None
+
     def __init__(self) -> None:
         self.ledger = CostLedger()
         #: simulation engine: ``"object"`` replays access by access,
@@ -270,6 +276,24 @@ class MemoryManagementAlgorithm(ABC):
         """Shoot down every TLB entry in *asid*'s slice (tenant exit)."""
         base = self._asid_base(asid)
         return self.shootdown(base, base + self.asid_stride)
+
+    # -------------------------------------------------- eviction provenance
+
+    def attribution_sites(self) -> tuple:
+        """The structures miss attribution instruments, as ``(family,
+        structure, page_of)`` triples.
+
+        *family* names the structure in attribution counters (``"tlb"`` /
+        ``"ram"``), *structure* is the :class:`~repro.paging.PageCache` or
+        :class:`~repro.tlb.TLB` carrying the ``_ghost`` slot, and
+        *page_of(key)* maps the structure's keys back to global base-page
+        numbers (so ``page_of(key) // asid_stride`` recovers the owning
+        ASID). The base class exposes nothing — algorithms with
+        instrumentable caches override this, and
+        :meth:`~repro.obs.attribution.AttributionProbe.observe` raises on
+        an empty result rather than silently counting nothing.
+        """
+        return ()
 
     def run(self, trace) -> CostLedger:
         """Service every request in *trace*; return this algorithm's ledger.

@@ -199,6 +199,13 @@ class DecoupledMM(MemoryManagementAlgorithm):
     def translation_alignment(self) -> int:
         return self.system.hmax
 
+    def attribution_sites(self) -> tuple:
+        hmax = self.system.hmax
+        return (
+            ("tlb", self.system.tlb, lambda hpn, _c=hmax: hpn * _c),
+            ("ram", self.system.ram, lambda vpn: vpn),
+        )
+
     def shootdown(self, lo: int, hi: int) -> int:
         return _shootdown_system(self.system, lo, hi, unit=1)
 
@@ -221,7 +228,10 @@ def _shootdown_system(system, lo: int, hi: int, *, unit: int) -> int:
         hpn for hpn in system.tlb.resident()
         if hpn * coverage < hi and (hpn + 1) * coverage > lo
     ]
+    ghost = system.tlb._ghost
     for hpn in victims:
+        if ghost is not None:
+            ghost.invalidated(hpn)
         system.tlb.invalidate(hpn)
         system.scheme.tlb_evict(hpn)
     return len(victims)

@@ -161,13 +161,21 @@ class PhysicalHugePageMM(MemoryManagementAlgorithm):
     def translation_alignment(self) -> int:
         return self.huge_page_size
 
+    def attribution_sites(self) -> tuple:
+        h = self.huge_page_size
+        page_of = (lambda hpn, _h=h: hpn * _h) if h != 1 else (lambda k: k)
+        return (("tlb", self.tlb, page_of), ("ram", self.ram, page_of))
+
     def shootdown(self, lo: int, hi: int) -> int:
         h = self.huge_page_size
         victims = [
             hpn for hpn in self.tlb.resident()
             if hpn * h < hi and (hpn + 1) * h > lo
         ]
+        ghost = self.tlb._ghost
         for hpn in victims:
+            if ghost is not None:
+                ghost.invalidated(hpn)
             self.tlb.remove(hpn)
         return len(victims)
 

@@ -134,6 +134,14 @@ class HybridMM(MemoryManagementAlgorithm):
     def translation_alignment(self) -> int:
         return self.coverage
 
+    def attribution_sites(self) -> tuple:
+        coverage = self.coverage
+        chunk = self.chunk
+        return (
+            ("tlb", self.system.tlb, lambda hpn, _c=coverage: hpn * _c),
+            ("ram", self.system.ram, lambda cid, _c=chunk: cid * _c),
+        )
+
     def shootdown(self, lo: int, hi: int) -> int:
         return _shootdown_system(self.system, lo, hi, unit=self.chunk)
 

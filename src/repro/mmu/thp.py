@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import as_int_list, check_positive_int, is_power_of_two
+from ..obs.attribution import REASON_PROMOTION as _REASON_PROMOTION
 from ..paging import LRUPolicy, PageCache
 from ..sim.memory import OutOfMemoryError, PhysicalMemory
 from .base import MemoryManagementAlgorithm, MMInspector
@@ -186,7 +187,7 @@ class THPStyleMM(MemoryManagementAlgorithm):
         # fault path — by construction only base units can be non-resident
         # (region ∈ promoted ⟺ its huge unit is resident).
         assert not promoted
-        frame = self._allocate_evicting(1, 1)
+        frame = self._allocate_evicting(1, 1, evictor=unit)
         self._lru.insert(unit, ledger.accesses)
         self._frame_of[unit] = frame
         self._resident_in_region.setdefault(region, set()).add(vpn)
@@ -202,8 +203,13 @@ class THPStyleMM(MemoryManagementAlgorithm):
 
     # ------------------------------------------------------------ internals
 
-    def _allocate_evicting(self, n: int, align: int) -> int:
-        """Allocate frames for a faulting page, evicting LRU units as needed."""
+    def _allocate_evicting(self, n: int, align: int, evictor=None) -> int:
+        """Allocate frames for a faulting page, evicting LRU units as needed.
+
+        *evictor* is the faulting unit, threaded through so miss attribution
+        can blame the TLB-collateral drop of each released unit on the
+        address space whose fault forced it out.
+        """
         while True:
             try:
                 return self.memory.allocate(n, align)
@@ -211,14 +217,21 @@ class THPStyleMM(MemoryManagementAlgorithm):
                 if len(self._lru) == 0:
                     raise
                 self._evicted_units += 1
-                self._release_unit(self._lru.evict())
+                self._release_unit(self._lru.evict(), evictor=evictor)
 
-    def _release_unit(self, unit: tuple[int, int]) -> None:
+    def _release_unit(self, unit: tuple[int, int], evictor=None) -> None:
         """Free the unit's frames and bookkeeping (post-eviction)."""
         kind, key = unit
         frame = self._frame_of.pop(unit)
         self.memory.free(frame)
         if unit in self.tlb:
+            ghost = self.tlb._ghost
+            if ghost is not None:
+                if evictor is not None:
+                    # RAM pressure dropped the unit's translation with it
+                    ghost.evicted(unit, evictor)
+                else:
+                    ghost.invalidated(unit)
             self.tlb.remove(unit)
         if kind == _HUGE:
             self._promoted.discard(key)
@@ -260,11 +273,18 @@ class THPStyleMM(MemoryManagementAlgorithm):
         # promotion succeeds: migrate residents, fetch the missing pages
         ledger.extra["migrations"] += len(freed)
         ledger.ios += self.h - len(freed)
+        ghost = self.tlb._ghost
         for base_unit, _ in freed:
             self._lru.remove(base_unit)
             if base_unit in self.tlb:
+                if ghost is not None:
+                    ghost.invalidated(base_unit, _REASON_PROMOTION)
                 self.tlb.remove(base_unit)
         unit = (_HUGE, region)
+        if ghost is not None:
+            # no TLB entry is installed for the collapsed region (the
+            # khugepaged-style flush), so its next touch re-faults — tag it
+            ghost.invalidated(unit, _REASON_PROMOTION)
         self._frame_of[unit] = start
         self._promoted.add(region)
         self._resident_in_region[region] = set(
@@ -276,6 +296,15 @@ class THPStyleMM(MemoryManagementAlgorithm):
     def translation_alignment(self) -> int:
         return self.h
 
+    def attribution_sites(self) -> tuple:
+        h = self.h
+
+        def page_of(unit, _h=h):
+            kind, key = unit
+            return key * _h if kind == _HUGE else key
+
+        return (("tlb", self.tlb, page_of),)
+
     def shootdown(self, lo: int, hi: int) -> int:
         h = self.h
         victims = []
@@ -286,7 +315,10 @@ class THPStyleMM(MemoryManagementAlgorithm):
             )
             if span_lo < hi and span_hi > lo:
                 victims.append(unit)
+        ghost = self.tlb._ghost
         for unit in victims:
+            if ghost is not None:
+                ghost.invalidated(unit)
             self.tlb.remove(unit)
         return len(victims)
 

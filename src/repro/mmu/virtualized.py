@@ -125,13 +125,24 @@ class NestedTranslationMM(MemoryManagementAlgorithm):
     def translation_alignment(self) -> int:
         return self.h
 
+    def attribution_sites(self) -> tuple:
+        # the nested TLB is deliberately uninstrumented: its misses charge
+        # ledger extras (host_tlb_misses), not the tlb_misses counter the
+        # conservation pins sum against.
+        h = self.h
+        page_of = (lambda hpn, _h=h: hpn * _h) if h != 1 else (lambda k: k)
+        return (("tlb", self.tlb, page_of), ("ram", self.ram, page_of))
+
     def shootdown(self, lo: int, hi: int) -> int:
         h = self.h
         victims = [
             hpn for hpn in self.tlb.resident()
             if hpn * h < hi and (hpn + 1) * h > lo
         ]
+        ghost = self.tlb._ghost
         for hpn in victims:
+            if ghost is not None:
+                ghost.invalidated(hpn)
             self.tlb.remove(hpn)
         # nested entries: data-page translations (depth 0) are keyed by the
         # full vpn; page-table nodes at depth d cover an aligned prefix

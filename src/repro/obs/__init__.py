@@ -10,6 +10,9 @@ Orthogonal pieces, all optional and all zero-overhead when unused:
 * :mod:`repro.obs.sampling` — :class:`SamplingProbe`, deterministic
   stride + hashed-VPN sampling with unbiased scale-up; batch-safe, so the
   ``mmu`` fast paths stay enabled under it;
+* :mod:`repro.obs.attribution` — :class:`AttributionProbe`, eviction
+  provenance via bounded ghost lists: every TLB/page miss classified into
+  the :data:`CAUSES` taxonomy plus an ASID × ASID interference matrix;
 * :mod:`repro.obs.snapshot` — :class:`ObsSnapshot`, the picklable,
   associatively mergeable unit (counters + histograms + metrics rows)
   that lets ``run_tasks`` fan instrumented tasks across workers;
@@ -35,6 +38,16 @@ Attach via ``simulate(mm, trace, probe=..., metrics=...)``,
 ``repro report`` subcommands.
 """
 
+from .attribution import (
+    ATTRIB_PREFIX,
+    CAUSES,
+    INTERF_PREFIX,
+    REASON_CAPACITY,
+    REASON_PROMOTION,
+    REASON_REMAP,
+    REASON_SHOOTDOWN,
+    AttributionProbe,
+)
 from .events import (
     EVENT_KINDS,
     NULL_PROBE,
@@ -78,6 +91,14 @@ __all__ = [
     "MultiProbe",
     "LogHistogram",
     "SamplingProbe",
+    "AttributionProbe",
+    "CAUSES",
+    "REASON_CAPACITY",
+    "REASON_SHOOTDOWN",
+    "REASON_REMAP",
+    "REASON_PROMOTION",
+    "ATTRIB_PREFIX",
+    "INTERF_PREFIX",
     "ObsSnapshot",
     "IntervalMetrics",
     "METRICS_FIELDS",

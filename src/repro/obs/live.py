@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .._util import check_positive_int
+from .attribution import ATTRIB_PREFIX, CAUSES
 from .events import Probe
 from .sampling import COUNTER_FIELDS
 
@@ -82,24 +83,64 @@ class TelemetryBus:
     ``O_APPEND | O_CREAT`` and every :meth:`emit` is a single atomic
     ``os.write``. The bus never reads the spool — readers live in
     :func:`read_spool`.
+
+    With *max_bytes* set, an emit that would push the spool past the bound
+    first rotates it: one ``os.replace`` renames the live spool to
+    ``<spool>.1`` (clobbering any previous ``.1``) and the write lands in a
+    fresh file, so an unattended sweep's spool is bounded at roughly
+    ``2 × max_bytes`` on disk. Rotation is crash-safe (rename is atomic)
+    and multi-writer-safe: a bus that finds its descriptor pointing at a
+    rotated-away inode follows the rename and reopens the live path.
+    Readers (:func:`read_spool`) stitch ``.1`` + live back together and
+    tolerate a rotation happening between the two reads.
     """
 
-    __slots__ = ("path", "worker", "_fd", "_seq")
+    __slots__ = ("path", "worker", "max_bytes", "_fd", "_seq")
 
-    def __init__(self, path, *, worker: str | int | None = None) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        worker: str | int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.path = Path(path)
         #: spool-wide writer id; defaults to this process's pid.
         self.worker = str(worker if worker is not None else os.getpid())
+        #: rotate the spool when an emit would push it past this size
+        #: (``None`` = grow without bound, the historical behaviour).
+        self.max_bytes = (
+            None if max_bytes is None else check_positive_int(max_bytes, "max_bytes")
+        )
         self._fd: int | None = None
         self._seq = 0
+
+    def _open(self) -> int:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        return os.open(
+            str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        """Rotate (or follow another writer's rotation) before *incoming* bytes."""
+        assert self._fd is not None
+        try:
+            live_ino = os.stat(self.path).st_ino
+        except FileNotFoundError:
+            live_ino = None  # spool vanished: reopen recreates it
+        if live_ino != os.fstat(self._fd).st_ino:
+            os.close(self._fd)
+            self._fd = self._open()
+        if os.fstat(self._fd).st_size + incoming <= self.max_bytes:
+            return
+        os.replace(self.path, str(self.path) + ".1")
+        os.close(self._fd)
+        self._fd = self._open()
 
     def emit(self, kind: str, **fields) -> dict:
         """Append one *kind* record (plus ``worker``/``seq``/``wall``)."""
         if self._fd is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fd = os.open(
-                str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
-            )
+            self._fd = self._open()
         self._seq += 1
         record = {
             "kind": kind,
@@ -108,7 +149,10 @@ class TelemetryBus:
             "wall": time.monotonic(),
             **fields,
         }
-        os.write(self._fd, (json.dumps(record, sort_keys=True) + "\n").encode())
+        data = (json.dumps(record, sort_keys=True) + "\n").encode()
+        if self.max_bytes is not None:
+            self._maybe_rotate(len(data))
+        os.write(self._fd, data)
         return record
 
     def close(self) -> None:
@@ -144,10 +188,13 @@ class HeartbeatConfig:
     stall_factor: float = 4.0
     #: stall grace floor in seconds (covers startup and slow first flushes).
     grace_s: float = 5.0
+    #: per-spool rotation bound (``TelemetryBus(max_bytes=...)``); ``None``
+    #: keeps the spool unbounded.
+    max_bytes: int | None = None
 
     def bus(self, worker: str | int | None = None) -> TelemetryBus:
         """A fresh bus on this config's spool."""
-        return TelemetryBus(self.spool, worker=worker)
+        return TelemetryBus(self.spool, worker=worker, max_bytes=self.max_bytes)
 
 
 class HeartbeatProbe(Probe):
@@ -166,6 +213,10 @@ class HeartbeatProbe(Probe):
     total:
         Expected total accesses (warm-up + measure), for progress/ETA;
         ``None`` leaves progress open-ended.
+    attrib:
+        An attached :class:`~repro.obs.attribution.AttributionProbe` whose
+        flat ``attrib:*`` / ``interf:*`` counters ride along in every
+        heartbeat — ``repro top`` then shows live per-cause columns.
 
     Composable with other batch-safe probes via
     :class:`~repro.obs.events.MultiProbe`, whose ``batch_interval`` is the
@@ -176,6 +227,7 @@ class HeartbeatProbe(Probe):
         "bus",
         "task",
         "total",
+        "attrib",
         "batch_interval",
         "done",
         "counters",
@@ -193,11 +245,13 @@ class HeartbeatProbe(Probe):
         interval: int = 65536,
         task: str | int = "",
         total: int | None = None,
+        attrib=None,
     ) -> None:
         self.bus = bus
         self.batch_interval = check_positive_int(interval, "interval")
         self.task = str(task)
         self.total = None if total is None else int(total)
+        self.attrib = attrib
         self.done = 0
         self.counters: dict[str, int] = {k: 0 for k in COUNTER_FIELDS}
         self._start_wall = time.monotonic()
@@ -213,13 +267,17 @@ class HeartbeatProbe(Probe):
         acc_s = (self.done - self._last_done) / dt if dt > 0 else 0.0
         self._last_wall = now
         self._last_done = self.done
+        counters = dict(self.counters)
+        if self.attrib is not None:
+            # cumulative, so "latest heartbeat wins" aggregation stays exact
+            counters.update(self.attrib.attrib_counters())
         self.bus.emit(
             "heartbeat",
             task=self.task,
             done=self.done,
             total=self.total,
             acc_s=acc_s,
-            counters=dict(self.counters),
+            counters=counters,
         )
 
     def on_phase(self, t: int, name: str) -> None:
@@ -236,21 +294,34 @@ def read_spool(path) -> list[dict]:
     a filesystem without atomic ``O_APPEND``, or a truncated tail) is
     skipped, not fatal — the spool is advisory telemetry, never the source
     of truth for results.
+
+    A rotated spool (``TelemetryBus(max_bytes=...)``) is stitched back
+    together: the ``.1`` generation is read first, then the live file, and
+    a live line byte-identical to one in ``.1`` (a rotation racing the two
+    reads) is dropped. Only cross-generation duplicates are dropped —
+    ``seq`` restarts per bus, so it cannot serve as a record identity.
     """
     path = Path(path)
     records: list[dict] = []
-    try:
-        raw = path.read_bytes()
-    except FileNotFoundError:
-        return records
-    for line in raw.splitlines():
-        if not line.strip():
-            continue
+    rotated_lines: set[bytes] = set()
+    for generation, p in enumerate((Path(str(path) + ".1"), path)):
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
+            raw = p.read_bytes()
+        except FileNotFoundError:
             continue
-        if isinstance(record, dict) and "kind" in record:
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            if generation and line in rotated_lines:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not (isinstance(record, dict) and "kind" in record):
+                continue
+            if not generation:
+                rotated_lines.add(line)
             records.append(record)
     return records
 
@@ -414,6 +485,22 @@ def render_top(summary: dict, *, epsilon: float = 0.01) -> str:
             f"accesses {accesses:,} | ios {ios:,} | tlb_misses {misses:,} | "
             f"cost@eps={epsilon:g} {cost:,.1f}"
         )
+        # miss-attribution cause columns, when any task streamed them
+        families: dict[str, dict[str, int]] = {}
+        for key, v in c.items():
+            if key.startswith(ATTRIB_PREFIX):
+                fam, _, cause = key[len(ATTRIB_PREFIX):].partition(":")
+                families.setdefault(fam, {})[cause] = v
+        for fam in sorted(families):
+            causes = families[fam]
+            lines.append(
+                f"attrib {fam}: "
+                + " | ".join(
+                    f"{cause} {causes[cause]:,}"
+                    for cause in CAUSES
+                    if causes.get(cause)
+                )
+            )
         eta = totals["eta_s"]
         lines.append(
             f"elapsed {totals['elapsed_s']:.1f}s | "

@@ -31,6 +31,7 @@ import html
 import json
 from pathlib import Path
 
+from .attribution import ATTRIB_PREFIX, CAUSES, INTERF_PREFIX
 from .hist import LogHistogram
 from .live import RECORD_KINDS, aggregate
 from .snapshot import SNAPSHOT_KIND, ObsSnapshot
@@ -58,10 +59,11 @@ def load_artifact(path) -> dict:
 
     ``*.jsonl`` → ``{"kind": "metrics_jsonl", "rows": [...]}``, or
     ``telemetry_jsonl`` when the rows are telemetry-spool records (their
-    ``kind`` field is one of :data:`~repro.obs.live.RECORD_KINDS`);
-    ``*.json`` must carry a known ``kind`` (``bench_sweep``,
-    ``bench_hotloop``, ``obs_snapshot``). The returned dict always has
-    ``kind`` and ``path``.
+    ``kind`` field is one of :data:`~repro.obs.live.RECORD_KINDS`), or
+    ``bench_history_jsonl`` when they are ``tools/check_bench.py
+    --append-history`` trajectory records; ``*.json`` must carry a known
+    ``kind`` (``bench_sweep``, ``bench_hotloop``, ``obs_snapshot``). The
+    returned dict always has ``kind`` and ``path``.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
@@ -75,6 +77,12 @@ def load_artifact(path) -> dict:
             for r in rows
         ):
             return {"kind": "telemetry_jsonl", "rows": rows,
+                    "path": str(path)}
+        if rows and all(
+            isinstance(r, dict) and r.get("kind") == "bench_history"
+            for r in rows
+        ):
+            return {"kind": "bench_history_jsonl", "rows": rows,
                     "path": str(path)}
         return {"kind": "metrics_jsonl", "rows": rows, "path": str(path)}
     payload = json.loads(path.read_text())
@@ -160,6 +168,49 @@ def _subsample(rows: list, max_rows: int = 24) -> list:
     return rows[::step]
 
 
+def _attrib_tables(counters: dict) -> list[tuple[str, list[dict]]]:
+    """Miss-attribution tables for any counter dict carrying ``attrib:*`` /
+    ``interf:*`` keys (from an :class:`~repro.obs.attribution.AttributionProbe`
+    folded into a snapshot): the per-family cause breakdown and the
+    sufferer × evictor interference heatmap (``share`` renders as an inline
+    bar in HTML, so the hottest tenant pairs jump out)."""
+    families: dict[str, dict[str, int]] = {}
+    matrix: dict[tuple[int, int], int] = {}
+    for key, value in counters.items():
+        if key.startswith(ATTRIB_PREFIX):
+            fam, _, cause = key[len(ATTRIB_PREFIX):].partition(":")
+            families.setdefault(fam, {})[cause] = value
+        elif key.startswith(INTERF_PREFIX):
+            suf, _, ev = key[len(INTERF_PREFIX):].partition(":")
+            matrix[(int(suf), int(ev))] = value
+    tables: list[tuple[str, list[dict]]] = []
+    if families:
+        rows = []
+        for fam in sorted(families):
+            causes = families[fam]
+            total = sum(causes.values()) or 1
+            for cause in CAUSES:
+                n = causes.get(cause, 0)
+                if n:
+                    rows.append({"family": fam, "cause": cause,
+                                 "misses": n, "share": n / total})
+        tables.append(("miss attribution (family x cause)", rows))
+    if matrix:
+        total = sum(matrix.values()) or 1
+        rows = [
+            {"sufferer": f"asid {suf}", "evictor": f"asid {ev}",
+             "misses": n, "share": n / total}
+            for (suf, ev), n in sorted(
+                matrix.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        tables.append((
+            "interference heatmap (non-cold misses, sufferer x evictor)",
+            rows,
+        ))
+    return tables
+
+
 def _snapshot_sections(payload: dict, epsilon: float, title: str) -> list[dict]:
     """Sections for one obs_snapshot payload (standalone or embedded)."""
     snap = ObsSnapshot.from_dict(payload)
@@ -172,12 +223,15 @@ def _snapshot_sections(payload: dict, epsilon: float, title: str) -> list[dict]:
     section["tables"].append((
         "exact counters",
         [{"counter": k, "value": snap.counters[k]}
-         for k in sorted(snap.counters)],
+         for k in sorted(snap.counters)
+         # attribution counters get their own tables below
+         if not k.startswith((ATTRIB_PREFIX, INTERF_PREFIX))],
     ))
     section["tables"].append((
         f"cost breakdown at eps={epsilon:g}",
         cost_breakdown(snap.counters, epsilon),
     ))
+    section["tables"].extend(_attrib_tables(snap.counters))
     estimates = snap.estimates()
     if estimates:
         section["tables"].append((
@@ -351,7 +405,8 @@ def _hotloop_sections(payload: dict, baseline_dir) -> list[dict]:
     probed = []
     for name, row in sorted(byname.items()):
         prefix = next(
-            (p for p in ("mm+sampled:", "mm+online:") if name.startswith(p)),
+            (p for p in ("mm+sampled:", "mm+online:", "mm+attrib:")
+             if name.startswith(p)),
             None,
         )
         if prefix is None:
@@ -369,6 +424,46 @@ def _hotloop_sections(payload: dict, baseline_dir) -> list[dict]:
         })
     if probed:
         section["tables"].append(("probe overhead", probed))
+    return [section]
+
+
+def _history_sections(rows: list[dict], title: str) -> list[dict]:
+    """Bench-trajectory sections for a ``--append-history`` JSONL stream:
+    one geomean-over-time table (``rel`` is each record's geomean relative
+    to the stream's best, rendered as an inline bar in HTML — the plot)
+    plus the per-record deltas."""
+    section = {"title": title, "tables": [], "notes": []}
+    records = [r for r in rows if isinstance(r.get("geomean"), (int, float))]
+    if not records:
+        section["notes"].append("no bench_history records with a geomean")
+        return [section]
+    peak = max(r["geomean"] for r in records) or 1.0
+    first = records[0]["geomean"] or 1.0
+    table = []
+    prev = None
+    for r in records:
+        g = r["geomean"]
+        table.append({
+            "ts": r.get("ts", ""),
+            "commit": r.get("commit", ""),
+            "kops_per_s": round(g / 1e3, 1),
+            "vs_prev": (g / prev - 1) if prev else 0.0,
+            "vs_first": g / first - 1,
+            "share": g / peak,  # the trajectory "plot": bar vs best-ever
+        })
+        prev = g
+    section["notes"].append(
+        f"{len(records)} gate-passing record(s); best "
+        f"{peak / 1e3:.1f} kops/s, latest "
+        f"{records[-1]['geomean'] / 1e3:.1f} kops/s "
+        f"({records[-1]['geomean'] / peak - 1:+.1%} vs best)"
+    )
+    shown = _subsample(table, 40)
+    if len(shown) < len(table):
+        section["notes"].append(
+            f"trajectory subsampled: {len(shown)} of {len(table)} records shown"
+        )
+    section["tables"].append(("hotloop geomean trajectory", shown))
     return [section]
 
 
@@ -398,6 +493,10 @@ def build_report(
         elif kind == "telemetry_jsonl":
             sections.extend(_telemetry_sections(
                 payload["rows"], f"telemetry — {payload.get('path', '')}"
+            ))
+        elif kind == "bench_history_jsonl":
+            sections.extend(_history_sections(
+                payload["rows"], f"bench history — {payload.get('path', '')}"
             ))
         else:  # metrics_jsonl
             sections.extend(_metrics_sections(

@@ -101,6 +101,14 @@ class ObsSnapshot:
                 value = getattr(probe, key, None)
                 if value is not None:
                     meta[key] = value
+            # miss-attribution probes contribute their flat cause/
+            # interference counters (attrib:{family}:{cause},
+            # interf:{sufferer}:{evictor}) — exact ints, so merging across
+            # shards stays bit-identical
+            attrib = getattr(probe, "attrib_counters", None)
+            if attrib is not None:
+                for key, value in attrib().items():
+                    counters[key] = counters.get(key, 0) + value
         if mm is not None:
             loads = mm.inspector().bucket_loads()
             if loads is not None:

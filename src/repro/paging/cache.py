@@ -46,6 +46,7 @@ class PageCache:
         "on_evict",
         "_clock",
         "_touch",
+        "_ghost",
         "hits",
         "misses",
         "evictions",
@@ -68,6 +69,9 @@ class PageCache:
         # a __contains__/record_access double probe
         self._touch = policy.touch
         self.on_evict = on_evict
+        # optional miss-attribution ghost (obs/attribution installs one);
+        # None keeps the hit path untouched and the miss path one branch
+        self._ghost = None
         self._clock = 0
         self.hits = 0
         self.misses = 0
@@ -87,12 +91,17 @@ class PageCache:
             self.hits += 1
             return True
         self.misses += 1
+        ghost = self._ghost
+        if ghost is not None:
+            ghost.miss(key)
         policy = self.policy
         if len(policy) >= self.capacity:
             victim = policy.evict(key)
             self.evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
+            if ghost is not None:
+                ghost.evicted(victim, key)
         policy.insert(key, t)
         return False
 
@@ -114,6 +123,14 @@ class PageCache:
         policy_evict = policy.evict
         policy_insert = policy.insert
         on_evict = self.on_evict
+        ghost = self._ghost
+        # a ghost observes the batch via two collected sequences fed to
+        # one bulk replay at the end (bit-identical event order, no
+        # per-event method calls on the hot loop)
+        g_misses: list | None = [] if ghost is not None else None
+        g_victims: list | None = [] if ghost is not None else None
+        gm_append = g_misses.append if g_misses is not None else None
+        gv_append = g_victims.append if g_victims is not None else None
         capacity = self.capacity
         t = self._clock
         hits = misses = evictions = 0
@@ -122,18 +139,23 @@ class PageCache:
                 hits += 1
             else:
                 misses += 1
+                if gm_append is not None:
+                    gm_append(key)
                 if policy_len() >= capacity:
                     evictions += 1
+                    victim = policy_evict(key)
                     if on_evict is not None:
-                        on_evict(policy_evict(key))
-                    else:
-                        policy_evict(key)
+                        on_evict(victim)
+                    if gv_append is not None:
+                        gv_append(victim)
                 policy_insert(key, t)
             t += 1
         self._clock = t
         self.hits += hits
         self.misses += misses
         self.evictions += evictions
+        if ghost is not None:
+            ghost.replay(g_misses, g_victims)
         return hits, misses
 
     def insert(self, key: Key) -> None:
@@ -151,6 +173,8 @@ class PageCache:
             self.warm_evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
+            if self._ghost is not None:
+                self._ghost.evicted(victim, key)
         self.policy.insert(key, self._clock)
 
     def remove(self, key: Key) -> None:

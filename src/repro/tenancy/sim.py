@@ -29,6 +29,7 @@ from typing import Sequence
 
 from ..core import CostLedger
 from ..mmu import MemoryManagementAlgorithm
+from ..obs.attribution import REASON_REMAP, REASON_SHOOTDOWN, AttributionProbe
 from ..obs.snapshot import ObsSnapshot
 from .scheduler import Scheduler, make_scheduler
 from .tenant import Tenant
@@ -66,9 +67,21 @@ class TenantRecord:
     finished: int  #: global clock when the last access was issued
     turns: int
     ledger: CostLedger
+    #: TLB entries this tenant's shootdowns dropped, keyed by reason
+    #: (``"exit"`` / ``"phi-change"``).
+    drops: dict = field(default_factory=dict)
+    #: this tenant's miss-cause / interference counters (sufferer = this
+    #: ASID), as flat ``attrib:*`` / ``interf:*`` keys — filled when the
+    #: sim ran with an :class:`~repro.obs.AttributionProbe`.
+    causes: dict = field(default_factory=dict)
 
     def snapshot(self) -> ObsSnapshot:
-        return ObsSnapshot.from_run(self.ledger, label=self.name)
+        snap = ObsSnapshot.from_run(self.ledger, label=self.name)
+        for reason in sorted(self.drops):
+            snap.counters[f"shootdown_drops:{reason}"] = self.drops[reason]
+        for key in sorted(self.causes):
+            snap.counters[key] = self.causes[key]
+        return snap
 
 
 @dataclass(slots=True)
@@ -87,6 +100,14 @@ class MultiTenantResult:
     def shootdown_drops(self) -> int:
         """Total TLB entries dropped by shootdowns."""
         return sum(e.dropped for e in self.shootdowns)
+
+    @property
+    def shootdown_drops_by_reason(self) -> dict[str, int]:
+        """Entries dropped per shootdown reason (``exit`` / ``phi-change``)."""
+        out: dict[str, int] = {}
+        for e in self.shootdowns:
+            out[e.reason] = out.get(e.reason, 0) + e.dropped
+        return out
 
     def tenant_snapshots(self) -> list[ObsSnapshot]:
         return [r.snapshot() for r in self.records]
@@ -158,6 +179,14 @@ class MultiTenantSim:
         keeps ``mm.engine``). Engines are bit-identical, so either may
         serve a multi-tenant run; engines without ASID-aware batch kernels
         silently fall back per ``run``'s own contract.
+    attrib:
+        An :class:`~repro.obs.AttributionProbe` to observe the shared
+        machine (``None`` = no attribution). The sim binds the probe to
+        its ASID stride, points ``shootdown_reason`` at the right code
+        around each shootdown (``"phi-change"`` → remap, otherwise
+        shootdown), resets it at the warm-up boundary alongside the
+        ledgers, and copies each tenant's cause/interference counters onto
+        its :class:`TenantRecord` at the end of the run.
     """
 
     def __init__(
@@ -173,6 +202,7 @@ class MultiTenantSim:
         validate: bool = False,
         deep_every: int | None = None,
         engine: str | None = None,
+        attrib: AttributionProbe | None = None,
     ) -> None:
         tenants = list(tenants)
         if not tenants:
@@ -202,6 +232,9 @@ class MultiTenantSim:
         self.remap_every = remap_every
         self.validate = validate
         self.stride = mm.bind_asid_space(max(t.va_pages for t in tenants))
+        self.attrib = attrib
+        if attrib is not None:
+            attrib.observe(mm, stride=self.stride)
         self._oracle = mm.oracle if validate else None
         self._clock = 0
         self._shootdowns: list[ShootdownEvent] = []
@@ -213,7 +246,18 @@ class MultiTenantSim:
         """Shoot down *asid*'s slice now (e.g. after a φ remap); returns the
         entries dropped and records the event. Free in the cost model —
         like every shootdown here, it touches the TLB, never the ledger."""
-        dropped = self.mm.shootdown_asid(asid)
+        attrib = self.attrib
+        if attrib is not None:
+            # φ-change flushes classify as "remap", everything else (exit,
+            # explicit calls) as "shootdown"
+            attrib.shootdown_reason = (
+                REASON_REMAP if reason == "phi-change" else REASON_SHOOTDOWN
+            )
+        try:
+            dropped = self.mm.shootdown_asid(asid)
+        finally:
+            if attrib is not None:
+                attrib.shootdown_reason = REASON_SHOOTDOWN
         self._shootdowns.append(
             ShootdownEvent(self._clock, asid, dropped, reason=reason)
         )
@@ -305,6 +349,11 @@ class MultiTenantSim:
                             self.stride, live, t=clock
                         )
 
+        drops_of: list[dict] = [{} for _ in tenants]
+        for event in self._shootdowns:
+            d = drops_of[event.asid]
+            d[event.reason] = d.get(event.reason, 0) + event.dropped
+        attrib = self.attrib
         records = [
             TenantRecord(
                 name=t.name,
@@ -313,6 +362,8 @@ class MultiTenantSim:
                 finished=finished_at[asid],
                 turns=turns_of[asid],
                 ledger=t.ledger,
+                drops=drops_of[asid],
+                causes=attrib.tenant_counters(asid) if attrib is not None else {},
             )
             for asid, t in enumerate(tenants)
         ]
@@ -332,4 +383,8 @@ class MultiTenantSim:
         self.mm.reset_stats()
         for t in self.tenants:
             t.ledger.reset()
+        if self.attrib is not None:
+            # same boundary semantics: counters restart, ghost tags (cache
+            # state) persist
+            self.attrib.reset()
         return True

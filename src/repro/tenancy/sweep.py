@@ -21,6 +21,7 @@ from typing import Sequence
 
 from ..core import ATCostModel
 from ..mmu.registry import make_mm
+from ..obs.attribution import AttributionProbe
 from ..obs.snapshot import ObsSnapshot
 from ..sim.parallel import run_callables, spawn_seeds
 from ..workloads import UniformWorkload, ZipfWorkload
@@ -60,6 +61,10 @@ class TenancyCellSpec:
     seed: int = 0
     validate: bool = False
     engine: str | None = None
+    #: run under an :class:`~repro.obs.AttributionProbe`: the row gains
+    #: per-cause miss counters and the snapshot carries the ``attrib:*`` /
+    #: ``interf:*`` interference matrix.
+    attrib: bool = False
 
     def __post_init__(self) -> None:
         if self.workload not in _WORKLOADS:
@@ -114,6 +119,7 @@ def run_tenancy_cell(
     mm = make_mm(
         spec.algorithm, spec.tlb_entries, spec.ram_pages, seed=spec.seed
     )
+    probe = AttributionProbe() if spec.attrib else None
     sim = MultiTenantSim(
         mm,
         build_tenants(spec),
@@ -123,16 +129,18 @@ def run_tenancy_cell(
         remap_every=spec.remap_every,
         validate=spec.validate,
         engine=spec.engine,
+        attrib=probe,
     )
     result: MultiTenantResult = sim.run()
     result.verify_counter_sums()
     ledger = result.ledger
     cost = ATCostModel(epsilon=epsilon)
+    drops = result.shootdown_drops_by_reason
     row = {
         **{
             k: v
             for k, v in asdict(spec).items()
-            if k not in ("validate", "engine")
+            if k not in ("validate", "engine", "attrib")
         },
         "stride": result.stride,
         "accesses": ledger.accesses,
@@ -147,7 +155,12 @@ def run_tenancy_cell(
         "turns": result.turns,
         "shootdowns": len(result.shootdowns),
         "shootdown_drops": result.shootdown_drops,
+        "drops_exit": drops.get("exit", 0),
+        "drops_remap": drops.get("phi-change", 0),
     }
+    if probe is not None:
+        for cause, n in sorted(probe.cause_totals("tlb").items()):
+            row[f"tlb_{cause}"] = n
     return row, result.aggregate_snapshot()
 
 

@@ -348,6 +348,57 @@ class TestMain:
             check_bench.load_payload(str(path))
 
 
+class TestAppendHistory:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_passing_gate_appends_a_record(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _hotloop_payload())
+        good = self._write(tmp_path / "good.json", _hotloop_payload())
+        history = tmp_path / "history"
+        code = check_bench.main(
+            [base, good, "--append-history", str(history)]
+        )
+        assert code == check_bench.OK
+        lines = (history / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "bench_history"
+        assert record["payload_kind"] == "bench_hotloop"
+        assert record["geomean"] == 500_000.0
+        assert [r["component"] for r in record["rows"]] == ["tlb", "cache:lru"]
+        assert record["ts"] and record["commit"]
+
+    def test_failing_gate_never_appends(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _hotloop_payload(500_000))
+        slow = self._write(tmp_path / "slow.json", _hotloop_payload(300_000))
+        history = tmp_path / "history"
+        code = check_bench.main(
+            [base, slow, "--append-history", str(history)]
+        )
+        assert code == check_bench.REGRESSION
+        assert not (history / "history.jsonl").exists()
+
+    def test_records_accumulate_as_jsonl(self, tmp_path):
+        sweep = self._write(tmp_path / "s.json", _payload(120_000))
+        hot = self._write(tmp_path / "h.json", _hotloop_payload())
+        check_bench.append_history(json.loads(Path(sweep).read_text()),
+                                   str(tmp_path / "history"))
+        check_bench.append_history(json.loads(Path(hot).read_text()),
+                                   str(tmp_path / "history"))
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "history" / "history.jsonl")
+            .read_text().splitlines()
+        ]
+        assert [r["payload_kind"] for r in records] == [
+            "bench_sweep", "bench_hotloop"
+        ]
+        assert records[0]["geomean"] == 120_000.0
+        assert records[0]["rows"] == []  # sweep records carry no row detail
+
+
 def _failure_payload(paging_failures=3, drift=0):
     """A hotloop payload with one paging-failure engine-twin pair."""
     payload = _hotloop_payload()

@@ -76,6 +76,9 @@ class TestBenchHotloop:
         assert sorted(n for n in names if n.startswith("mm+online:")) == [
             f"mm+online:{m}" for m in sorted(SAMPLED_MMS)
         ]
+        assert sorted(n for n in names if n.startswith("mm+attrib:")) == [
+            f"mm+attrib:{m}" for m in sorted(SAMPLED_MMS)
+        ]
         assert payload["kind"] == "bench_hotloop"
         assert payload["format"] == 1
         assert payload["config"] == small_config
@@ -94,7 +97,7 @@ class TestBenchHotloop:
         the simulation — the check_bench probed gate relies on this."""
         rows, _ = bench_hotloop()
         by = {r["component"]: r for r in rows}
-        for prefix in ("mm+sampled:", "mm+online:"):
+        for prefix in ("mm+sampled:", "mm+online:", "mm+attrib:"):
             probed = [n for n in by if n.startswith(prefix)]
             assert sorted(probed) == [
                 f"{prefix}{m}" for m in sorted(SAMPLED_MMS)

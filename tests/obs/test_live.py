@@ -87,6 +87,66 @@ class TestReadSpool:
         assert read_spool(spool) == [good]
 
 
+class TestRotation:
+    def test_spool_rotates_at_max_bytes(self, tmp_path):
+        spool = tmp_path / "t.jsonl"
+        with TelemetryBus(spool, worker="w", max_bytes=256) as bus:
+            for i in range(40):
+                bus.emit("heartbeat", task="0", done=i)
+        rotated = tmp_path / "t.jsonl.1"
+        assert rotated.exists()
+        assert spool.stat().st_size <= 256
+        assert rotated.stat().st_size <= 256
+
+    def test_reader_stitches_generations_in_order(self, tmp_path):
+        spool = tmp_path / "t.jsonl"
+        with TelemetryBus(spool, worker="w", max_bytes=512) as bus:
+            emitted = [bus.emit("heartbeat", task="0", done=i)["seq"]
+                       for i in range(40)]
+        records = read_spool(spool)
+        # rotation keeps only the newest two generations: whatever
+        # survives must be a contiguous, ordered tail of the stream
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs)
+        assert seqs == emitted[-len(seqs):]
+        assert seqs[-1] == 40
+
+    def test_duplicate_records_across_generations_dedupe(self, tmp_path):
+        spool = tmp_path / "t.jsonl"
+        rec = {"kind": "heartbeat", "worker": "w", "seq": 1, "wall": 1.0}
+        (tmp_path / "t.jsonl.1").write_text(json.dumps(rec) + "\n")
+        spool.write_text(json.dumps(rec) + "\n")  # rotation raced the read
+        assert read_spool(spool) == [rec]
+
+    def test_second_writer_follows_a_rotation(self, tmp_path):
+        spool = tmp_path / "t.jsonl"
+        with TelemetryBus(spool, worker="a", max_bytes=200) as a, \
+                TelemetryBus(spool, worker="b", max_bytes=200) as b:
+            a.emit("heartbeat", task="0", done=0)
+            b.emit("heartbeat", task="1", done=0)
+            for i in range(20):  # force rotations under writer a
+                a.emit("heartbeat", task="0", done=i)
+            b.emit("heartbeat", task="1", done=99)  # must land in the live file
+        live = [r for r in read_spool(spool) if r["worker"] == "b"]
+        assert live and live[-1]["done"] == 99
+
+    def test_unbounded_bus_never_rotates(self, tmp_path):
+        spool = tmp_path / "t.jsonl"
+        with TelemetryBus(spool, worker="w") as bus:
+            for i in range(40):
+                bus.emit("heartbeat", task="0", done=i)
+        assert not (tmp_path / "t.jsonl.1").exists()
+        assert len(read_spool(spool)) == 40
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetryBus(tmp_path / "t.jsonl", max_bytes=0)
+
+    def test_heartbeat_config_carries_max_bytes(self, tmp_path):
+        cfg = HeartbeatConfig(spool=str(tmp_path / "t.jsonl"), max_bytes=1024)
+        assert cfg.bus("w").max_bytes == 1024
+
+
 def _hb(task, done, *, worker="w", seq=1, wall=0.0, total=100, acc_s=1000.0,
         counters=None):
     return {"kind": "heartbeat", "worker": worker, "seq": seq, "wall": wall,

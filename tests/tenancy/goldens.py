@@ -67,11 +67,18 @@ def build_tenants(k: int) -> list[Tenant]:
     ]
 
 
-def build_sim(algorithm: str, k: int, *, engine: str | None = None) -> MultiTenantSim:
+def build_sim(
+    algorithm: str,
+    k: int,
+    *,
+    engine: str | None = None,
+    attrib=None,
+) -> MultiTenantSim:
     """A fresh simulator for one golden cell."""
     mm = make_mm(algorithm, TLB_ENTRIES, RAM_PAGES, seed=SEED)
     return MultiTenantSim(
-        mm, build_tenants(k), "round-robin", quantum=QUANTUM, engine=engine
+        mm, build_tenants(k), "round-robin", quantum=QUANTUM, engine=engine,
+        attrib=attrib,
     )
 
 

@@ -1,0 +1,118 @@
+"""Multi-tenant attribution pins over the golden cells.
+
+Every golden (scheme × tenant count) cell must classify each TLB miss
+into exactly one cause with the per-cause counts summing bit-identically
+to the shared machine's ledger, partition those causes exactly across the
+tenant records, populate the ASID × ASID interference matrix, and split
+shootdown drops by reason — and the whole surface must reduce
+bit-identically across ``--jobs``.
+"""
+
+import pytest
+
+from repro.obs import ATTRIB_PREFIX, INTERF_PREFIX, AttributionProbe
+from repro.tenancy import TenancyCellSpec, run_tenancy_cell, run_tenancy_grid
+
+from .goldens import SCHEMES, TENANT_COUNTS, build_sim
+
+CELLS = [(a, k) for a in SCHEMES for k in TENANT_COUNTS]
+
+
+def _run_cell(algorithm, k, **kwargs):
+    probe = AttributionProbe()
+    sim = build_sim(algorithm, k, attrib=probe, **kwargs)
+    return probe, sim.run()
+
+
+@pytest.mark.parametrize("algorithm,k", CELLS)
+class TestGoldenCells:
+    def test_causes_conserve_against_the_ledger(self, algorithm, k):
+        probe, result = _run_cell(algorithm, k)
+        assert probe.family_total("tlb") == result.ledger.tlb_misses
+
+    def test_tenant_records_partition_the_causes(self, algorithm, k):
+        probe, result = _run_cell(algorithm, k)
+        summed: dict = {}
+        for record in result.records:
+            for key, v in record.causes.items():
+                if key.startswith(ATTRIB_PREFIX):
+                    summed[key] = summed.get(key, 0) + v
+        global_attrib = {
+            key: v for key, v in probe.attrib_counters().items()
+            if key.startswith(ATTRIB_PREFIX)
+        }
+        assert summed == global_attrib
+        assert sum(
+            v for key, v in summed.items()
+            if key.startswith(f"{ATTRIB_PREFIX}tlb:")
+        ) == result.ledger.tlb_misses
+
+    def test_shootdowns_and_interference_populate(self, algorithm, k):
+        probe, result = _run_cell(algorithm, k)
+        totals = probe.cause_totals("tlb")
+        if k >= 8:
+            # the k=8 cells oversubscribe the shared TLB, so cross-tenant
+            # capacity pressure (and with it the interference matrix) must
+            # show up; at k=2 a huge-page TLB can fit both tenants and
+            # legitimately classify every miss cold
+            assert totals["capacity_cross"] > 0
+            assert probe.matrix
+            assert any(suf != ev for suf, ev in probe.matrix)
+        drops = result.shootdown_drops_by_reason
+        assert sum(drops.values()) == result.shootdown_drops
+        assert set(drops) <= {"exit", "phi-change"}
+
+    def test_tenant_snapshots_carry_causes_and_drops(self, algorithm, k):
+        _probe, result = _run_cell(algorithm, k)
+        snaps = [r.snapshot() for r in result.records]
+        for record, snap in zip(result.records, snaps):
+            for reason, dropped in record.drops.items():
+                assert snap.counters[f"shootdown_drops:{reason}"] == dropped
+        merged_tlb = sum(
+            v
+            for snap in snaps
+            for key, v in snap.counters.items()
+            if key.startswith(f"{ATTRIB_PREFIX}tlb:")
+        )
+        assert merged_tlb == result.ledger.tlb_misses
+
+
+class TestSweepSurface:
+    SPEC = dict(
+        tenants=8, churn=0.5, remap_every=5, accesses_per_tenant=800,
+        va_pages_per_tenant=256, tlb_entries=64, ram_pages=4096,
+        attrib=True,
+    )
+
+    def test_row_carries_causes_and_per_reason_drops(self):
+        spec = TenancyCellSpec(algorithm="base-page", **self.SPEC)
+        row, snap = run_tenancy_cell(spec)
+        assert row["drops_exit"] + row["drops_remap"] == row["shootdown_drops"]
+        assert row["drops_remap"] > 0  # remap_every fired
+        cause_sum = sum(
+            row[f"tlb_{cause}"]
+            for cause in ("cold", "capacity_self", "capacity_cross",
+                          "shootdown", "remap", "promotion_flush")
+        )
+        assert cause_sum == row["tlb_misses"]
+        assert row["tlb_remap"] > 0 and row["tlb_capacity_cross"] > 0
+        assert any(k.startswith(INTERF_PREFIX) for k in snap.counters)
+
+    def test_jobs_reduce_bit_identically(self):
+        specs = [
+            TenancyCellSpec(algorithm=a, **self.SPEC)
+            for a in ("base-page", "decoupled", "physical-huge", "thp")
+        ]
+        rows1, merged1 = run_tenancy_grid(specs, jobs=1)
+        rows4, merged4 = run_tenancy_grid(specs, jobs=4)
+        assert rows1 == rows4
+        assert merged1 == merged4
+        assert merged1.as_dict() == merged4.as_dict()
+
+    def test_attrib_off_leaves_rows_cause_free(self):
+        spec = TenancyCellSpec(algorithm="base-page", tenants=2)
+        row, snap = run_tenancy_cell(spec)
+        assert not any(k.startswith("tlb_c") for k in row)
+        assert not any(
+            k.startswith((ATTRIB_PREFIX, INTERF_PREFIX)) for k in snap.counters
+        )

@@ -53,8 +53,11 @@ package itself.
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import math
+import os
+import subprocess
 import sys
 
 #: Simulated (deterministic) counters compared cell by cell.
@@ -119,7 +122,7 @@ def _throughput_gate(
 
 
 #: probed hotloop row prefixes gated against their unprobed twins.
-PROBED_PREFIXES = ("mm+sampled:", "mm+online:")
+PROBED_PREFIXES = ("mm+sampled:", "mm+online:", "mm+attrib:")
 
 
 def _unprobed_twin(rows: dict, name: str, prefix: str) -> dict | None:
@@ -139,8 +142,8 @@ def _probed_gate(
 ) -> int:
     """Gate probed rows against their unprobed twins (one payload).
 
-    Applies to every prefix in :data:`PROBED_PREFIXES` (``mm+sampled:``
-    and ``mm+online:``), gated independently. Counters must be identical
+    Applies to every prefix in :data:`PROBED_PREFIXES` (``mm+sampled:``,
+    ``mm+online:`` and ``mm+attrib:``), gated independently. Counters must be identical
     (MISMATCH otherwise: the probe perturbed the simulation) and per
     prefix the geomean probed/unprobed throughput ratio must stay above
     ``1 - probe_tolerance`` (REGRESSION otherwise: the probe knocked an
@@ -355,6 +358,47 @@ def compare_hotloop(
     return code, messages
 
 
+def append_history(payload: dict, history_dir: str) -> str:
+    """Append one trajectory record to ``<history_dir>/history.jsonl``.
+
+    Called only after a passing gate, so the stream is a time series of
+    *accepted* throughput states: ``{ts, commit, geomean, rows}`` per
+    record (``rows`` carries the per-component ops/s of hotloop payloads).
+    ``repro report`` renders the stream as the geomean trajectory.
+    """
+    if payload.get("kind") == "bench_hotloop":
+        geomean = payload.get("geomean_ops_per_s", 0.0)
+        rows = [
+            {"component": r.get("component"), "ops_per_s": r.get("ops_per_s")}
+            for r in payload.get("rows", [])
+        ]
+    else:
+        geomean = payload.get("accesses_per_s", 0.0)
+        rows = []
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    record = {
+        "kind": "bench_history",
+        "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": commit,
+        "payload_kind": payload.get("kind"),
+        "geomean": geomean,
+        "rows": rows,
+    }
+    os.makedirs(history_dir, exist_ok=True)
+    path = os.path.join(history_dir, "history.jsonl")
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -378,6 +422,12 @@ def main(argv=None) -> int:
              "(sampling or online analysis), gated per prefix within the "
              "new hotloop payload (default: %(default)s)",
     )
+    parser.add_argument(
+        "--append-history", metavar="DIR", default=None,
+        help="after a passing gate, append a {ts, commit, geomean, rows} "
+             "record to DIR/history.jsonl — the bench trajectory that "
+             "`repro report` plots",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_payload(args.baseline)
@@ -391,6 +441,9 @@ def main(argv=None) -> int:
     )
     for line in messages:
         print(line)
+    if code == OK and args.append_history:
+        path = append_history(new, args.append_history)
+        print(f"ok: history record appended to {path}")
     return code
 
 
